@@ -1,0 +1,31 @@
+# Convenience targets for the Akamai DNS reproduction.
+
+PY ?= python
+
+.PHONY: install test bench report report-fast examples clean
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	$(PY) -m pytest tests/
+
+bench:
+	$(PY) -m pytest benchmarks/ --benchmark-only
+
+report:
+	$(PY) -m repro.experiments.runner
+
+report-fast:
+	$(PY) -m repro.experiments.runner --fast
+
+examples:
+	$(PY) examples/quickstart.py
+	$(PY) examples/twotier_walkthrough.py
+	$(PY) examples/failover_drill.py
+	$(PY) examples/gtm_loadbalancing.py
+	$(PY) examples/ddos_mitigation.py
+
+clean:
+	rm -rf .pytest_cache .benchmarks src/*.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,28 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one paper figure (or ablation) and prints
+the paper-vs-measured table; run with ``pytest benchmarks/
+--benchmark-only -s`` to see the rows. Timings come from
+pytest-benchmark; correctness comes from each experiment's shape checks.
+"""
+
+from __future__ import annotations
+
+
+def report(result, min_holding: int | None = None) -> None:
+    """Print the experiment table and assert its shape checks.
+
+    ``min_holding`` relaxes the assertion for statistically noisy
+    experiments: at least that many comparisons must hold.
+    """
+    print()
+    print(result.render())
+    if min_holding is None:
+        assert result.all_hold, (
+            f"{result.experiment_id}: paper-shape checks failed:\n"
+            + result.render())
+    else:
+        holding = sum(c.holds for c in result.comparisons)
+        assert holding >= min_holding, (
+            f"{result.experiment_id}: only {holding} checks hold:\n"
+            + result.render())

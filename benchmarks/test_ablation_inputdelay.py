@@ -1,0 +1,72 @@
+"""Ablation: input-delayed nameservers on vs off (paper section 4.2.3).
+
+A poisoned metadata input crashes every regular nameserver at once. With
+input-delayed machines deployed (one per cloud, advertising at higher
+MED so they idle in normal operation), traffic fails over to them within
+seconds and queries keep being answered from hour-old state; without
+them, the platform is dark until the fleet restarts.
+"""
+
+from conftest import report
+
+from repro.analysis.report import ExperimentResult
+from repro.dnscore import RType, name
+from repro.netsim.builder import InternetParams
+from repro.platform.deployment import AkamaiDNSDeployment, DeploymentParams
+from repro.server.machine import MachineConfig
+
+
+def _scenario(input_delayed: bool) -> tuple[bool, bool]:
+    deployment = AkamaiDNSDeployment(DeploymentParams(
+        seed=11, n_pops=6, deployed_clouds=6, machines_per_pop=1,
+        pops_per_cloud=1, n_edge_servers=4,
+        input_delayed_enabled=input_delayed,
+        internet=InternetParams(n_tier1=4, n_tier2=10, n_stub=30),
+        filters_enabled=False,
+        machine_config=MachineConfig(restart_delay=600.0)))
+    deployment.provision_enterprise("ent", "victim.net",
+                                    "www IN A 203.0.113.9\n")
+    deployment.settle(30)
+
+    resolver = deployment.add_resolver("idr", timeout=1.0)
+    results: list = []
+    resolver.resolve(name("www.victim.net"), RType.A, results.append)
+    deployment.settle(15)
+    healthy_before = not results[-1].failed
+
+    # The poisoned input: every regular nameserver crashes on applying
+    # it. Input-delayed machines have not received it yet.
+    for dep in deployment.regular_deployments():
+        dep.machine.crash()
+    deployment.settle(30)
+
+    resolver.cache.flush()
+    resolver.resolve(name("www.victim.net"), RType.A, results.append)
+    deployment.settle(20)
+    available_during_outage = not results[-1].failed
+    return healthy_before, available_during_outage
+
+
+def test_input_delayed_nameservers(benchmark):
+    def job():
+        result = ExperimentResult(
+            "ablation-inputdelay",
+            "Input-delayed nameservers during an input-induced outage")
+        before_on, during_on = _scenario(input_delayed=True)
+        before_off, during_off = _scenario(input_delayed=False)
+        result.metrics.update({
+            "with_inputdelay_available": float(during_on),
+            "without_inputdelay_available": float(during_off),
+        })
+        result.compare("platform healthy before the poisoned input",
+                       "resolvable", f"{before_on}/{before_off}",
+                       before_on and before_off)
+        result.compare("with input-delayed: degraded service, not outage",
+                       "answers from stale data", str(during_on),
+                       during_on)
+        result.compare("without input-delayed: total outage",
+                       "unresolvable", str(during_off), not during_off)
+        return result
+
+    result = benchmark.pedantic(job, rounds=1, iterations=1)
+    report(result)

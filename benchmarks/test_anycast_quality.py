@@ -1,0 +1,11 @@
+"""Benchmark: section 5.1 anycast proximity quality."""
+
+from conftest import report
+
+from repro.experiments import anycast_quality
+
+
+def test_anycast_quality(benchmark):
+    result = benchmark.pedantic(anycast_quality.run, rounds=1,
+                                iterations=1)
+    report(result)

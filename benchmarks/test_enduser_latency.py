@@ -1,0 +1,11 @@
+"""Benchmark: end-user resolution latency through the full stack."""
+
+from conftest import report
+
+from repro.experiments import enduser_latency
+
+
+def test_enduser_latency(benchmark):
+    result = benchmark.pedantic(enduser_latency.run, rounds=1,
+                                iterations=1)
+    report(result)

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Figure 10 (NXDOMAIN filter under attack)."""
+
+from conftest import report
+
+from repro.experiments import fig10_nxdomain
+
+
+def test_fig10_nxdomain(benchmark):
+    params = fig10_nxdomain.Fig10Params(
+        attack_rates=(0.0, 300.0, 550.0, 1_200.0, 2_400.0, 3_600.0,
+                      5_000.0, 8_000.0),
+        measure_seconds=10.0, warmup_seconds=4.0)
+    result = benchmark.pedantic(lambda: fig10_nxdomain.run(params),
+                                rounds=1, iterations=1)
+    report(result)

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Figure 11 (Two-Tier speedup CDFs)."""
+
+from conftest import report
+
+from repro.experiments import fig11_speedup
+
+
+def test_fig11_twotier(benchmark):
+    result = benchmark.pedantic(fig11_speedup.run, rounds=1, iterations=1)
+    report(result)

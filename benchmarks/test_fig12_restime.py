@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Figure 12 (absolute resolution times)."""
+
+from conftest import report
+
+from repro.experiments import fig12_restime
+
+
+def test_fig12_restime(benchmark):
+    result = benchmark.pedantic(fig12_restime.run, rounds=1, iterations=1)
+    report(result)

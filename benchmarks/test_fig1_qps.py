@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Figure 1 (weekly queries-per-second series)."""
+
+from conftest import report
+
+from repro.experiments import fig1_qps
+
+
+def test_fig1_qps(benchmark):
+    result = benchmark(fig1_qps.run)
+    report(result)

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Figure 2 (query skew by zones/ASNs/IPs)."""
+
+from conftest import report
+
+from repro.experiments import fig2_skew
+
+
+def test_fig2_skew(benchmark):
+    result = benchmark.pedantic(fig2_skew.run, rounds=1, iterations=1)
+    report(result)

@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Figure 3 (per-resolver avg/max qps CDFs)."""
+
+from conftest import report
+
+from repro.experiments import fig3_per_resolver
+
+
+def test_fig3_per_resolver(benchmark):
+    result = benchmark.pedantic(fig3_per_resolver.run, rounds=1,
+                                iterations=1)
+    report(result)

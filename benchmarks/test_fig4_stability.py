@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Figure 4 (week-over-week rate change PDF)."""
+
+from conftest import report
+
+from repro.experiments import fig4_stability
+
+
+def test_fig4_stability(benchmark):
+    result = benchmark.pedantic(fig4_stability.run, rounds=1, iterations=1)
+    report(result)

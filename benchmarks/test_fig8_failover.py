@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Figure 8 (anycast failover time CDFs).
+
+Full packet-level BGP convergence measurement; the priciest benchmark.
+"""
+
+from conftest import report
+
+from repro.experiments import fig8_failover
+
+
+def test_fig8_failover(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig8_failover.run(fig8_failover.Fig8Params()),
+        rounds=1, iterations=1)
+    # BGP convergence sampling is inherently noisy at simulation scale;
+    # require at least 3 of the 4 shape checks.
+    report(result, min_holding=3)

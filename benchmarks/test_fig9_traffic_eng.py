@@ -1,0 +1,11 @@
+"""Benchmark: validate Figure 9 (traffic-engineering decision tree)."""
+
+from conftest import report
+
+from repro.experiments import fig9_decision_tree
+
+
+def test_fig9_decision_tree(benchmark):
+    result = benchmark.pedantic(fig9_decision_tree.run, rounds=1,
+                                iterations=1)
+    report(result)

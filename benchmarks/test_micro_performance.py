@@ -1,0 +1,118 @@
+"""Microbenchmarks of the hot paths.
+
+These are honest throughput numbers for the simulator's building blocks
+— useful for sizing experiments and for catching performance
+regressions, not for comparison with production hardware.
+"""
+
+import random
+
+from repro.dnscore import (
+    A,
+    Message,
+    RType,
+    make_query,
+    make_response,
+    name,
+    parse_zone_text,
+)
+from repro.filters import (
+    HopCountFilter,
+    LoyaltyFilter,
+    QueryContext,
+    RateLimitFilter,
+    ScoringPipeline,
+)
+from repro.netsim import EventLoop
+from repro.server.engine import AuthoritativeEngine, ZoneStore
+
+ZONE = parse_zone_text(
+    "$ORIGIN perf.example.\n$TTL 300\n"
+    "@ IN SOA ns1.perf.example. admin.perf.example. 1 2 3 4 300\n"
+    "@ IN NS ns1.perf.example.\n"
+    + "".join(f"h{i} IN A 10.6.{i // 250}.{i % 250 + 1}\n"
+              for i in range(500)))
+
+
+def test_wire_encode_decode(benchmark):
+    query = make_query(1, name("h250.perf.example"), RType.A)
+    response = make_response(query)
+    rrset = ZONE.get_rrset(name("h250.perf.example"), RType.A)
+    response.add_rrset("answers", rrset)
+    wire = response.to_wire()
+
+    def roundtrip():
+        return Message.from_wire(response.to_wire())
+
+    parsed = benchmark(roundtrip)
+    assert parsed.answers
+    assert len(wire) < 100
+
+
+def test_zone_lookup_throughput(benchmark):
+    qnames = [name(f"h{i}.perf.example") for i in range(500)]
+    counter = [0]
+
+    def lookup():
+        counter[0] = (counter[0] + 1) % 500
+        return ZONE.lookup(qnames[counter[0]], RType.A)
+
+    result = benchmark(lookup)
+    assert result.rrset is not None
+
+
+def test_engine_respond_throughput(benchmark):
+    store = ZoneStore()
+    store.add(ZONE)
+    engine = AuthoritativeEngine(store)
+    query = make_query(7, name("h99.perf.example"), RType.A)
+    response = benchmark(lambda: engine.respond(query))
+    assert response.answers
+
+
+def test_scoring_pipeline_throughput(benchmark):
+    pipeline = ScoringPipeline([RateLimitFilter(), HopCountFilter(),
+                                LoyaltyFilter()])
+    clock = [0.0]
+    ctx_name = name("h1.perf.example")
+
+    def score():
+        clock[0] += 0.001
+        return pipeline.score(QueryContext("10.9.9.9", ctx_name, RType.A,
+                                           clock[0], ip_ttl=58))
+
+    breakdown = benchmark(score)
+    assert breakdown.total >= 0.0
+
+
+def test_event_loop_throughput(benchmark):
+    def run_10k():
+        loop = EventLoop()
+        for i in range(10_000):
+            loop.call_at(i * 0.001, lambda: None)
+        loop.run()
+        return loop.events_processed
+
+    assert benchmark(run_10k) == 10_000
+
+
+def test_bgp_convergence_cost(benchmark):
+    """Full origination + convergence on a mid-size topology."""
+    from repro.netsim import Network, build_internet, InternetParams
+
+    def converge():
+        rng = random.Random(4)
+        internet = build_internet(rng, InternetParams(n_tier1=4,
+                                                      n_tier2=16,
+                                                      n_stub=60))
+        loop = EventLoop()
+        network = Network(loop, internet.topology, rng)
+        network.build_speakers()
+        network.speaker(internet.stubs[0]).originate("bench-prefix")
+        loop.run_until(60)
+        return sum(1 for node in internet.topology.routers()
+                   if network.speaker(node.node_id)
+                   .best_route("bench-prefix"))
+
+    reached = benchmark.pedantic(converge, rounds=3, iterations=1)
+    assert reached > 50

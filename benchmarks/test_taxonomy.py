@@ -1,0 +1,11 @@
+"""Benchmark: the section 4.3.4 attack taxonomy vs its mitigations."""
+
+from conftest import report
+
+from repro.experiments import taxonomy
+
+
+def test_attack_taxonomy(benchmark):
+    result = benchmark.pedantic(lambda: taxonomy.run(phase_seconds=6.0),
+                                rounds=1, iterations=1)
+    report(result)

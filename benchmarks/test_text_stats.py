@@ -1,0 +1,10 @@
+"""Benchmark: regenerate the in-text statistics (sections 2/4.3.4/5.2)."""
+
+from conftest import report
+
+from repro.experiments import text_stats
+
+
+def test_text_stats(benchmark):
+    result = benchmark.pedantic(text_stats.run, rounds=1, iterations=1)
+    report(result)

@@ -1,0 +1,173 @@
+#!/usr/bin/env python3
+"""DDoS drill: the section 4.3 attack taxonomy against one nameserver.
+
+Drives legitimate resolver traffic at a nameserver running the full
+query-scoring pipeline (rate limit, allowlist, NXDOMAIN, hop-count,
+loyalty filters), then launches each attack class in turn and reports
+how much legitimate traffic survived and which filter did the work.
+Finishes with the anycast traffic-engineering decision an operator
+would take (Figure 9).
+
+Run:  python examples/ddos_mitigation.py
+"""
+
+import random
+
+from repro.dnscore import RType, make_query, name, parse_zone_text
+from repro.filters import (
+    AllowlistConfig,
+    AllowlistFilter,
+    HopCountFilter,
+    LoyaltyFilter,
+    NXDomainConfig,
+    NXDomainFilter,
+    QueuePolicy,
+    RateLimitFilter,
+    ScoringPipeline,
+)
+from repro.netsim import Datagram, EventLoop
+from repro.platform import AttackSituation, decide
+from repro.server import (
+    AuthoritativeEngine,
+    MachineConfig,
+    NameserverMachine,
+    QueryEnvelope,
+    ZoneStore,
+)
+from repro.workload import (
+    DirectQueryAttack,
+    RandomSubdomainAttack,
+    SpoofedIdentity,
+    SpoofedSourceAttack,
+)
+
+ZONE = """\
+$ORIGIN shop.example.
+$TTL 300
+@ IN SOA ns1.shop.example. admin.shop.example. 1 7200 3600 1209600 300
+@ IN NS ns1.shop.example.
+"""
+N_HOSTS = 300
+N_RESOLVERS = 30
+LEGIT_RATE = 300.0
+ATTACK_RATE = 3_000.0
+PHASE_SECONDS = 15.0
+
+
+def build_machine(loop):
+    store = ZoneStore()
+    text = ZONE + "".join(f"h{i} IN A 10.2.{i // 250}.{i % 250 + 1}\n"
+                          for i in range(N_HOSTS))
+    store.add(parse_zone_text(text))
+    resolvers = [f"10.50.0.{i + 1}" for i in range(N_RESOLVERS)]
+    rate_filter = RateLimitFilter()
+    allow_filter = AllowlistFilter(
+        AllowlistConfig(activate_qps=800.0, activate_unique_sources=60),
+        allowlist=set(resolvers))
+    nxd_filter = NXDomainFilter(store, NXDomainConfig(trigger_count=80))
+    hop_filter = HopCountFilter()
+    loyalty_filter = LoyaltyFilter()
+    for address in resolvers:
+        rate_filter.prime(address, LEGIT_RATE / N_RESOLVERS)
+        hop_filter.prime(address, 58)
+        loyalty_filter.prime(address, 0.0)
+    pipeline = ScoringPipeline([rate_filter, allow_filter, nxd_filter,
+                                hop_filter, loyalty_filter])
+    machine = NameserverMachine(
+        loop, "drill-ns", AuthoritativeEngine(store), pipeline,
+        QueuePolicy(),
+        MachineConfig(compute_capacity_qps=1_500.0,
+                      io_capacity_qps=20_000.0,
+                      staleness_threshold=float("inf")))
+    return machine, resolvers, pipeline
+
+
+def main() -> None:
+    rng = random.Random(7)
+    loop = EventLoop()
+    machine, resolvers, pipeline = build_machine(loop)
+    valid_names = [name(f"h{i}.shop.example") for i in range(N_HOSTS)]
+    msg_id = [0]
+
+    def legit_query():
+        msg_id[0] = (msg_id[0] + 1) & 0xFFFF
+        query = make_query(msg_id[0], rng.choice(valid_names), RType.A)
+        machine.receive_query(Datagram(
+            src=rng.choice(resolvers), dst="drill",
+            payload=QueryEnvelope(query), ip_ttl=58,
+            src_port=rng.randint(1024, 65535)))
+
+    def legit_stream():
+        if not stop[0]:
+            legit_query()
+            loop.call_later(rng.expovariate(LEGIT_RATE), legit_stream)
+
+    stop = [False]
+    loop.call_later(0.001, legit_stream)
+
+    def phase(title, attack_factory):
+        start_legit = machine.metrics.legit_received
+        start_answered = machine.metrics.legit_answered
+        start_attack_answered = machine.metrics.attack_answered
+        start_attack = machine.metrics.attack_received
+        attack = attack_factory()
+        if attack is not None:
+            attack.start()
+        loop.run_until(loop.now + PHASE_SECONDS)
+        if attack is not None:
+            attack.stop()
+        legit = machine.metrics.legit_received - start_legit
+        answered = machine.metrics.legit_answered - start_answered
+        attack_recv = machine.metrics.attack_received - start_attack
+        attack_ans = machine.metrics.attack_answered \
+            - start_attack_answered
+        goodput = answered / legit if legit else 0.0
+        attack_srv = attack_ans / attack_recv if attack_recv else 0.0
+        print(f"  {title:<38} legit answered: {goodput:6.1%}   "
+              f"attack served: {attack_srv:6.1%}")
+
+    print("Phase 0: baseline, no attack")
+    phase("baseline", lambda: None)
+
+    print("\nPhase 1: direct query attack (8 sources, 10x legit rate)")
+    phase("direct query -> rate-limit filter", lambda: DirectQueryAttack(
+        loop, rng, machine.receive_query, ATTACK_RATE, PHASE_SECONDS,
+        target="drill", qnames=valid_names, source_count=8))
+
+    print("\nPhase 2: wide botnet (1,000 sources) -> allowlist filter")
+    phase("botnet -> allowlist filter", lambda: DirectQueryAttack(
+        loop, rng, machine.receive_query, ATTACK_RATE, PHASE_SECONDS,
+        target="drill", qnames=valid_names, source_count=1_000))
+
+    print("\nPhase 3: random-subdomain attack through real resolvers")
+    phase("random subdomain -> NXDOMAIN filter",
+          lambda: RandomSubdomainAttack(
+              loop, rng, machine.receive_query, ATTACK_RATE,
+              PHASE_SECONDS, target="drill",
+              victim_zone=name("shop.example"), sources=resolvers,
+              source_ip_ttls={r: 58 for r in resolvers}))
+
+    print("\nPhase 4: spoofed allowlisted sources (wrong hop count)")
+    phase("spoofed IP -> hop-count filter", lambda: SpoofedSourceAttack(
+        loop, rng, machine.receive_query, ATTACK_RATE, PHASE_SECONDS,
+        target="drill", qnames=valid_names,
+        identities=[SpoofedIdentity(r) for r in resolvers[:10]],
+        attacker_ip_ttl=41))
+
+    stop[0] = True
+    print("\nPer-filter penalties assigned:")
+    for f in pipeline.filters:
+        penalized = getattr(f, "penalized", None)
+        if penalized is not None:
+            print(f"  {f.name:<12} {penalized:>8} queries penalized")
+
+    print("\nOperator decision (Figure 9) for this compute-saturating, "
+          "uncongested attack:")
+    action = decide(AttackSituation(
+        resolvers_dosed=True, peering_links_congested=False,
+        compute_saturated=True, can_spread_attack=True))
+    print(f"  -> {action.value}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,35 @@
+"""repro: a reproduction of "Akamai DNS: Providing Authoritative Answers
+to the World's Queries" (SIGCOMM 2020).
+
+Subpackages:
+
+* :mod:`repro.dnscore`     — from-scratch DNS protocol stack.
+* :mod:`repro.netsim`      — discrete-event Internet/BGP simulator.
+* :mod:`repro.server`      — authoritative nameserver runtime and PoPs.
+* :mod:`repro.filters`     — query scoring and prioritization.
+* :mod:`repro.resolver`    — recursive resolver simulation.
+* :mod:`repro.control`     — mapping, portal, pub/sub, recovery.
+* :mod:`repro.platform`    — the assembled Akamai DNS platform.
+* :mod:`repro.workload`    — calibrated workload and attack generators.
+* :mod:`repro.analysis`    — statistics and experiment reporting.
+* :mod:`repro.experiments` — one module per paper figure.
+"""
+
+__version__ = "1.0.0"
+
+from . import (  # noqa: F401
+    analysis,
+    control,
+    dnscore,
+    filters,
+    netsim,
+    platform,
+    resolver,
+    server,
+    workload,
+)
+
+__all__ = [
+    "analysis", "control", "dnscore", "filters", "netsim", "platform",
+    "resolver", "server", "workload", "__version__",
+]

@@ -1,0 +1,91 @@
+"""Experiment result containers and text rendering.
+
+Every experiment module returns an :class:`ExperimentResult`: named
+series (the figure's lines), headline metrics, and the paper's expected
+values alongside the measured ones, so the harness can print a
+paper-vs-measured table for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(slots=True)
+class Comparison:
+    """One paper-vs-measured row."""
+
+    metric: str
+    paper: str
+    measured: str
+    holds: bool
+
+    def row(self) -> str:
+        mark = "ok " if self.holds else "MISS"
+        return f"  [{mark}] {self.metric:<52} paper={self.paper:<18} " \
+               f"measured={self.measured}"
+
+
+@dataclass(slots=True)
+class ExperimentResult:
+    """The output of one figure/table reproduction."""
+
+    experiment_id: str
+    title: str
+    series: dict[str, tuple] = field(default_factory=dict)
+    metrics: dict[str, float] = field(default_factory=dict)
+    comparisons: list[Comparison] = field(default_factory=list)
+
+    def compare(self, metric: str, paper: str, measured: str,
+                holds: bool) -> None:
+        self.comparisons.append(Comparison(metric, paper, measured, holds))
+
+    @property
+    def all_hold(self) -> bool:
+        return all(c.holds for c in self.comparisons)
+
+    def render(self) -> str:
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        for key, value in self.metrics.items():
+            lines.append(f"  {key} = {value:.6g}")
+        for comparison in self.comparisons:
+            lines.append(comparison.row())
+        return "\n".join(lines)
+
+    def to_dict(self, *, include_series: bool = False) -> dict:
+        """JSON-serializable form for external tooling."""
+        out: dict = {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "all_hold": self.all_hold,
+            "metrics": dict(self.metrics),
+            "comparisons": [
+                {"metric": c.metric, "paper": c.paper,
+                 "measured": c.measured, "holds": c.holds}
+                for c in self.comparisons
+            ],
+        }
+        if include_series:
+            out["series"] = {
+                label: [list(map(float, axis)) for axis in series]
+                for label, series in self.series.items()
+                if len(series) == 2
+                and all(_is_numeric_sequence(axis) for axis in series)
+            }
+        return out
+
+
+def _is_numeric_sequence(axis) -> bool:
+    try:
+        return all(isinstance(float(v), float) for v in axis)
+    except (TypeError, ValueError):
+        return False
+
+
+def render_results(results: list[ExperimentResult]) -> str:
+    """A combined report across experiments."""
+    blocks = [r.render() for r in results]
+    holds = sum(r.all_hold for r in results)
+    blocks.append(f"== summary: {holds}/{len(results)} experiments match "
+                  f"the paper's shape ==")
+    return "\n\n".join(blocks)

@@ -1,0 +1,47 @@
+"""Supporting control-plane components (paper Figure 5).
+
+Publish/subscribe metadata delivery, mapping intelligence, the
+management portal, and the monitoring/automated-recovery system with its
+quorum-limited suspension coordinator.
+"""
+
+from .consensus import QuorumSuspensionCoordinator
+from .mapping import (
+    CDN_ANSWER_TTL,
+    EdgeServer,
+    GTMProperty,
+    MapSnapshot,
+    MappingIntelligence,
+    MappingView,
+    nearest_edges,
+)
+from .portal import (
+    Enterprise,
+    ManagementPortal,
+    PortalLimits,
+    ValidationError,
+)
+from .pubsub import (
+    CDN_CHANNEL,
+    MULTICAST_CHANNEL,
+    ChannelProfile,
+    MetadataBus,
+    MetadataMessage,
+)
+from .recovery import Alert, FleetSnapshot, RecoverySystem
+from .reporting import (
+    TrafficCollector,
+    ZoneCounter,
+    ZoneTrafficReport,
+    ZoneTrafficSample,
+)
+
+__all__ = [
+    "Alert", "CDN_ANSWER_TTL", "CDN_CHANNEL", "ChannelProfile",
+    "EdgeServer", "Enterprise", "FleetSnapshot", "GTMProperty",
+    "MULTICAST_CHANNEL", "ManagementPortal", "MapSnapshot",
+    "MappingIntelligence", "MappingView", "MetadataBus", "MetadataMessage",
+    "PortalLimits", "QuorumSuspensionCoordinator", "RecoverySystem",
+    "TrafficCollector", "ValidationError", "ZoneCounter",
+    "ZoneTrafficReport", "ZoneTrafficSample", "nearest_edges",
+]

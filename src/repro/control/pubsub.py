@@ -1,0 +1,136 @@
+"""Metadata delivery: the Communication/Control system (paper section 3.2).
+
+Two publish/subscribe channels with different delivery characteristics,
+matching the production split:
+
+* ``CDN_CHANNEL`` — zone files and configuration, delivered over the CDN
+  by a HTTP-based protocol: reliable but with seconds-scale latency.
+* ``MULTICAST_CHANNEL`` — mapping intelligence, delivered over the
+  overlay multicast network in near real time (typically < 1 s).
+
+Subscribers can be partitioned (isolated connectivity failures,
+section 4.2.2): deliveries to a partitioned subscriber queue up and
+flush when connectivity returns, which is exactly the stale-state window
+the staleness checks must catch. Input-delayed subscribers receive every
+message with a fixed extra delay (section 4.2.3).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Protocol
+
+from ..netsim.clock import EventLoop
+
+CDN_CHANNEL = "cdn"
+MULTICAST_CHANNEL = "multicast"
+
+
+@dataclass(frozen=True, slots=True)
+class MetadataMessage:
+    """One published metadata update."""
+
+    channel: str
+    kind: str           # e.g. "zone", "mapping", "config"
+    key: str            # e.g. zone origin or map name
+    payload: object
+    published_at: float
+    sequence: int
+
+
+class Subscriber(Protocol):
+    """Anything that consumes metadata messages."""
+
+    def receive_metadata_message(self, message: MetadataMessage) -> None:
+        """Handle one delivered message."""
+
+
+@dataclass(slots=True)
+class _Subscription:
+    subscriber: Subscriber
+    extra_delay: float = 0.0
+    partitioned: bool = False
+    held: list[MetadataMessage] = field(default_factory=list)
+    delivered: int = 0
+
+
+@dataclass(slots=True)
+class ChannelProfile:
+    """Delivery latency model for one channel."""
+
+    min_delay: float
+    max_delay: float
+
+
+DEFAULT_PROFILES = {
+    CDN_CHANNEL: ChannelProfile(2.0, 20.0),
+    MULTICAST_CHANNEL: ChannelProfile(0.1, 0.9),
+}
+
+
+class MetadataBus:
+    """The publish/subscribe fabric connecting control systems to servers."""
+
+    def __init__(self, loop: EventLoop, rng: random.Random,
+                 profiles: dict[str, ChannelProfile] | None = None) -> None:
+        self.loop = loop
+        self.rng = rng
+        self.profiles = dict(profiles or DEFAULT_PROFILES)
+        self._subs: dict[str, list[_Subscription]] = {}
+        self._sequence = 0
+        self.published = 0
+
+    def subscribe(self, channel: str, subscriber: Subscriber,
+                  *, extra_delay: float = 0.0) -> None:
+        """Register a subscriber; ``extra_delay`` models input-delayed
+        nameservers."""
+        self._subs.setdefault(channel, []).append(
+            _Subscription(subscriber, extra_delay))
+
+    def publish(self, channel: str, kind: str, key: str,
+                payload: object) -> MetadataMessage:
+        """Publish one update to every subscriber of ``channel``."""
+        if channel not in self.profiles:
+            raise KeyError(f"unknown channel {channel!r}")
+        self._sequence += 1
+        self.published += 1
+        message = MetadataMessage(channel, kind, key, payload,
+                                  self.loop.now, self._sequence)
+        profile = self.profiles[channel]
+        for sub in self._subs.get(channel, []):
+            delay = (self.rng.uniform(profile.min_delay, profile.max_delay)
+                     + sub.extra_delay)
+            self.loop.call_later(delay,
+                                 lambda s=sub, m=message: self._deliver(s, m))
+        return message
+
+    def _deliver(self, sub: _Subscription, message: MetadataMessage) -> None:
+        if sub.partitioned:
+            sub.held.append(message)
+            return
+        sub.delivered += 1
+        sub.subscriber.receive_metadata_message(message)
+
+    # -- failure injection -----------------------------------------------------
+
+    def set_partitioned(self, subscriber: Subscriber,
+                        partitioned: bool) -> None:
+        """Cut (or restore) a subscriber's metadata connectivity.
+
+        On restore, held messages flush immediately — the "catching up"
+        window of section 4.2.2.
+        """
+        for subs in self._subs.values():
+            for sub in subs:
+                if sub.subscriber is subscriber:
+                    sub.partitioned = partitioned
+                    if not partitioned and sub.held:
+                        held, sub.held = sub.held, []
+                        for message in held:
+                            sub.delivered += 1
+                            subscriber.receive_metadata_message(message)
+
+    def delivered_count(self, subscriber: Subscriber) -> int:
+        return sum(sub.delivered for subs in self._subs.values()
+                   for sub in subs if sub.subscriber is subscriber)

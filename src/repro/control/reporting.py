@@ -1,0 +1,150 @@
+"""Data Collection/Aggregation: traffic reports for enterprises.
+
+The last box of paper Figure 5: metrics published by nameservers are
+compiled into reports displayed to enterprises through the Management
+Portal. Nameservers publish per-zone counters periodically; the
+collector aggregates them into per-enterprise traffic reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..dnscore.name import Name
+from ..dnscore.message import Message
+from ..dnscore.rrtypes import RCode
+from ..netsim.clock import EventLoop, PeriodicTask
+from ..server.machine import NameserverMachine
+
+
+@dataclass(slots=True)
+class ZoneTrafficSample:
+    """One machine's per-zone counters for one reporting interval."""
+
+    machine_id: str
+    zone: Name
+    window_start: float
+    window_end: float
+    queries: int = 0
+    nxdomains: int = 0
+
+
+@dataclass(slots=True)
+class ZoneTrafficReport:
+    """Aggregated view of one zone's traffic over an interval."""
+
+    zone: Name
+    window_start: float
+    window_end: float
+    queries: int = 0
+    nxdomains: int = 0
+    reporting_machines: int = 0
+
+    @property
+    def qps(self) -> float:
+        window = self.window_end - self.window_start
+        return self.queries / window if window > 0 else 0.0
+
+    @property
+    def nxdomain_fraction(self) -> float:
+        return self.nxdomains / self.queries if self.queries else 0.0
+
+
+class ZoneCounter:
+    """Per-zone counting tap on a nameserver's response stream."""
+
+    def __init__(self, machine: NameserverMachine) -> None:
+        self.machine = machine
+        self._queries: dict[Name, int] = {}
+        self._nxdomains: dict[Name, int] = {}
+        machine.engine.response_observers.append(self._observe)
+
+    def _observe(self, query: Message, response: Message) -> None:
+        try:
+            qname = query.question.qname
+        except Exception:
+            return
+        zone = self.machine.engine.store.find(qname)
+        if zone is None:
+            return
+        self._queries[zone.origin] = \
+            self._queries.get(zone.origin, 0) + 1
+        if response.rcode == RCode.NXDOMAIN:
+            self._nxdomains[zone.origin] = \
+                self._nxdomains.get(zone.origin, 0) + 1
+
+    def drain(self, window_start: float,
+              window_end: float) -> list[ZoneTrafficSample]:
+        """Emit and reset the counters for this interval."""
+        samples = []
+        for zone, count in self._queries.items():
+            samples.append(ZoneTrafficSample(
+                self.machine.machine_id, zone, window_start, window_end,
+                queries=count,
+                nxdomains=self._nxdomains.get(zone, 0)))
+        self._queries.clear()
+        self._nxdomains.clear()
+        return samples
+
+
+class TrafficCollector:
+    """Aggregates zone counters across the fleet on a reporting period."""
+
+    def __init__(self, loop: EventLoop, *, period: float = 60.0,
+                 history_windows: int = 64) -> None:
+        self.loop = loop
+        self.period = period
+        self.history_windows = history_windows
+        self._counters: list[ZoneCounter] = []
+        #: zone -> list of reports, newest last
+        self.reports: dict[Name, list[ZoneTrafficReport]] = {}
+        self._window_start = loop.now
+        self._task = PeriodicTask(loop, period, self.collect,
+                                  start_delay=period)
+
+    def register(self, machine: NameserverMachine) -> ZoneCounter:
+        counter = ZoneCounter(machine)
+        self._counters.append(counter)
+        return counter
+
+    def stop(self) -> None:
+        self._task.stop()
+
+    def collect(self) -> list[ZoneTrafficReport]:
+        """One reporting cycle: drain every counter and aggregate."""
+        window_start, window_end = self._window_start, self.loop.now
+        self._window_start = window_end
+        aggregated: dict[Name, ZoneTrafficReport] = {}
+        for counter in self._counters:
+            for sample in counter.drain(window_start, window_end):
+                report = aggregated.get(sample.zone)
+                if report is None:
+                    report = ZoneTrafficReport(sample.zone, window_start,
+                                               window_end)
+                    aggregated[sample.zone] = report
+                report.queries += sample.queries
+                report.nxdomains += sample.nxdomains
+                report.reporting_machines += 1
+        for zone, report in aggregated.items():
+            history = self.reports.setdefault(zone, [])
+            history.append(report)
+            del history[:-self.history_windows]
+        return list(aggregated.values())
+
+    def latest(self, zone: Name) -> ZoneTrafficReport | None:
+        history = self.reports.get(zone)
+        return history[-1] if history else None
+
+    def total_queries(self, zone: Name) -> int:
+        return sum(r.queries for r in self.reports.get(zone, []))
+
+    def enterprise_report(self, origins: list[Name]) -> dict[str, float]:
+        """The roll-up an enterprise sees in the portal."""
+        queries = sum(self.total_queries(origin) for origin in origins)
+        nxd = sum(sum(r.nxdomains for r in self.reports.get(origin, []))
+                  for origin in origins)
+        return {
+            "total_queries": float(queries),
+            "nxdomain_fraction": nxd / queries if queries else 0.0,
+            "zones": float(len(origins)),
+        }

@@ -1,0 +1,71 @@
+"""DNS protocol substrate: names, records, messages, zones, transfers.
+
+A from-scratch RFC 1035 implementation sized for what a large
+authoritative platform serves. Everything the simulator exchanges rides
+through this package's real wire codec.
+"""
+
+from .edns import ClientSubnetOption, EDNSOptions
+from .ixfr import (
+    ZoneDiff,
+    ZoneHistory,
+    apply_diff,
+    apply_ixfr_stream,
+    diff_zones,
+    ixfr_response_stream,
+    make_ixfr_query,
+)
+from .errors import (
+    CompressionError,
+    DNSError,
+    NameError_,
+    TransferError,
+    TruncatedMessageError,
+    WireFormatError,
+    ZoneError,
+    ZoneFileError,
+)
+from .message import Flags, Message, make_query, make_response
+from .name import ROOT, Name, name
+from .rdata import (
+    AAAA,
+    CAA,
+    CNAME,
+    MX,
+    NS,
+    PTR,
+    SOA,
+    SRV,
+    TXT,
+    A,
+    GenericRdata,
+    Rdata,
+)
+from .records import Question, ResourceRecord, RRset, make_rrset
+from .rrtypes import Opcode, RClass, RCode, RType
+from .transfer import (
+    axfr_response_stream,
+    make_axfr_query,
+    needs_transfer,
+    serial_gt,
+    transfer_zone,
+    zone_from_axfr,
+)
+from .wire import WireReader, WireWriter
+from .zone import LookupResult, LookupStatus, Zone, make_zone
+from .zonefile import parse_ttl, parse_zone_text, serialize_zone
+
+__all__ = [
+    "A", "AAAA", "CAA", "CNAME", "ClientSubnetOption", "CompressionError",
+    "DNSError", "EDNSOptions", "Flags", "GenericRdata", "LookupResult",
+    "LookupStatus", "MX", "Message", "NS", "Name", "NameError_", "Opcode",
+    "PTR", "Question", "RClass", "RCode", "ROOT", "RRset", "RType", "Rdata",
+    "ResourceRecord", "SOA", "SRV", "TXT", "TransferError",
+    "TruncatedMessageError", "WireFormatError", "WireReader", "WireWriter",
+    "Zone", "ZoneError", "ZoneFileError", "axfr_response_stream",
+    "make_axfr_query", "make_query", "make_response", "make_rrset",
+    "make_zone", "name", "needs_transfer", "parse_ttl", "parse_zone_text",
+    "serial_gt", "serialize_zone", "transfer_zone", "zone_from_axfr",
+    "ZoneDiff", "ZoneHistory", "apply_diff", "apply_ixfr_stream",
+    "diff_zones", "ixfr_response_stream", "make_ixfr_query",
+]

@@ -1,0 +1,246 @@
+"""Incremental zone transfer in the IXFR style (RFC 1995).
+
+Enterprise zones change often but little; shipping whole zones for every
+serial bump wastes the metadata channel. IXFR ships per-serial diffs:
+the response's answer section is framed by the new SOA and contains, per
+serial step, the old SOA followed by deletions then the new SOA followed
+by additions. A server that cannot satisfy the requested range falls
+back to a full AXFR-style transfer, exactly as the RFC prescribes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .errors import TransferError
+from .message import Flags, Message, make_query
+from .name import Name
+from .rdata import SOA
+from .records import ResourceRecord
+from .rrtypes import Opcode, RCode, RType
+from .transfer import axfr_response_stream, serial_gt
+from .zone import Zone
+
+
+@dataclass(slots=True)
+class ZoneDiff:
+    """The record-level difference between two zone versions."""
+
+    origin: Name
+    old_serial: int
+    new_serial: int
+    deletions: list[ResourceRecord] = field(default_factory=list)
+    additions: list[ResourceRecord] = field(default_factory=list)
+
+    @property
+    def change_count(self) -> int:
+        return len(self.deletions) + len(self.additions)
+
+
+def _records_of(zone: Zone) -> dict[tuple, ResourceRecord]:
+    out = {}
+    for rrset in zone.iter_rrsets():
+        for record in rrset.records:
+            key = (record.name, record.rtype, repr(record.rdata))
+            out[key] = record
+    return out
+
+
+def _soa_record(zone: Zone) -> ResourceRecord:
+    rrset = zone.soa
+    if rrset is None:
+        raise TransferError(f"zone {zone.origin} has no SOA")
+    return rrset.records[0]
+
+
+def diff_zones(old: Zone, new: Zone) -> ZoneDiff:
+    """Compute the IXFR diff taking ``old`` to ``new``."""
+    if old.origin != new.origin:
+        raise TransferError("cannot diff zones with different origins")
+    old_records = _records_of(old)
+    new_records = _records_of(new)
+    diff = ZoneDiff(old.origin, old.serial, new.serial)
+    for key, record in old_records.items():
+        if record.rtype == RType.SOA:
+            continue
+        if key not in new_records:
+            diff.deletions.append(record)
+    for key, record in new_records.items():
+        if record.rtype == RType.SOA:
+            continue
+        if key not in old_records:
+            diff.additions.append(record)
+    return diff
+
+
+def apply_diff(zone: Zone, diff: ZoneDiff) -> Zone:
+    """A new Zone equal to ``zone`` with ``diff`` applied."""
+    if zone.origin != diff.origin:
+        raise TransferError("diff origin mismatch")
+    if zone.serial != diff.old_serial:
+        raise TransferError(
+            f"diff expects serial {diff.old_serial}, zone has "
+            f"{zone.serial}")
+    updated = Zone(zone.origin)
+    deleted = {(r.name, r.rtype, repr(r.rdata)) for r in diff.deletions}
+    old_soa = _soa_record(zone)
+    soa_rdata = old_soa.rdata
+    assert isinstance(soa_rdata, SOA)
+    new_soa = ResourceRecord(
+        old_soa.name, old_soa.rtype, old_soa.rclass, old_soa.ttl,
+        SOA(soa_rdata.mname, soa_rdata.rname, diff.new_serial,
+            soa_rdata.refresh, soa_rdata.retry, soa_rdata.expire,
+            soa_rdata.minimum))
+    updated.add_record(new_soa)
+    for rrset in zone.iter_rrsets():
+        for record in rrset.records:
+            if record.rtype == RType.SOA:
+                continue
+            if (record.name, record.rtype, repr(record.rdata)) in deleted:
+                continue
+            updated.add_record(record)
+    for record in diff.additions:
+        updated.add_record(record)
+    return updated
+
+
+class ZoneHistory:
+    """Retained zone versions, the server side of IXFR."""
+
+    def __init__(self, max_versions: int = 16) -> None:
+        self.max_versions = max_versions
+        self._versions: dict[Name, list[Zone]] = {}
+
+    def record(self, zone: Zone) -> None:
+        """Retain a new version (same-serial re-records are ignored)."""
+        versions = self._versions.setdefault(zone.origin, [])
+        if versions and versions[-1].serial == zone.serial:
+            return
+        if versions and not serial_gt(zone.serial, versions[-1].serial):
+            raise TransferError(
+                f"serial {zone.serial} does not advance past "
+                f"{versions[-1].serial}")
+        versions.append(zone)
+        del versions[:-self.max_versions]
+
+    def latest(self, origin: Name) -> Zone | None:
+        versions = self._versions.get(origin)
+        return versions[-1] if versions else None
+
+    def diffs_since(self, origin: Name,
+                    from_serial: int) -> list[ZoneDiff] | None:
+        """Diff chain from ``from_serial`` to the latest, or None when
+        the history no longer reaches back that far."""
+        versions = self._versions.get(origin, [])
+        start = next((i for i, z in enumerate(versions)
+                      if z.serial == from_serial), None)
+        if start is None:
+            return None
+        return [diff_zones(versions[i], versions[i + 1])
+                for i in range(start, len(versions) - 1)]
+
+
+def make_ixfr_query(msg_id: int, origin: Name,
+                    current_serial: int) -> Message:
+    """An IXFR query carrying the client's current SOA in authority."""
+    query = make_query(msg_id, origin, RType.AXFR)
+    # We reuse the AXFR qtype enum slot for transport simplicity and
+    # signal IXFR via the authority SOA, which is what servers key on.
+    query.authority.append(ResourceRecord(
+        origin, RType.SOA, query.question.qclass, 0,
+        SOA(origin, origin, current_serial, 0, 0, 0, 0)))
+    return query
+
+
+def ixfr_response_stream(history: ZoneHistory,
+                         query: Message) -> list[Message]:
+    """Answer an incremental transfer, falling back to full transfer.
+
+    Returns a single-message diff stream when the history covers the
+    client's serial; otherwise the full AXFR stream of the latest
+    version.
+    """
+    origin = query.question.qname
+    latest = history.latest(origin)
+    if latest is None:
+        raise TransferError(f"no history for {origin}")
+    client_serial = None
+    for record in query.authority:
+        if record.rtype == RType.SOA:
+            rdata = record.rdata
+            assert isinstance(rdata, SOA)
+            client_serial = rdata.serial
+    if client_serial is None:
+        return list(axfr_response_stream(latest, query))
+    if client_serial == latest.serial:
+        # Up to date: single SOA means "no changes".
+        message = Message(msg_id=query.msg_id,
+                          flags=Flags(qr=True, aa=True,
+                                      opcode=Opcode.QUERY,
+                                      rcode=RCode.NOERROR),
+                          questions=list(query.questions))
+        message.answers = [_soa_record(latest)]
+        return [message]
+    diffs = history.diffs_since(origin, client_serial)
+    if diffs is None:
+        return list(axfr_response_stream(latest, query))
+    versions = {z.serial: z for z in history._versions[origin]}
+    message = Message(msg_id=query.msg_id,
+                      flags=Flags(qr=True, aa=True, opcode=Opcode.QUERY,
+                                  rcode=RCode.NOERROR),
+                      questions=list(query.questions))
+    message.answers.append(_soa_record(latest))
+    for diff in diffs:
+        message.answers.append(_soa_record(versions[diff.old_serial]))
+        message.answers.extend(diff.deletions)
+        message.answers.append(_soa_record(versions[diff.new_serial]))
+        message.answers.extend(diff.additions)
+    message.answers.append(_soa_record(latest))
+    return [message]
+
+
+def apply_ixfr_stream(zone: Zone, messages: list[Message]) -> Zone:
+    """Client side: apply a received IXFR stream to the local zone."""
+    records = [r for m in messages for r in m.answers]
+    if not records:
+        raise TransferError("empty IXFR stream")
+    if len(records) == 1:
+        if records[0].rtype != RType.SOA:
+            raise TransferError("single-record stream must be an SOA")
+        return zone  # up to date
+    first = records[0]
+    if first.rtype != RType.SOA:
+        raise TransferError("IXFR stream must start with the new SOA")
+    # Full-transfer fallback detection: second record is NOT an SOA.
+    if records[1].rtype != RType.SOA:
+        from .transfer import zone_from_axfr
+        return zone_from_axfr(zone.origin, messages)
+    current = zone
+    index = 1
+    final_soa = records[-1].rdata
+    assert isinstance(final_soa, SOA)
+    while index < len(records) - 1:
+        old_soa = records[index].rdata
+        assert isinstance(old_soa, SOA)
+        index += 1
+        deletions = []
+        while index < len(records) and records[index].rtype != RType.SOA:
+            deletions.append(records[index])
+            index += 1
+        if index >= len(records):
+            raise TransferError("IXFR diff missing its new SOA")
+        new_soa = records[index].rdata
+        assert isinstance(new_soa, SOA)
+        index += 1
+        additions = []
+        while index < len(records) and records[index].rtype != RType.SOA:
+            additions.append(records[index])
+            index += 1
+        diff = ZoneDiff(zone.origin, old_soa.serial, new_soa.serial,
+                        deletions, additions)
+        current = apply_diff(current, diff)
+    if current.serial != final_soa.serial:
+        raise TransferError(
+            f"IXFR ended at serial {current.serial}, expected "
+            f"{final_soa.serial}")
+    return current

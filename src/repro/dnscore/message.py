@@ -1,0 +1,239 @@
+"""DNS messages: header, flags, sections, and the full wire codec.
+
+This is the unit exchanged between resolvers and authoritative nameservers
+throughout the simulator. Both the query path (resolver -> nameserver) and
+the response path use real RFC 1035 encoding, so every component exercises
+the same parsing logic a production server would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .edns import EDNSOptions
+from .errors import WireFormatError
+from .name import Name
+from .records import Question, ResourceRecord, RRset
+from .rrtypes import Opcode, RClass, RCode, RType
+from .wire import WireReader, WireWriter
+
+_FLAG_QR = 0x8000
+_FLAG_AA = 0x0400
+_FLAG_TC = 0x0200
+_FLAG_RD = 0x0100
+_FLAG_RA = 0x0080
+
+
+@dataclass(slots=True)
+class Flags:
+    """The header flag bits (QR/AA/TC/RD/RA) plus opcode and rcode."""
+
+    qr: bool = False
+    opcode: Opcode = Opcode.QUERY
+    aa: bool = False
+    tc: bool = False
+    rd: bool = False
+    ra: bool = False
+    rcode: RCode = RCode.NOERROR
+
+    def to_wire(self) -> int:
+        value = 0
+        if self.qr:
+            value |= _FLAG_QR
+        value |= (int(self.opcode) & 0xF) << 11
+        if self.aa:
+            value |= _FLAG_AA
+        if self.tc:
+            value |= _FLAG_TC
+        if self.rd:
+            value |= _FLAG_RD
+        if self.ra:
+            value |= _FLAG_RA
+        value |= int(self.rcode) & 0xF
+        return value
+
+    @classmethod
+    def from_wire(cls, value: int) -> "Flags":
+        try:
+            opcode = Opcode((value >> 11) & 0xF)
+        except ValueError:
+            raise WireFormatError(f"unknown opcode {(value >> 11) & 0xF}") from None
+        try:
+            rcode = RCode(value & 0xF)
+        except ValueError:
+            raise WireFormatError(f"unknown rcode {value & 0xF}") from None
+        return cls(qr=bool(value & _FLAG_QR), opcode=opcode,
+                   aa=bool(value & _FLAG_AA), tc=bool(value & _FLAG_TC),
+                   rd=bool(value & _FLAG_RD), ra=bool(value & _FLAG_RA),
+                   rcode=rcode)
+
+
+@dataclass(slots=True)
+class Message:
+    """A complete DNS message with question/answer/authority/additional."""
+
+    msg_id: int = 0
+    flags: Flags = field(default_factory=Flags)
+    questions: list[Question] = field(default_factory=list)
+    answers: list[ResourceRecord] = field(default_factory=list)
+    authority: list[ResourceRecord] = field(default_factory=list)
+    additional: list[ResourceRecord] = field(default_factory=list)
+    edns: EDNSOptions | None = None
+
+    @property
+    def question(self) -> Question:
+        """The sole question; raises if the count is not exactly one."""
+        if len(self.questions) != 1:
+            raise WireFormatError(
+                f"expected exactly one question, found {len(self.questions)}"
+            )
+        return self.questions[0]
+
+    @property
+    def rcode(self) -> RCode:
+        return self.flags.rcode
+
+    def add_rrset(self, section: str, rrset: RRset) -> None:
+        """Append every record of ``rrset`` to the named section."""
+        target: list[ResourceRecord] = getattr(self, section)
+        target.extend(rrset.records)
+
+    def answer_rrsets(self) -> list[RRset]:
+        """Group the answer section back into RRsets, preserving order."""
+        return _group_rrsets(self.answers)
+
+    def authority_rrsets(self) -> list[RRset]:
+        return _group_rrsets(self.authority)
+
+    def additional_rrsets(self) -> list[RRset]:
+        return _group_rrsets(self.additional)
+
+    def to_wire(self, *, compress: bool = True,
+                max_size: int | None = None) -> bytes:
+        """Serialize; sets TC and truncates sections if over ``max_size``."""
+        wire = self._encode(compress=compress)
+        if max_size is None or len(wire) <= max_size:
+            return wire
+        # Truncate: drop additional, then authority, then answers, setting TC.
+        clone = Message(self.msg_id, Flags(**_flags_kwargs(self.flags)),
+                        list(self.questions), list(self.answers),
+                        list(self.authority), list(self.additional), self.edns)
+        clone.flags.tc = True
+        for section in ("additional", "authority", "answers"):
+            while getattr(clone, section):
+                getattr(clone, section).pop()
+                wire = clone._encode(compress=compress)
+                if len(wire) <= max_size:
+                    return wire
+        return clone._encode(compress=compress)
+
+    def _encode(self, *, compress: bool) -> bytes:
+        writer = WireWriter(compress=compress)
+        writer.write_u16(self.msg_id)
+        writer.write_u16(self.flags.to_wire())
+        writer.write_u16(len(self.questions))
+        writer.write_u16(len(self.answers))
+        writer.write_u16(len(self.authority))
+        extra = 1 if self.edns is not None else 0
+        writer.write_u16(len(self.additional) + extra)
+        for question in self.questions:
+            question.write(writer)
+        for record in self.answers:
+            record.write(writer)
+        for record in self.authority:
+            record.write(writer)
+        for record in self.additional:
+            record.write(writer)
+        if self.edns is not None:
+            self.edns.write(writer)
+        return writer.getvalue()
+
+    @classmethod
+    def from_wire(cls, data: bytes) -> "Message":
+        reader = WireReader(data)
+        msg_id = reader.read_u16()
+        flags = Flags.from_wire(reader.read_u16())
+        qdcount = reader.read_u16()
+        ancount = reader.read_u16()
+        nscount = reader.read_u16()
+        arcount = reader.read_u16()
+        message = cls(msg_id=msg_id, flags=flags)
+        for _ in range(qdcount):
+            message.questions.append(Question.read(reader))
+        for _ in range(ancount):
+            message.answers.append(ResourceRecord.read(reader))
+        for _ in range(nscount):
+            message.authority.append(ResourceRecord.read(reader))
+        for _ in range(arcount):
+            mark = reader.position
+            owner = reader.read_name()
+            type_value = reader.read_u16()
+            if type_value == int(RType.OPT):
+                if not owner.is_root:
+                    raise WireFormatError("OPT owner name must be root")
+                if message.edns is not None:
+                    raise WireFormatError("duplicate OPT record")
+                message.edns = EDNSOptions.read_body(reader)
+            else:
+                reader.seek(mark)
+                message.additional.append(ResourceRecord.read(reader))
+        return message
+
+    def __str__(self) -> str:
+        lines = [
+            f"id {self.msg_id} {self.flags.opcode.name} "
+            f"{self.flags.rcode.name}"
+            f"{' qr' if self.flags.qr else ''}"
+            f"{' aa' if self.flags.aa else ''}"
+            f"{' tc' if self.flags.tc else ''}"
+            f"{' rd' if self.flags.rd else ''}"
+            f"{' ra' if self.flags.ra else ''}"
+        ]
+        for label, section in (("QUESTION", self.questions),
+                               ("ANSWER", self.answers),
+                               ("AUTHORITY", self.authority),
+                               ("ADDITIONAL", self.additional)):
+            if section:
+                lines.append(f";; {label}")
+                lines.extend(str(entry) for entry in section)
+        return "\n".join(lines)
+
+
+def _flags_kwargs(flags: Flags) -> dict:
+    return {"qr": flags.qr, "opcode": flags.opcode, "aa": flags.aa,
+            "tc": flags.tc, "rd": flags.rd, "ra": flags.ra,
+            "rcode": flags.rcode}
+
+
+def _group_rrsets(records: list[ResourceRecord]) -> list[RRset]:
+    order: list[tuple[Name, RType, RClass]] = []
+    groups: dict[tuple[Name, RType, RClass], RRset] = {}
+    for record in records:
+        key = (record.name, record.rtype, record.rclass)
+        if key not in groups:
+            groups[key] = RRset(record.name, record.rtype, record.rclass)
+            order.append(key)
+        groups[key].add(record)
+    return [groups[key] for key in order]
+
+
+def make_query(msg_id: int, qname: Name, qtype: RType,
+               *, rd: bool = False,
+               edns: EDNSOptions | None = None) -> Message:
+    """Build a standard query message."""
+    message = Message(msg_id=msg_id, flags=Flags(rd=rd), edns=edns)
+    message.questions.append(Question(qname, qtype))
+    return message
+
+
+def make_response(query: Message, rcode: RCode = RCode.NOERROR,
+                  *, aa: bool = True) -> Message:
+    """Build an empty response echoing the query's id and question."""
+    flags = Flags(qr=True, opcode=query.flags.opcode, aa=aa,
+                  rd=query.flags.rd, rcode=rcode)
+    response = Message(msg_id=query.msg_id, flags=flags,
+                       questions=list(query.questions))
+    if query.edns is not None:
+        response.edns = EDNSOptions(payload_size=query.edns.payload_size,
+                                    client_subnet=query.edns.client_subnet)
+    return response

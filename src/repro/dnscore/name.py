@@ -1,0 +1,212 @@
+"""Domain names as defined by RFC 1035 section 2.3.
+
+A :class:`Name` is an immutable sequence of labels, stored lowercase for
+case-insensitive comparison (RFC 4343) while the presentation form preserves
+nothing — Akamai DNS, like most authoritative servers, treats names
+case-insensitively end to end.
+
+The class supports the operations the rest of the system needs constantly:
+parent walks (zone-cut discovery), subdomain tests (delegation matching),
+wildcard synthesis, and canonical ordering (RFC 4034 section 6.1) used by
+the NXDOMAIN filter's hostname tree.
+"""
+
+from __future__ import annotations
+
+from functools import total_ordering
+from typing import Iterator
+
+from .errors import NameError_
+
+MAX_LABEL_LENGTH = 63
+MAX_NAME_LENGTH = 255
+
+
+def _validate_label(label: bytes) -> bytes:
+    if not label:
+        raise NameError_("empty label")
+    if len(label) > MAX_LABEL_LENGTH:
+        raise NameError_(f"label exceeds {MAX_LABEL_LENGTH} octets: {label!r}")
+    return label.lower()
+
+
+@total_ordering
+class Name:
+    """An immutable, case-folded domain name.
+
+    Construct from presentation format with :meth:`from_text` (or the
+    module-level :func:`name` shorthand), or from raw labels. The root name
+    is the empty tuple of labels and renders as ``"."``.
+    """
+
+    __slots__ = ("_labels", "_hash")
+
+    def __init__(self, labels: tuple[bytes, ...]) -> None:
+        validated = tuple(_validate_label(lb) for lb in labels)
+        wire_len = sum(len(lb) + 1 for lb in validated) + 1
+        if wire_len > MAX_NAME_LENGTH:
+            raise NameError_(f"name exceeds {MAX_NAME_LENGTH} octets")
+        object.__setattr__(self, "_labels", validated)
+        object.__setattr__(self, "_hash", hash(validated))
+
+    def __setattr__(self, key: str, value: object) -> None:
+        raise AttributeError("Name is immutable")
+
+    @classmethod
+    def from_text(cls, text: str) -> "Name":
+        """Parse presentation format, e.g. ``"www.example.com."``.
+
+        The trailing dot is optional; names are always treated as fully
+        qualified. Supports ``\\.`` escapes and ``\\DDD`` decimal escapes.
+        """
+        if text in (".", ""):
+            return ROOT
+        labels: list[bytes] = []
+        current = bytearray()
+        i = 0
+        while i < len(text):
+            ch = text[i]
+            if ch == "\\":
+                if i + 1 >= len(text):
+                    raise NameError_("dangling escape at end of name")
+                nxt = text[i + 1]
+                if nxt.isdigit():
+                    if i + 3 >= len(text) or not text[i + 1 : i + 4].isdigit():
+                        raise NameError_(f"bad decimal escape in {text!r}")
+                    code = int(text[i + 1 : i + 4])
+                    if code > 255:
+                        raise NameError_(f"escape value {code} out of range")
+                    current.append(code)
+                    i += 4
+                else:
+                    current.append(ord(nxt))
+                    i += 2
+            elif ch == ".":
+                labels.append(bytes(current))
+                current = bytearray()
+                i += 1
+            else:
+                current.append(ord(ch))
+                i += 1
+        if current:
+            labels.append(bytes(current))
+        elif text and not text.endswith("."):
+            raise NameError_(f"empty label in {text!r}")
+        if any(not lb for lb in labels):
+            raise NameError_(f"empty label in {text!r}")
+        return cls(tuple(labels))
+
+    @property
+    def labels(self) -> tuple[bytes, ...]:
+        """The labels from leftmost (deepest) to rightmost (nearest root)."""
+        return self._labels
+
+    @property
+    def is_root(self) -> bool:
+        return not self._labels
+
+    @property
+    def is_wildcard(self) -> bool:
+        """Whether the leftmost label is ``*`` (RFC 4592)."""
+        return bool(self._labels) and self._labels[0] == b"*"
+
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    def wire_length(self) -> int:
+        """Uncompressed wire length in octets, including the root byte."""
+        return sum(len(lb) + 1 for lb in self._labels) + 1
+
+    def parent(self) -> "Name":
+        """The name with the leftmost label removed.
+
+        Raises :class:`NameError_` on the root name, which has no parent.
+        """
+        if self.is_root:
+            raise NameError_("the root name has no parent")
+        return Name(self._labels[1:])
+
+    def ancestors(self) -> Iterator["Name"]:
+        """Yield ``self``, its parent, ..., down to the root name."""
+        current = self
+        while True:
+            yield current
+            if current.is_root:
+                return
+            current = current.parent()
+
+    def is_subdomain_of(self, other: "Name") -> bool:
+        """True if ``self`` equals ``other`` or lies below it."""
+        n = len(other._labels)
+        if n == 0:
+            return True
+        return len(self._labels) >= n and self._labels[-n:] == other._labels
+
+    def relativize(self, origin: "Name") -> tuple[bytes, ...]:
+        """Labels of ``self`` left of ``origin``; raises if not a subdomain."""
+        if not self.is_subdomain_of(origin):
+            raise NameError_(f"{self} is not under {origin}")
+        n = len(origin._labels)
+        return self._labels[: len(self._labels) - n] if n else self._labels
+
+    def concatenate(self, suffix: "Name") -> "Name":
+        """Join ``self`` (as a prefix) onto ``suffix``."""
+        return Name(self._labels + suffix._labels)
+
+    def prepend(self, label: str | bytes) -> "Name":
+        """Return a new name with one more label on the left."""
+        raw = label.encode("ascii") if isinstance(label, str) else label
+        return Name((raw,) + self._labels)
+
+    def wildcard_sibling(self) -> "Name":
+        """The ``*.parent`` name used for wildcard lookups (RFC 4592)."""
+        if self.is_root:
+            raise NameError_("the root name has no wildcard sibling")
+        return Name((b"*",) + self._labels[1:])
+
+    def canonical_key(self) -> tuple[bytes, ...]:
+        """Sort key for RFC 4034 canonical ordering (reversed label order)."""
+        return tuple(reversed(self._labels))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Name):
+            return NotImplemented
+        return self._labels == other._labels
+
+    def __lt__(self, other: "Name") -> bool:
+        if not isinstance(other, Name):
+            return NotImplemented
+        return self.canonical_key() < other.canonical_key()
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __str__(self) -> str:
+        if self.is_root:
+            return "."
+        parts = []
+        for label in self._labels:
+            out = []
+            for b in label:
+                ch = chr(b)
+                if ch == ".":
+                    out.append("\\.")
+                elif ch == "\\":
+                    out.append("\\\\")
+                elif 0x21 <= b <= 0x7E:
+                    out.append(ch)
+                else:
+                    out.append(f"\\{b:03d}")
+            parts.append("".join(out))
+        return ".".join(parts) + "."
+
+    def __repr__(self) -> str:
+        return f"Name({str(self)!r})"
+
+
+ROOT = Name(())
+
+
+def name(text: str) -> Name:
+    """Shorthand for :meth:`Name.from_text`."""
+    return Name.from_text(text)

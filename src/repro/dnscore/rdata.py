@@ -1,0 +1,381 @@
+"""RDATA classes for the record types Akamai DNS serves.
+
+Each class is an immutable dataclass with three codecs: wire (``write`` /
+``read``), presentation (``to_text`` / ``from_text``), and Python repr.
+Unknown types round-trip as :class:`GenericRdata` so the platform never
+drops records it does not understand.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from dataclasses import dataclass
+from typing import ClassVar
+
+from .errors import WireFormatError
+from .name import Name, name
+from .rrtypes import RType
+from .wire import WireReader, WireWriter
+
+#: Registry mapping RType -> rdata class, populated by ``_register``.
+RDATA_CLASSES: dict[int, type["Rdata"]] = {}
+
+
+def _register(cls: type["Rdata"]) -> type["Rdata"]:
+    RDATA_CLASSES[int(cls.rtype)] = cls
+    return cls
+
+
+class Rdata:
+    """Base class; subclasses set :attr:`rtype` and implement the codecs."""
+
+    rtype: ClassVar[RType]
+
+    def write(self, writer: WireWriter) -> None:
+        raise NotImplementedError
+
+    @classmethod
+    def read(cls, reader: WireReader, rdlength: int) -> "Rdata":
+        raise NotImplementedError
+
+    def to_text(self) -> str:
+        raise NotImplementedError
+
+    @classmethod
+    def from_text(cls, fields: list[str]) -> "Rdata":
+        raise NotImplementedError
+
+
+def _require_fields(fields: list[str], count: int, rtype: str) -> None:
+    if len(fields) != count:
+        raise ValueError(f"{rtype} rdata needs {count} fields, got {len(fields)}")
+
+
+@_register
+@dataclass(frozen=True, slots=True)
+class A(Rdata):
+    """IPv4 address record."""
+
+    address: str
+    rtype: ClassVar[RType] = RType.A
+
+    def __post_init__(self) -> None:
+        ipaddress.IPv4Address(self.address)
+
+    def write(self, writer: WireWriter) -> None:
+        writer.write_bytes(ipaddress.IPv4Address(self.address).packed)
+
+    @classmethod
+    def read(cls, reader: WireReader, rdlength: int) -> "A":
+        if rdlength != 4:
+            raise WireFormatError(f"A rdata must be 4 octets, got {rdlength}")
+        return cls(str(ipaddress.IPv4Address(reader.read_bytes(4))))
+
+    def to_text(self) -> str:
+        return self.address
+
+    @classmethod
+    def from_text(cls, fields: list[str]) -> "A":
+        _require_fields(fields, 1, "A")
+        return cls(fields[0])
+
+
+@_register
+@dataclass(frozen=True, slots=True)
+class AAAA(Rdata):
+    """IPv6 address record."""
+
+    address: str
+    rtype: ClassVar[RType] = RType.AAAA
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "address", str(ipaddress.IPv6Address(self.address))
+        )
+
+    def write(self, writer: WireWriter) -> None:
+        writer.write_bytes(ipaddress.IPv6Address(self.address).packed)
+
+    @classmethod
+    def read(cls, reader: WireReader, rdlength: int) -> "AAAA":
+        if rdlength != 16:
+            raise WireFormatError(f"AAAA rdata must be 16 octets, got {rdlength}")
+        return cls(str(ipaddress.IPv6Address(reader.read_bytes(16))))
+
+    def to_text(self) -> str:
+        return self.address
+
+    @classmethod
+    def from_text(cls, fields: list[str]) -> "AAAA":
+        _require_fields(fields, 1, "AAAA")
+        return cls(fields[0])
+
+
+class _SingleNameRdata(Rdata):
+    """Shared implementation for rdata that is exactly one domain name."""
+
+    target: Name
+
+    def write(self, writer: WireWriter) -> None:
+        writer.write_name(self.target)
+
+    @classmethod
+    def read(cls, reader: WireReader, rdlength: int) -> "Rdata":
+        return cls(reader.read_name())  # type: ignore[call-arg]
+
+    def to_text(self) -> str:
+        return str(self.target)
+
+    @classmethod
+    def from_text(cls, fields: list[str]) -> "Rdata":
+        _require_fields(fields, 1, cls.rtype.name)
+        return cls(name(fields[0]))  # type: ignore[call-arg]
+
+
+@_register
+@dataclass(frozen=True, slots=True)
+class NS(_SingleNameRdata):
+    """Authoritative nameserver delegation record."""
+
+    target: Name
+    rtype: ClassVar[RType] = RType.NS
+
+
+@_register
+@dataclass(frozen=True, slots=True)
+class CNAME(_SingleNameRdata):
+    """Canonical-name alias record."""
+
+    target: Name
+    rtype: ClassVar[RType] = RType.CNAME
+
+
+@_register
+@dataclass(frozen=True, slots=True)
+class PTR(_SingleNameRdata):
+    """Reverse-mapping pointer record."""
+
+    target: Name
+    rtype: ClassVar[RType] = RType.PTR
+
+
+@_register
+@dataclass(frozen=True, slots=True)
+class SOA(Rdata):
+    """Start-of-authority record carrying zone timing parameters."""
+
+    mname: Name
+    rname: Name
+    serial: int
+    refresh: int
+    retry: int
+    expire: int
+    minimum: int
+    rtype: ClassVar[RType] = RType.SOA
+
+    def write(self, writer: WireWriter) -> None:
+        writer.write_name(self.mname)
+        writer.write_name(self.rname)
+        for value in (self.serial, self.refresh, self.retry, self.expire,
+                      self.minimum):
+            writer.write_u32(value)
+
+    @classmethod
+    def read(cls, reader: WireReader, rdlength: int) -> "SOA":
+        mname = reader.read_name()
+        rname = reader.read_name()
+        serial, refresh, retry, expire, minimum = (
+            reader.read_u32() for _ in range(5)
+        )
+        return cls(mname, rname, serial, refresh, retry, expire, minimum)
+
+    def to_text(self) -> str:
+        return (f"{self.mname} {self.rname} {self.serial} {self.refresh} "
+                f"{self.retry} {self.expire} {self.minimum}")
+
+    @classmethod
+    def from_text(cls, fields: list[str]) -> "SOA":
+        _require_fields(fields, 7, "SOA")
+        return cls(name(fields[0]), name(fields[1]), *map(int, fields[2:7]))
+
+
+@_register
+@dataclass(frozen=True, slots=True)
+class MX(Rdata):
+    """Mail-exchanger record."""
+
+    preference: int
+    exchange: Name
+    rtype: ClassVar[RType] = RType.MX
+
+    def write(self, writer: WireWriter) -> None:
+        writer.write_u16(self.preference)
+        writer.write_name(self.exchange)
+
+    @classmethod
+    def read(cls, reader: WireReader, rdlength: int) -> "MX":
+        return cls(reader.read_u16(), reader.read_name())
+
+    def to_text(self) -> str:
+        return f"{self.preference} {self.exchange}"
+
+    @classmethod
+    def from_text(cls, fields: list[str]) -> "MX":
+        _require_fields(fields, 2, "MX")
+        return cls(int(fields[0]), name(fields[1]))
+
+
+@_register
+@dataclass(frozen=True, slots=True)
+class TXT(Rdata):
+    """Free-form text record; one or more <character-string>s."""
+
+    strings: tuple[bytes, ...]
+    rtype: ClassVar[RType] = RType.TXT
+
+    def __post_init__(self) -> None:
+        if not self.strings:
+            raise ValueError("TXT rdata needs at least one string")
+        for s in self.strings:
+            if len(s) > 255:
+                raise ValueError("TXT string exceeds 255 octets")
+
+    def write(self, writer: WireWriter) -> None:
+        for s in self.strings:
+            writer.write_u8(len(s))
+            writer.write_bytes(s)
+
+    @classmethod
+    def read(cls, reader: WireReader, rdlength: int) -> "TXT":
+        end = reader.position + rdlength
+        strings = []
+        while reader.position < end:
+            length = reader.read_u8()
+            strings.append(reader.read_bytes(length))
+        if reader.position != end:
+            raise WireFormatError("TXT strings overran rdlength")
+        return cls(tuple(strings))
+
+    def to_text(self) -> str:
+        return " ".join(
+            '"' + s.decode("ascii", "backslashreplace").replace('"', '\\"') + '"'
+            for s in self.strings
+        )
+
+    @classmethod
+    def from_text(cls, fields: list[str]) -> "TXT":
+        if not fields:
+            raise ValueError("TXT rdata needs at least one string")
+        return cls(tuple(f.strip('"').encode("ascii") for f in fields))
+
+
+@_register
+@dataclass(frozen=True, slots=True)
+class SRV(Rdata):
+    """Service-location record."""
+
+    priority: int
+    weight: int
+    port: int
+    target: Name
+    rtype: ClassVar[RType] = RType.SRV
+
+    def write(self, writer: WireWriter) -> None:
+        writer.write_u16(self.priority)
+        writer.write_u16(self.weight)
+        writer.write_u16(self.port)
+        writer.write_name(self.target)
+
+    @classmethod
+    def read(cls, reader: WireReader, rdlength: int) -> "SRV":
+        return cls(reader.read_u16(), reader.read_u16(), reader.read_u16(),
+                   reader.read_name())
+
+    def to_text(self) -> str:
+        return f"{self.priority} {self.weight} {self.port} {self.target}"
+
+    @classmethod
+    def from_text(cls, fields: list[str]) -> "SRV":
+        _require_fields(fields, 4, "SRV")
+        return cls(int(fields[0]), int(fields[1]), int(fields[2]),
+                   name(fields[3]))
+
+
+@_register
+@dataclass(frozen=True, slots=True)
+class CAA(Rdata):
+    """Certification-authority authorization record."""
+
+    flags: int
+    tag: bytes
+    value: bytes
+    rtype: ClassVar[RType] = RType.CAA
+
+    def write(self, writer: WireWriter) -> None:
+        writer.write_u8(self.flags)
+        writer.write_u8(len(self.tag))
+        writer.write_bytes(self.tag)
+        writer.write_bytes(self.value)
+
+    @classmethod
+    def read(cls, reader: WireReader, rdlength: int) -> "CAA":
+        start = reader.position
+        flags = reader.read_u8()
+        tag_len = reader.read_u8()
+        tag = reader.read_bytes(tag_len)
+        value = reader.read_bytes(rdlength - (reader.position - start))
+        return cls(flags, tag, value)
+
+    def to_text(self) -> str:
+        return (f'{self.flags} {self.tag.decode("ascii")} '
+                f'"{self.value.decode("ascii", "backslashreplace")}"')
+
+    @classmethod
+    def from_text(cls, fields: list[str]) -> "CAA":
+        _require_fields(fields, 3, "CAA")
+        return cls(int(fields[0]), fields[1].encode("ascii"),
+                   fields[2].strip('"').encode("ascii"))
+
+
+@dataclass(frozen=True, slots=True)
+class GenericRdata(Rdata):
+    """Opaque rdata for types without a dedicated class (RFC 3597)."""
+
+    type_value: int
+    data: bytes
+    rtype: ClassVar[RType] = RType.ANY  # placeholder; real type in type_value
+
+    def write(self, writer: WireWriter) -> None:
+        writer.write_bytes(self.data)
+
+    @classmethod
+    def read_generic(cls, reader: WireReader, rdlength: int,
+                     type_value: int) -> "GenericRdata":
+        return cls(type_value, reader.read_bytes(rdlength))
+
+    def to_text(self) -> str:
+        return f"\\# {len(self.data)} {self.data.hex()}"
+
+
+def read_rdata(reader: WireReader, type_value: int, rdlength: int) -> Rdata:
+    """Dispatch rdata parsing by type, falling back to :class:`GenericRdata`."""
+    end = reader.position + rdlength
+    rdata_cls = RDATA_CLASSES.get(type_value)
+    if rdata_cls is None:
+        rdata = GenericRdata.read_generic(reader, rdlength, type_value)
+    else:
+        rdata = rdata_cls.read(reader, rdlength)
+    if reader.position != end:
+        raise WireFormatError(
+            f"rdata for type {type_value} consumed {reader.position - (end - rdlength)}"
+            f" of {rdlength} octets"
+        )
+    return rdata
+
+
+def rdata_from_text(rtype: RType, fields: list[str]) -> Rdata:
+    """Parse presentation-format rdata fields for ``rtype``."""
+    rdata_cls = RDATA_CLASSES.get(int(rtype))
+    if rdata_cls is None:
+        raise ValueError(f"no presentation parser for type {rtype}")
+    return rdata_cls.from_text(fields)

@@ -1,0 +1,99 @@
+"""Zone transfer in the AXFR style (RFC 5936).
+
+The Management Portal accepts enterprise zones "through zone transfers"
+(paper section 3.2). We model the transfer as the RFC does: a stream of
+messages whose answer sections start and end with the zone's SOA, with
+every other RRset in between. Serial comparison uses RFC 1982 sequence
+space arithmetic so wrap-around serials behave correctly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from .errors import TransferError
+from .message import Flags, Message, make_query
+from .name import Name
+from .rrtypes import Opcode, RCode, RType
+from .zone import Zone
+
+_SERIAL_HALF = 2**31
+
+
+def serial_gt(a: int, b: int) -> bool:
+    """RFC 1982 serial-space ``a > b`` for 32-bit zone serials."""
+    if a == b:
+        return False
+    return ((a < b and b - a > _SERIAL_HALF)
+            or (a > b and a - b < _SERIAL_HALF))
+
+
+def axfr_response_stream(zone: Zone, query: Message,
+                         max_records_per_message: int = 100
+                         ) -> Iterator[Message]:
+    """Yield the message stream answering an AXFR query for ``zone``."""
+    question = query.question
+    if question.qtype != RType.AXFR:
+        raise TransferError(f"not an AXFR question: {question}")
+    if question.qname != zone.origin:
+        raise TransferError(
+            f"AXFR for {question.qname} against zone {zone.origin}")
+    soa = zone.soa
+    if soa is None:
+        raise TransferError(f"zone {zone.origin} has no SOA")
+
+    records = list(soa.records)
+    for rrset in zone.iter_rrsets():
+        if rrset.rtype == RType.SOA:
+            continue
+        records.extend(rrset.records)
+    records.extend(soa.records)
+
+    for start in range(0, len(records), max_records_per_message):
+        message = Message(
+            msg_id=query.msg_id,
+            flags=Flags(qr=True, aa=True, opcode=Opcode.QUERY,
+                        rcode=RCode.NOERROR),
+        )
+        if start == 0:
+            message.questions = list(query.questions)
+        message.answers = records[start:start + max_records_per_message]
+        yield message
+
+
+def zone_from_axfr(origin: Name, messages: list[Message]) -> Zone:
+    """Reassemble a zone from a received AXFR stream, verifying framing."""
+    if not messages:
+        raise TransferError("empty AXFR stream")
+    records = [record for message in messages for record in message.answers]
+    if len(records) < 2:
+        raise TransferError("AXFR stream too short to be framed by SOAs")
+    first, last = records[0], records[-1]
+    if first.rtype != RType.SOA or last.rtype != RType.SOA:
+        raise TransferError("AXFR stream not framed by SOA records")
+    if first.name != origin or first.rdata != last.rdata:
+        raise TransferError("AXFR framing SOAs disagree")
+    zone = Zone(origin)
+    for record in records[:-1]:
+        zone.add_record(record)
+    zone.validate()
+    return zone
+
+
+def make_axfr_query(msg_id: int, origin: Name) -> Message:
+    """Build the AXFR query a secondary would send."""
+    return make_query(msg_id, origin, RType.AXFR)
+
+
+def transfer_zone(zone: Zone, msg_id: int = 1) -> Zone:
+    """Round-trip a zone through the AXFR codec (primary -> secondary)."""
+    query = make_axfr_query(msg_id, zone.origin)
+    stream = list(axfr_response_stream(zone, query))
+    return zone_from_axfr(zone.origin, stream)
+
+
+def needs_transfer(local_serial: int | None, remote_serial: int) -> bool:
+    """Whether a secondary at ``local_serial`` should pull ``remote_serial``."""
+    if local_serial is None:
+        return True
+    return serial_gt(remote_serial, local_serial)

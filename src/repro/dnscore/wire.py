@@ -1,0 +1,144 @@
+"""Low-level wire format primitives: cursor-based reader and writer.
+
+The writer implements RFC 1035 section 4.1.4 name compression: every name
+(or name suffix) already emitted is remembered by wire offset, and later
+occurrences are replaced with a two-octet pointer. The reader resolves
+pointers with loop and forward-reference protection.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from .errors import CompressionError, TruncatedMessageError
+from .name import Name
+
+_POINTER_MASK = 0xC0
+_MAX_POINTER_TARGET = 0x3FFF
+
+
+class WireWriter:
+    """Accumulates a DNS message, compressing names as they are written."""
+
+    def __init__(self, *, compress: bool = True) -> None:
+        self._buf = bytearray()
+        self._offsets: dict[tuple[bytes, ...], int] = {}
+        self._compress = compress
+
+    def __len__(self) -> int:
+        return len(self._buf)
+
+    def getvalue(self) -> bytes:
+        return bytes(self._buf)
+
+    def write_u8(self, value: int) -> None:
+        self._buf += struct.pack("!B", value)
+
+    def write_u16(self, value: int) -> None:
+        self._buf += struct.pack("!H", value)
+
+    def write_u32(self, value: int) -> None:
+        self._buf += struct.pack("!I", value)
+
+    def write_bytes(self, data: bytes) -> None:
+        self._buf += data
+
+    def write_name(self, name: Name) -> None:
+        """Write ``name``, emitting a compression pointer where possible."""
+        labels = name.labels
+        for i in range(len(labels)):
+            suffix = labels[i:]
+            offset = self._offsets.get(suffix) if self._compress else None
+            if offset is not None:
+                self.write_u16(_POINTER_MASK << 8 | offset)
+                return
+            if len(self._buf) <= _MAX_POINTER_TARGET:
+                self._offsets[suffix] = len(self._buf)
+            label = labels[i]
+            self.write_u8(len(label))
+            self.write_bytes(label)
+        self.write_u8(0)
+
+    def patch_u16(self, offset: int, value: int) -> None:
+        """Overwrite a previously written 16-bit field (rdlength back-patch)."""
+        self._buf[offset : offset + 2] = struct.pack("!H", value)
+
+
+class WireReader:
+    """Cursor over a received DNS message with pointer-safe name parsing."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0
+
+    @property
+    def position(self) -> int:
+        return self._pos
+
+    @property
+    def remaining(self) -> int:
+        return len(self._data) - self._pos
+
+    def seek(self, pos: int) -> None:
+        if not 0 <= pos <= len(self._data):
+            raise TruncatedMessageError(f"seek to {pos} outside message")
+        self._pos = pos
+
+    def read_bytes(self, count: int) -> bytes:
+        if self.remaining < count:
+            raise TruncatedMessageError(
+                f"wanted {count} octets, only {self.remaining} remain"
+            )
+        out = self._data[self._pos : self._pos + count]
+        self._pos += count
+        return out
+
+    def read_u8(self) -> int:
+        return self.read_bytes(1)[0]
+
+    def read_u16(self) -> int:
+        return struct.unpack("!H", self.read_bytes(2))[0]
+
+    def read_u32(self) -> int:
+        return struct.unpack("!I", self.read_bytes(4))[0]
+
+    def read_name(self) -> Name:
+        """Parse a possibly compressed name starting at the cursor.
+
+        Pointers must point strictly backwards; loops therefore cannot
+        occur, but we also bound the label count defensively.
+        """
+        labels: list[bytes] = []
+        jumps = 0
+        return_pos: int | None = None
+        pos = self._pos
+        while True:
+            if pos >= len(self._data):
+                raise TruncatedMessageError("name ran off end of message")
+            length = self._data[pos]
+            if length & _POINTER_MASK == _POINTER_MASK:
+                if pos + 1 >= len(self._data):
+                    raise TruncatedMessageError("truncated compression pointer")
+                target = ((length & 0x3F) << 8) | self._data[pos + 1]
+                if target >= pos:
+                    raise CompressionError(
+                        f"forward compression pointer {target} at {pos}"
+                    )
+                if return_pos is None:
+                    return_pos = pos + 2
+                jumps += 1
+                if jumps > 128:
+                    raise CompressionError("too many compression pointers")
+                pos = target
+            elif length & _POINTER_MASK:
+                raise CompressionError(f"reserved label type {length:#04x}")
+            elif length == 0:
+                pos += 1
+                break
+            else:
+                if pos + 1 + length > len(self._data):
+                    raise TruncatedMessageError("label ran off end of message")
+                labels.append(self._data[pos + 1 : pos + 1 + length])
+                pos += 1 + length
+        self._pos = return_pos if return_pos is not None else pos
+        return Name(tuple(labels))

@@ -1,0 +1,237 @@
+"""Master-file (RFC 1035 section 5) zone parser and serializer.
+
+Supports the constructs enterprise zone files actually use: ``$ORIGIN``
+and ``$TTL`` directives, relative names, ``@`` for the origin, omitted
+owner names (repeat previous), parenthesized multi-line records (SOA),
+quoted strings with embedded spaces (TXT), and comments.
+"""
+
+from __future__ import annotations
+
+from .errors import ZoneFileError
+from .name import Name, name
+from .rdata import rdata_from_text
+from .records import ResourceRecord
+from .rrtypes import RClass, RType
+from .zone import Zone
+
+_DEFAULT_TTL = 86400
+
+
+def _tokenize_line(line: str) -> tuple[list[str], bool, bool]:
+    """Split one physical line into tokens.
+
+    Returns (tokens, opens_paren, closes_paren). Handles quoted strings
+    and strips comments.
+    """
+    tokens: list[str] = []
+    current: list[str] = []
+    in_quote = False
+    opens = closes = False
+    i = 0
+    leading_ws = line[:1] in (" ", "\t")
+    while i < len(line):
+        ch = line[i]
+        if in_quote:
+            if ch == "\\" and i + 1 < len(line):
+                current.append(line[i + 1])
+                i += 2
+                continue
+            if ch == '"':
+                tokens.append('"' + "".join(current) + '"')
+                current = []
+                in_quote = False
+            else:
+                current.append(ch)
+        elif ch == '"':
+            if current:
+                tokens.append("".join(current))
+                current = []
+            in_quote = True
+        elif ch == ";":
+            break
+        elif ch == "(":
+            opens = True
+        elif ch == ")":
+            closes = True
+        elif ch in " \t":
+            if current:
+                tokens.append("".join(current))
+                current = []
+        else:
+            current.append(ch)
+        i += 1
+    if in_quote:
+        raise ZoneFileError("unterminated quoted string")
+    if current:
+        tokens.append("".join(current))
+    if leading_ws:
+        tokens.insert(0, "")
+    return tokens, opens, closes
+
+
+def parse_zone_text(text: str, origin: Name | str | None = None) -> Zone:
+    """Parse a zone from master-file text.
+
+    ``origin`` seeds ``$ORIGIN``; a ``$ORIGIN`` directive in the file
+    overrides it. The returned zone has passed no validation — call
+    :meth:`Zone.validate` before serving.
+    """
+    if isinstance(origin, str):
+        origin = name(origin)
+    current_origin = origin
+    default_ttl = _DEFAULT_TTL
+    zone: Zone | None = None
+    last_owner: Name | None = None
+    pending: list[str] = []
+    pending_line = 0
+    depth = 0
+
+    def resolve_name(token: str) -> Name:
+        if current_origin is None:
+            raise ZoneFileError("no $ORIGIN in effect", lineno)
+        if token == "@":
+            return current_origin
+        if token.endswith(".") and not token.endswith("\\."):
+            return name(token)
+        return name(token + ".").concatenate(current_origin)
+
+    records: list[ResourceRecord] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        tokens, opens, closes = _tokenize_line(raw)
+        if depth:
+            # Continuation of a parenthesized record: drop the ws marker.
+            tokens = [t for t in tokens if t != ""]
+        if opens:
+            depth += 1
+        if closes:
+            if depth == 0:
+                raise ZoneFileError("unbalanced ')'", lineno)
+            depth -= 1
+        if pending:
+            pending.extend(t for t in tokens if t != "")
+        else:
+            pending = tokens
+            pending_line = lineno
+        if depth:
+            continue
+        tokens, pending = pending, []
+        lineno = pending_line
+        if not tokens or all(t == "" for t in tokens):
+            continue
+
+        if tokens[0].startswith("$"):
+            directive = tokens[0].upper()
+            if directive == "$ORIGIN":
+                if len(tokens) < 2:
+                    raise ZoneFileError("$ORIGIN needs a name", lineno)
+                current_origin = name(tokens[1])
+            elif directive == "$TTL":
+                if len(tokens) < 2:
+                    raise ZoneFileError("$TTL needs a value", lineno)
+                default_ttl = parse_ttl(tokens[1])
+            else:
+                raise ZoneFileError(f"unknown directive {tokens[0]}", lineno)
+            continue
+
+        # Owner name: blank first token means "repeat previous owner".
+        if tokens[0] == "":
+            if last_owner is None:
+                raise ZoneFileError("first record has no owner name", lineno)
+            owner = last_owner
+            rest = [t for t in tokens[1:] if t != ""]
+        else:
+            owner = resolve_name(tokens[0])
+            rest = [t for t in tokens[1:] if t != ""]
+        last_owner = owner
+
+        # [ttl] [class] type rdata...  (ttl and class may swap order)
+        ttl = default_ttl
+        rclass = RClass.IN
+        while rest:
+            tok = rest[0]
+            if _is_ttl(tok):
+                ttl = parse_ttl(tok)
+                rest = rest[1:]
+            elif tok.upper() in ("IN", "CH"):
+                rclass = RClass.from_text(tok)
+                rest = rest[1:]
+            else:
+                break
+        if not rest:
+            raise ZoneFileError("record has no type", lineno)
+        try:
+            rtype = RType.from_text(rest[0])
+        except ValueError as exc:
+            raise ZoneFileError(str(exc), lineno) from None
+        fields = rest[1:]
+        # Resolve relative names inside rdata for name-bearing types.
+        if rtype in (RType.NS, RType.CNAME, RType.PTR):
+            fields = [str(resolve_name(fields[0]))] if fields else fields
+        elif rtype == RType.MX and len(fields) == 2:
+            fields = [fields[0], str(resolve_name(fields[1]))]
+        elif rtype == RType.SRV and len(fields) == 4:
+            fields = fields[:3] + [str(resolve_name(fields[3]))]
+        elif rtype == RType.SOA and len(fields) >= 2:
+            fields = ([str(resolve_name(fields[0])),
+                       str(resolve_name(fields[1]))]
+                      + [str(parse_ttl(f)) for f in fields[2:]])
+        try:
+            rdata = rdata_from_text(rtype, fields)
+        except (ValueError, ZoneFileError) as exc:
+            raise ZoneFileError(f"bad {rtype.name} rdata: {exc}", lineno) from None
+        if zone is None:
+            if current_origin is None:
+                raise ZoneFileError("no origin established", lineno)
+            zone = Zone(current_origin)
+        records.append(ResourceRecord(owner, rtype, rclass, ttl, rdata))
+
+    if depth:
+        raise ZoneFileError("unbalanced '(' at end of file")
+    if zone is None:
+        raise ZoneFileError("zone file contains no records")
+    # Insert SOA first so apex checks pass regardless of file order.
+    records.sort(key=lambda r: 0 if r.rtype == RType.SOA else 1)
+    for record in records:
+        zone.add_record(record)
+    return zone
+
+
+def serialize_zone(zone: Zone) -> str:
+    """Render a zone back to master-file text (absolute names, explicit TTLs)."""
+    lines = [f"$ORIGIN {zone.origin}"]
+    for rrset in zone.iter_rrsets():
+        for record in rrset.records:
+            lines.append(record.to_text())
+    return "\n".join(lines) + "\n"
+
+
+_TTL_UNITS = {"s": 1, "m": 60, "h": 3600, "d": 86400, "w": 604800}
+
+
+def parse_ttl(token: str) -> int:
+    """Parse a TTL: plain seconds or unit-suffixed (``1h30m``)."""
+    token = token.strip().lower()
+    if token.isdigit():
+        return int(token)
+    total = 0
+    number = ""
+    for ch in token:
+        if ch.isdigit():
+            number += ch
+        elif ch in _TTL_UNITS and number:
+            total += int(number) * _TTL_UNITS[ch]
+            number = ""
+        else:
+            raise ZoneFileError(f"bad TTL {token!r}")
+    if number:
+        raise ZoneFileError(f"bad TTL {token!r} (trailing digits)")
+    return total
+
+
+def _is_ttl(token: str) -> bool:
+    if token.isdigit():
+        return True
+    return (any(ch.isdigit() for ch in token)
+            and all(ch.isdigit() or ch in _TTL_UNITS for ch in token.lower())
+            and not token[0].lower() in _TTL_UNITS)

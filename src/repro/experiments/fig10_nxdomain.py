@@ -1,0 +1,179 @@
+"""Figure 10: legitimate queries answered vs attack rate, +- NXDOMAIN filter.
+
+Mirrors the paper's two-machine testbed (section 4.3.4): one traffic
+source drives legitimate queries (names sampled from a hosted zone) at a
+fixed rate L while a random-subdomain attack ramps its rate A. The
+nameserver machine has a compute capacity (answers/sec) and an I/O
+capacity (packets/sec the stack can hand to the application). We measure
+the percentage of legitimate queries answered at each attack rate, with
+the NXDOMAIN filter enabled and disabled.
+
+Shape targets (three regions):
+* A <= A1 (= compute - L): everything answered either way.
+* A1 < A <= A2 (= I/O limit): without the filter, legitimate goodput
+  decays like compute/(A+L); with the filter, prioritization keeps it
+  near 100%.
+* A > A2: drops move below the application; both configurations decay.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..analysis.report import ExperimentResult
+from ..dnscore.message import make_query
+from ..dnscore.name import name
+from ..dnscore.rrtypes import RType
+from ..dnscore.zonefile import parse_zone_text
+from ..filters.base import ScoringPipeline
+from ..filters.nxdomain import NXDomainConfig, NXDomainFilter
+from ..filters.scoring import QueuePolicy
+from ..netsim.clock import EventLoop
+from ..netsim.packet import Datagram
+from ..server.engine import AuthoritativeEngine, ZoneStore
+from ..server.machine import MachineConfig, NameserverMachine, QueryEnvelope
+from ..workload.attacks import random_label
+
+VICTIM_ZONE = "victim.example"
+
+
+@dataclass(slots=True)
+class Fig10Params:
+    """Testbed knobs (rates in queries/sec)."""
+
+    seed: int = 42
+    legit_rate: float = 400.0
+    compute_capacity: float = 1_000.0
+    io_capacity: float = 4_000.0
+    attack_rates: tuple[float, ...] = (
+        0.0, 200.0, 400.0, 600.0, 1_000.0, 1_500.0, 2_000.0, 3_000.0,
+        3_600.0, 4_500.0, 6_000.0, 9_000.0)
+    measure_seconds: float = 20.0
+    warmup_seconds: float = 5.0
+    n_valid_hosts: int = 400
+    n_resolver_sources: int = 40
+
+
+def _build_zone(params: Fig10Params):
+    lines = [f"$ORIGIN {VICTIM_ZONE}.", "$TTL 300",
+             f"@ IN SOA ns1.{VICTIM_ZONE}. admin.{VICTIM_ZONE}. "
+             "1 7200 3600 1209600 300",
+             f"@ IN NS ns1.{VICTIM_ZONE}."]
+    for i in range(params.n_valid_hosts):
+        lines.append(f"h{i} IN A 10.9.{i // 250}.{i % 250 + 1}")
+    return parse_zone_text("\n".join(lines) + "\n")
+
+
+def _run_point(params: Fig10Params, attack_rate: float,
+               filter_enabled: bool) -> float:
+    """One testbed run; returns the fraction of legit queries answered."""
+    rng = random.Random(params.seed)
+    loop = EventLoop()
+    store = ZoneStore()
+    store.add(_build_zone(params))
+    engine = AuthoritativeEngine(store)
+    filters = []
+    nxd = None
+    if filter_enabled:
+        nxd = NXDomainFilter(store, NXDomainConfig(trigger_count=50,
+                                                   window_seconds=10.0))
+        filters.append(nxd)
+    machine = NameserverMachine(
+        loop, "testbed-ns", engine, ScoringPipeline(filters), QueuePolicy(),
+        MachineConfig(compute_capacity_qps=params.compute_capacity,
+                      io_capacity_qps=params.io_capacity,
+                      io_burst_seconds=0.05,
+                      queue_depth=400,
+                      staleness_threshold=float("inf")))
+
+    sources = [f"172.20.0.{i + 1}" for i in range(params.n_resolver_sources)]
+    valid = [name(f"h{i}.{VICTIM_ZONE}")
+             for i in range(params.n_valid_hosts)]
+    victim = name(VICTIM_ZONE)
+    msg_id = [0]
+    measure_start = params.warmup_seconds
+    measure_end = params.warmup_seconds + params.measure_seconds
+    counters = {"legit_sent": 0}
+
+    def send(is_attack: bool) -> None:
+        msg_id[0] = (msg_id[0] + 1) & 0xFFFF
+        if is_attack:
+            qname = victim.prepend(random_label(rng))
+        else:
+            qname = rng.choice(valid)
+        query = make_query(msg_id[0], qname, RType.A)
+        if not is_attack and measure_start <= loop.now < measure_end:
+            counters["legit_sent"] += 1
+        machine.receive_query(Datagram(
+            src=rng.choice(sources), dst="testbed",
+            payload=QueryEnvelope(query, is_attack=is_attack),
+            src_port=rng.randint(1024, 65535)))
+
+    def schedule_stream(rate: float, is_attack: bool) -> None:
+        if rate <= 0:
+            return
+
+        def fire() -> None:
+            if loop.now >= measure_end:
+                return
+            send(is_attack)
+            loop.call_later(rng.expovariate(rate), fire)
+
+        loop.call_later(rng.expovariate(rate), fire)
+
+    schedule_stream(params.legit_rate, is_attack=False)
+    schedule_stream(attack_rate, is_attack=True)
+
+    loop.run_until(measure_start)
+    legit_answered_at_start = machine.metrics.legit_answered
+    legit_sent_total = counters["legit_sent"]
+    loop.run_until(measure_end + 2.0)
+    answered = machine.metrics.legit_answered - legit_answered_at_start
+    sent = counters["legit_sent"]
+    return answered / sent if sent else 0.0
+
+
+def run(params: Fig10Params | None = None) -> ExperimentResult:
+    """Sweep attack rates with and without the NXDOMAIN filter."""
+    params = params or Fig10Params()
+    result = ExperimentResult(
+        "fig10", "Legitimate queries answered vs attack rate")
+    with_filter: list[float] = []
+    without_filter: list[float] = []
+    for attack_rate in params.attack_rates:
+        with_filter.append(_run_point(params, attack_rate, True))
+        without_filter.append(_run_point(params, attack_rate, False))
+    rates = list(params.attack_rates)
+    result.series["w/ filter"] = (rates, with_filter)
+    result.series["w/o filter"] = (rates, without_filter)
+
+    a1 = params.compute_capacity - params.legit_rate
+    a2 = params.io_capacity - params.legit_rate
+    region1 = [i for i, r in enumerate(rates) if r <= a1]
+    region2 = [i for i, r in enumerate(rates) if a1 < r <= a2]
+    region3 = [i for i, r in enumerate(rates) if r > a2]
+
+    r1_min = min(min(with_filter[i] for i in region1),
+                 min(without_filter[i] for i in region1))
+    result.metrics["region1_min_goodput"] = r1_min
+    result.compare("A <= A1: both configurations answer ~all legit",
+                   "100%", f"{r1_min:.0%}", r1_min >= 0.95)
+
+    r2_with = min(with_filter[i] for i in region2)
+    r2_without = min(without_filter[i] for i in region2)
+    result.metrics["region2_with_filter_min"] = r2_with
+    result.metrics["region2_without_filter_min"] = r2_without
+    result.compare("A1 < A <= A2: filter keeps legit near 100%",
+                   "~100%", f"{r2_with:.0%}", r2_with >= 0.90)
+    result.compare("A1 < A <= A2: without filter legit degrades",
+                   "declines toward C/(A+L)", f"min {r2_without:.0%}",
+                   r2_without <= 0.75)
+
+    if region3:
+        r3_with = with_filter[region3[-1]]
+        result.metrics["region3_with_filter_last"] = r3_with
+        result.compare("A > A2: I/O saturation hits even the filter",
+                       "both decline", f"{r3_with:.0%}",
+                       r3_with < max(0.90, r2_with))
+    return result

@@ -1,0 +1,113 @@
+"""Run every experiment and render the paper-vs-measured report.
+
+``python -m repro.experiments.runner`` regenerates each figure's data at
+default scale and prints the combined comparison table — the source for
+EXPERIMENTS.md. ``--fast`` shrinks the expensive simulations for smoke
+runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from ..analysis.report import ExperimentResult, render_results
+from ..netsim.builder import InternetParams
+from . import (
+    anycast_quality,
+    enduser_latency,
+    fig1_qps,
+    fig2_skew,
+    fig3_per_resolver,
+    fig4_stability,
+    fig8_failover,
+    fig9_decision_tree,
+    fig10_nxdomain,
+    fig11_speedup,
+    fig12_restime,
+    taxonomy,
+    text_stats,
+)
+
+
+def run_all(fast: bool = False,
+            verbose: bool = True) -> list[ExperimentResult]:
+    """Execute each experiment in figure order."""
+    jobs = [
+        ("fig1", lambda: fig1_qps.run()),
+        ("fig2", lambda: fig2_skew.run()),
+        ("fig3", lambda: fig3_per_resolver.run(
+            n_resolvers=6_000 if fast else 20_000)),
+        ("fig4", lambda: fig4_stability.run(
+            n_resolvers=6_000 if fast else 20_000)),
+        ("fig8", lambda: fig8_failover.run(
+            fig8_failover.Fig8Params(
+                n_pops=10, n_vantage=12, trials=3,
+                internet=InternetParams(n_tier1=4, n_tier2=12, n_stub=40),
+                measure_window=25.0, converge_time=25.0)
+            if fast else None)),
+        ("fig9", lambda: fig9_decision_tree.run()),
+        ("fig10", lambda: fig10_nxdomain.run(
+            fig10_nxdomain.Fig10Params(
+                attack_rates=(0.0, 400.0, 1_500.0, 3_600.0, 6_000.0),
+                measure_seconds=8.0, warmup_seconds=3.0)
+            if fast else None)),
+        ("fig11", lambda: fig11_speedup.run()),
+        ("fig12", lambda: fig12_restime.run()),
+        ("taxonomy", lambda: taxonomy.run(
+            phase_seconds=4.0 if fast else 12.0)),
+        ("anycast-quality", lambda: anycast_quality.run()),
+        ("enduser", lambda: enduser_latency.run()),
+        ("text", lambda: text_stats.run()),
+    ]
+    results = []
+    for label, job in jobs:
+        started = time.time()
+        result = job()
+        if verbose:
+            elapsed = time.time() - started
+            status = "ok" if result.all_hold else "MISS"
+            print(f"[{status}] {label} done in {elapsed:.1f}s",
+                  file=sys.stderr)
+        results.append(result)
+    return results
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fast", action="store_true",
+                        help="shrink the expensive simulations")
+    parser.add_argument("--plot", action="store_true",
+                        help="render each figure's series as ASCII plots")
+    parser.add_argument("--json", metavar="PATH",
+                        help="also write results as JSON to PATH")
+    args = parser.parse_args(argv)
+    results = run_all(fast=args.fast)
+    print(render_results(results))
+    if args.json:
+        import json
+        with open(args.json, "w") as handle:
+            json.dump([r.to_dict(include_series=True) for r in results],
+                      handle, indent=2)
+        print(f"(JSON written to {args.json})", file=sys.stderr)
+    if args.plot:
+        from ..analysis.asciiplot import ascii_plot
+        for result in results:
+            plottable = {label: series
+                         for label, series in result.series.items()
+                         if len(series) == 2 and len(series[0])}
+            if not plottable:
+                continue
+            print()
+            try:
+                print(ascii_plot(
+                    plottable,
+                    title=f"{result.experiment_id}: {result.title}"))
+            except ValueError:
+                continue
+    return 0 if all(r.all_hold for r in results) else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

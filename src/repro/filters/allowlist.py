@@ -1,0 +1,88 @@
+"""Allowlist filter (paper section 4.3.4, #2, second stage).
+
+The resolvers that drive most queries to Akamai DNS are highly consistent
+over weeks (paper section 2), so a slowly changing allowlist of
+historically-known resolvers separates them from the wide, shallow source
+sets of botnet attacks. The filter stays dormant until an activation
+policy — watching aggregate query rate and source diversity — switches it
+on, because penalizing unknown-but-legitimate resolvers is only worth it
+while an attack is underway.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from .base import QueryContext
+
+
+@dataclass(slots=True)
+class AllowlistConfig:
+    """Tunables for the allowlist filter and its activation policy."""
+
+    penalty: float = 30.0
+    window_seconds: float = 10.0
+    activate_qps: float = 2000.0        # aggregate rate threshold
+    activate_unique_sources: int = 500  # source diversity threshold
+    deactivate_qps: float = 500.0
+
+
+class ActivationPolicy:
+    """Sliding-window monitor deciding when the allowlist engages."""
+
+    def __init__(self, config: AllowlistConfig) -> None:
+        self._config = config
+        self._arrivals: deque[tuple[float, str]] = deque()
+        self.active = False
+
+    def observe(self, now: float, source: str) -> bool:
+        """Record an arrival; returns whether the filter is active."""
+        config = self._config
+        self._arrivals.append((now, source))
+        cutoff = now - config.window_seconds
+        while self._arrivals and self._arrivals[0][0] < cutoff:
+            self._arrivals.popleft()
+        qps = len(self._arrivals) / config.window_seconds
+        if not self.active:
+            if qps >= config.activate_qps:
+                uniques = len({s for _, s in self._arrivals})
+                if uniques >= config.activate_unique_sources:
+                    self.active = True
+        elif qps <= config.deactivate_qps:
+            self.active = False
+        return self.active
+
+
+class AllowlistFilter:
+    """Penalizes sources not on the historically-known resolver list."""
+
+    name = "allowlist"
+
+    def __init__(self, config: AllowlistConfig | None = None,
+                 allowlist: set[str] | None = None) -> None:
+        self.config = config or AllowlistConfig()
+        self.allowlist: set[str] = set(allowlist or ())
+        self.policy = ActivationPolicy(self.config)
+        self.penalized = 0
+
+    def add(self, source: str) -> None:
+        """Add one resolver to the allowlist (gradual weekly refresh)."""
+        self.allowlist.add(source)
+
+    def refresh(self, sources: set[str]) -> None:
+        """Replace the allowlist, as the weekly top-resolver job would."""
+        self.allowlist = set(sources)
+
+    @property
+    def active(self) -> bool:
+        return self.policy.active
+
+    def score(self, ctx: QueryContext) -> float:
+        active = self.policy.observe(ctx.now, ctx.source)
+        if not active:
+            return 0.0
+        if ctx.source in self.allowlist:
+            return 0.0
+        self.penalized += 1
+        return self.config.penalty

@@ -1,0 +1,76 @@
+"""Query scoring framework (paper section 4.3.3).
+
+Every query passes through a sequence of filters; each filter inspects the
+query's parameters and may add a penalty score. The total score measures
+how suspicious the query is: score 0 flows into the lowest-penalty queue,
+larger scores into higher-penalty queues, and scores at or above ``s_max``
+are discarded outright as definitively malicious.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+from ..dnscore.name import Name
+from ..dnscore.rrtypes import RType
+
+
+@dataclass(slots=True)
+class QueryContext:
+    """Everything a filter may inspect about one arriving query."""
+
+    source: str              # resolver source address
+    qname: Name
+    qtype: RType
+    now: float               # arrival time (simulation seconds)
+    ip_ttl: int = 64         # IP TTL observed on the arriving packet
+    nameserver_id: str = ""  # which nameserver machine received it
+    is_attack: bool = False  # ground-truth label for experiment accounting
+                             # (never read by filters)
+
+
+class Filter(Protocol):
+    """One stage of the scoring pipeline."""
+
+    name: str
+
+    def score(self, ctx: QueryContext) -> float:
+        """Penalty contributed by this filter for ``ctx`` (0 = clean)."""
+
+
+@dataclass(slots=True)
+class ScoreBreakdown:
+    """Total penalty plus the per-filter contributions, for observability."""
+
+    total: float
+    contributions: dict[str, float]
+
+
+class ScoringPipeline:
+    """Runs a query through every filter and sums penalties.
+
+    Filters that also need to *observe* traffic (to learn rates, TTLs,
+    loyalty) do that inside their ``score`` implementations — scoring and
+    learning happen on the same pass, as in the production design where
+    historical state is updated continuously.
+    """
+
+    def __init__(self, filters: list[Filter] | None = None) -> None:
+        self.filters: list[Filter] = list(filters or [])
+        self.scored = 0
+
+    def add(self, filter_: Filter) -> None:
+        self.filters.append(filter_)
+
+    def score(self, ctx: QueryContext) -> ScoreBreakdown:
+        """Total penalty and per-filter breakdown for one query."""
+        self.scored += 1
+        contributions: dict[str, float] = {}
+        total = 0.0
+        for filter_ in self.filters:
+            penalty = filter_.score(ctx)
+            if penalty:
+                contributions[filter_.name] = penalty
+            total += penalty
+        return ScoreBreakdown(total, contributions)

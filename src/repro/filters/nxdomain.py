@@ -1,0 +1,148 @@
+"""NXDOMAIN filter against random-subdomain attacks (paper section 4.3.4, #3).
+
+Random-subdomain attacks pass *through* legitimate resolvers, so
+per-source filters cannot separate attack from legitimate queries. This
+filter exploits the attack's signature instead: the random hostnames do
+not exist. It tracks NXDOMAIN responses per zone; when a zone's count
+exceeds a threshold, it builds a tree of all valid hostnames in that zone
+and penalizes queries that will miss the tree — identifying
+NXDOMAIN-bound queries before they consume full processing.
+
+Building trees only for zones above the threshold (rather than one global
+tree) keeps the structure small and update contention low, the trade-off
+paper section 4.3.4 describes; the ablation benchmark quantifies it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..dnscore.message import Message
+from ..dnscore.name import Name
+from ..dnscore.rrtypes import RCode
+from ..dnscore.zone import Zone
+from .base import QueryContext
+
+
+class ZoneNameTree:
+    """The set of names a zone can answer non-negatively.
+
+    A query name is *covered* when it exists exactly, is synthesizable
+    from a wildcard, or falls below a delegation cut (where the correct
+    answer is a referral, not NXDOMAIN).
+    """
+
+    def __init__(self, zone: Zone) -> None:
+        self.origin = zone.origin
+        self._names: set[Name] = zone.names()
+        self._wildcard_parents: set[Name] = {
+            n.parent() for n in self._names if n.is_wildcard
+        }
+        self._cuts: set[Name] = {
+            rrset.name for rrset in zone.iter_rrsets()
+            if rrset.rtype.name == "NS" and rrset.name != zone.origin
+        }
+        #: Approximate construction cost, used by the ablation benchmark.
+        self.size = len(self._names)
+
+    def covers(self, qname: Name) -> bool:
+        """Whether ``qname`` would get a non-NXDOMAIN response."""
+        if qname in self._names:
+            return True
+        for ancestor in qname.ancestors():
+            if ancestor == self.origin:
+                break
+            if ancestor in self._cuts:
+                return True
+            if not ancestor.is_root:
+                parent = ancestor.parent()
+                if parent in self._wildcard_parents:
+                    return True
+                # Stop climbing once we hit an existing interior name:
+                # anything below it that wasn't matched above is NXDOMAIN —
+                # unless that name is a zone cut (referral territory).
+                if parent in self._names and parent != ancestor:
+                    return ancestor in self._names or parent in self._cuts
+        return False
+
+
+@dataclass(slots=True)
+class NXDomainConfig:
+    """Tunables for the NXDOMAIN filter."""
+
+    penalty: float = 40.0
+    trigger_count: int = 100        # NXDOMAINs in window before tree build
+    window_seconds: float = 30.0
+    global_tree: bool = False       # ablation: one tree over all zones
+
+
+class NXDomainFilter:
+    """Tracks NXDOMAIN responses per zone and penalizes tree misses."""
+
+    name = "nxdomain"
+
+    def __init__(self, zone_provider, config: NXDomainConfig | None = None
+                 ) -> None:
+        """``zone_provider`` maps a query name to its Zone (the ZoneStore)."""
+        self.config = config or NXDomainConfig()
+        self._zone_provider = zone_provider
+        self._nxd_counts: dict[Name, list[float]] = {}
+        self._trees: dict[Name, ZoneNameTree] = {}
+        self.penalized = 0
+        self.trees_built = 0
+
+    # -- learning ------------------------------------------------------------
+
+    def observe_response(self, query: Message, response: Message,
+                         now: float) -> None:
+        """Count an NXDOMAIN response against its zone; build trees on
+        threshold crossing."""
+        if response.flags.rcode != RCode.NXDOMAIN:
+            return
+        try:
+            qname = query.question.qname
+        except Exception:
+            return
+        zone = self._zone_provider.find(qname)
+        if zone is None:
+            return
+        stamps = self._nxd_counts.setdefault(zone.origin, [])
+        stamps.append(now)
+        cutoff = now - self.config.window_seconds
+        if stamps and stamps[0] < cutoff:
+            stamps[:] = [s for s in stamps if s >= cutoff]
+        if (len(stamps) >= self.config.trigger_count
+                and zone.origin not in self._trees):
+            self._build_tree(zone)
+
+    def _build_tree(self, zone: Zone) -> None:
+        if self.config.global_tree:
+            # Ablation mode: building any tree triggers building all.
+            for other in self._zone_provider.zones():
+                if other.origin not in self._trees:
+                    self._trees[other.origin] = ZoneNameTree(other)
+                    self.trees_built += 1
+        else:
+            self._trees[zone.origin] = ZoneNameTree(zone)
+            self.trees_built += 1
+
+    def tree_for(self, origin: Name) -> ZoneNameTree | None:
+        return self._trees.get(origin)
+
+    def invalidate(self, origin: Name) -> None:
+        """Drop a zone's tree (zone content changed)."""
+        self._trees.pop(origin, None)
+
+    # -- scoring --------------------------------------------------------------
+
+    def score(self, ctx: QueryContext) -> float:
+        zone = self._zone_provider.find(ctx.qname)
+        if zone is None:
+            return 0.0
+        tree = self._trees.get(zone.origin)
+        if tree is None:
+            return 0.0
+        if tree.covers(ctx.qname):
+            return 0.0
+        self.penalized += 1
+        return self.config.penalty

@@ -1,0 +1,38 @@
+"""Score-to-queue assignment and outright discard (paper section 4.3.3).
+
+Each scored query lands in the queue with the smallest maximum score that
+still admits it; queries scoring at or above ``s_max`` are discarded as
+definitively malicious.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class QueuePolicy:
+    """Queue score boundaries (ascending) and the discard threshold."""
+
+    max_scores: tuple[float, ...] = (0.0, 25.0, 60.0, 120.0)
+    s_max: float = 1000.0
+
+    def __post_init__(self) -> None:
+        if not self.max_scores:
+            raise ValueError("at least one queue is required")
+        if list(self.max_scores) != sorted(self.max_scores):
+            raise ValueError("queue boundaries must ascend")
+
+    @property
+    def queue_count(self) -> int:
+        return len(self.max_scores)
+
+    def queue_for(self, score: float) -> int | None:
+        """Queue index for ``score``, or None when it must be discarded."""
+        if score >= self.s_max:
+            return None
+        for index, bound in enumerate(self.max_scores):
+            if score <= bound:
+                return index
+        # Above every bound but below s_max: worst queue.
+        return len(self.max_scores) - 1

@@ -1,0 +1,139 @@
+"""Deterministic discrete-event simulation engine.
+
+A single :class:`EventLoop` is the source of time for every simulated
+component (routers, nameservers, resolvers, monitoring agents). Events at
+equal timestamps fire in scheduling order, which keeps runs bit-for-bit
+reproducible given the same seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """Handle returned by :meth:`EventLoop.call_at`; supports cancellation."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: _Event) -> None:
+        self._event = event
+
+    def cancel(self) -> None:
+        """Prevent the event from firing; safe to call more than once."""
+        self._event.cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+    @property
+    def time(self) -> float:
+        return self._event.time
+
+
+class EventLoop:
+    """A priority-queue event loop over simulated seconds."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._queue: list[_Event] = []
+        self._seq = itertools.count()
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        return self._processed
+
+    @property
+    def pending(self) -> int:
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    def call_at(self, when: float, action: Callable[[], None]) -> EventHandle:
+        """Schedule ``action`` at absolute time ``when`` (>= now)."""
+        if when < self._now:
+            raise ValueError(f"cannot schedule at {when} < now {self._now}")
+        event = _Event(when, next(self._seq), action)
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
+
+    def call_later(self, delay: float, action: Callable[[], None]) -> EventHandle:
+        """Schedule ``action`` after ``delay`` seconds."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        return self.call_at(self._now + delay, action)
+
+    def run_until(self, deadline: float) -> None:
+        """Process events with time <= deadline, then advance to deadline."""
+        while self._queue and self._queue[0].time <= deadline:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._processed += 1
+            event.action()
+        self._now = max(self._now, deadline)
+
+    def run(self, max_events: int | None = None) -> None:
+        """Process events until the queue drains (or ``max_events``)."""
+        count = 0
+        while self._queue:
+            if max_events is not None and count >= max_events:
+                return
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._processed += 1
+            event.action()
+            count += 1
+
+
+class PeriodicTask:
+    """Re-arms an action at a fixed period until cancelled.
+
+    Used for monitoring-agent health probes, vantage-point query trains,
+    and metadata heartbeat timers.
+    """
+
+    def __init__(self, loop: EventLoop, period: float,
+                 action: Callable[[], None], *, start_delay: float = 0.0) -> None:
+        if period <= 0:
+            raise ValueError("period must be positive")
+        self._loop = loop
+        self._period = period
+        self._action = action
+        self._stopped = False
+        self._handle = loop.call_later(start_delay, self._fire)
+
+    def _fire(self) -> None:
+        if self._stopped:
+            return
+        self._action()
+        if not self._stopped:
+            self._handle = self._loop.call_later(self._period, self._fire)
+
+    def stop(self) -> None:
+        """Stop re-arming; a pending firing is cancelled."""
+        self._stopped = True
+        self._handle.cancel()
+
+    @property
+    def stopped(self) -> bool:
+        return self._stopped

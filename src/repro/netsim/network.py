@@ -1,0 +1,298 @@
+"""The assembled internetwork: forwarding plane plus BGP control plane.
+
+Two delivery modes mirror what matters in the experiments:
+
+* **Anycast destinations** are forwarded hop-by-hop through each router's
+  live FIB. During BGP convergence, FIBs diverge — packets loop until the
+  IP TTL hits zero or a router has no route, exactly the failure mode the
+  paper measures for prefix withdrawals.
+* **Unicast destinations** (vantage points, resolvers, machine addresses)
+  ride precomputed shortest paths: the reverse path is stable in the
+  paper's experiments, so simulating it hop-by-hop would add cost without
+  adding fidelity.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from dataclasses import dataclass
+from typing import Callable, Protocol
+
+from .bgp import LOCAL, BGPSpeaker
+from .clock import EventLoop
+from .packet import Datagram
+from .topology import NodeKind, Topology
+
+#: Per-hop forwarding/serialization cost in seconds.
+HOP_COST_S = 0.00005
+
+
+class Endpoint(Protocol):
+    """Anything that can receive datagrams at a host node."""
+
+    def handle_datagram(self, dgram: Datagram) -> None:
+        """Process an arriving datagram."""
+
+
+LocalDeliveryHandler = Callable[[Datagram], None]
+
+
+@dataclass(slots=True)
+class NetworkStats:
+    """Counters the experiments read after a run."""
+
+    delivered: int = 0
+    dropped_no_route: int = 0
+    dropped_ttl_expired: int = 0
+    dropped_unreachable: int = 0
+    dropped_congestion: int = 0
+    hops_total: int = 0
+
+    def dropped(self) -> int:
+        return (self.dropped_no_route + self.dropped_ttl_expired
+                + self.dropped_unreachable + self.dropped_congestion)
+
+
+@dataclass(slots=True)
+class _LinkState:
+    """Mutable per-link state: admin status plus congestion bucket."""
+
+    up: bool = True
+    tokens: float = 0.0
+    last_refill: float = 0.0
+
+
+class Network:
+    """Couples a topology with BGP speakers, FIBs, and packet delivery."""
+
+    def __init__(self, loop: EventLoop, topology: Topology,
+                 rng: random.Random) -> None:
+        self.loop = loop
+        self.topology = topology
+        self.rng = rng
+        self._speakers: dict[str, BGPSpeaker] = {}
+        #: router -> prefix -> next hop router id (or LOCAL)
+        self._fib: dict[str, dict[str, str]] = {}
+        #: router -> prefix -> local delivery handler
+        self._local_delivery: dict[tuple[str, str], LocalDeliveryHandler] = {}
+        self._endpoints: dict[str, Endpoint] = {}
+        self._unicast_cache: dict[str, dict[str, float]] = {}
+        self._unicast_cache_version = -1
+        self._link_state: dict[frozenset[str], _LinkState] = {}
+        self._link_drops: dict[frozenset[str], int] = {}
+        self.stats = NetworkStats()
+        #: Optional per-router FIB programming delay (seconds). Real
+        #: routers take time to sync RIB decisions into the forwarding
+        #: plane, and under churn some take many seconds — the cause of
+        #: transient blackholes and loops after BGP has "converged",
+        #: and of the withdrawal-timeout tail in paper Figure 8.
+        self.fib_delay_for: Callable[[str], float] | None = None
+        self._fib_version: dict[tuple[str, str], int] = {}
+        self._fib_floor: dict[tuple[str, str], float] = {}
+
+    # -- control plane ------------------------------------------------------
+
+    def build_speakers(self, *, mrai_for: Callable[[str], float] | None = None,
+                       processing_delay: tuple[float, float] = (0.01, 0.10),
+                       ) -> None:
+        """Instantiate one BGP speaker per router node.
+
+        ``mrai_for`` maps router id -> MRAI seconds, letting experiments
+        give a fraction of the transit core slow advertisement timers.
+        """
+        for node in self.topology.routers():
+            mrai = mrai_for(node.node_id) if mrai_for else 0.0
+            self._speakers[node.node_id] = BGPSpeaker(
+                self, node.node_id, node.asn, self.rng, mrai=mrai,
+                processing_delay=processing_delay)
+
+    def speaker(self, node_id: str) -> BGPSpeaker:
+        return self._speakers[node_id]
+
+    def speakers(self) -> dict[str, BGPSpeaker]:
+        return dict(self._speakers)
+
+    def set_fib(self, router_id: str, prefix: str,
+                next_hop: str | None, *, churn: bool = False) -> None:
+        """Install or remove the FIB entry for (router, prefix).
+
+        ``churn`` marks withdrawal-driven changes: only those pay the
+        router's FIB programming delay (RIB->FIB sync backs up under
+        update bursts), applied such that out-of-order completions are
+        dropped and the newest decision always wins.
+        """
+        delay = (self.fib_delay_for(router_id)
+                 if self.fib_delay_for is not None and churn else 0.0)
+        key = (router_id, prefix)
+        version = self._fib_version.get(key, 0) + 1
+        self._fib_version[key] = version
+        now = self.loop.now
+        # The RIB->FIB queue is FIFO: a change cannot be programmed
+        # before changes issued earlier for the same entry.
+        apply_at = max(now + delay, self._fib_floor.get(key, 0.0))
+        self._fib_floor[key] = apply_at
+        if apply_at <= now:
+            self._apply_fib(router_id, prefix, next_hop, version)
+            return
+        self.loop.call_at(
+            apply_at,
+            lambda: self._apply_fib(router_id, prefix, next_hop, version))
+
+    def _apply_fib(self, router_id: str, prefix: str,
+                   next_hop: str | None, version: int | None = None) -> None:
+        if version is not None \
+                and self._fib_version.get((router_id, prefix)) != version:
+            return
+        table = self._fib.setdefault(router_id, {})
+        if next_hop is None:
+            table.pop(prefix, None)
+        else:
+            table[prefix] = next_hop
+
+    def fib_entry(self, router_id: str, prefix: str) -> str | None:
+        return self._fib.get(router_id, {}).get(prefix)
+
+    def register_local_delivery(self, router_id: str, prefix: str,
+                                handler: LocalDeliveryHandler) -> None:
+        """Route packets for ``prefix`` that terminate at ``router_id``."""
+        self._local_delivery[(router_id, prefix)] = handler
+
+    # -- failure injection ----------------------------------------------------
+
+    def set_link_up(self, a: str, b: str, up: bool) -> None:
+        """Administratively fail or restore a link (connectivity faults)."""
+        key = frozenset((a, b))
+        self.topology.link(a, b)  # raises KeyError if absent
+        self._link_state.setdefault(key, _LinkState()).up = up
+        self._unicast_cache.clear()
+
+    def link_is_up(self, a: str, b: str) -> bool:
+        state = self._link_state.get(frozenset((a, b)))
+        return state.up if state else True
+
+    def link_drops(self, a: str, b: str) -> int:
+        """Congestion drops recorded on one link."""
+        return self._link_drops.get(frozenset((a, b)), 0)
+
+    def _link_admit(self, link) -> bool:
+        """Token bucket over a capacity-limited link."""
+        if link.capacity_pps is None:
+            return True
+        key = frozenset((link.a, link.b))
+        burst = link.capacity_pps * 0.05
+        state = self._link_state.get(key)
+        if state is None:
+            state = _LinkState(tokens=burst, last_refill=self.loop.now)
+            self._link_state[key] = state
+        elapsed = self.loop.now - state.last_refill
+        state.last_refill = self.loop.now
+        state.tokens = min(burst,
+                           state.tokens + elapsed * link.capacity_pps)
+        if state.tokens >= 1.0:
+            state.tokens -= 1.0
+            return True
+        self._link_drops[key] = self._link_drops.get(key, 0) + 1
+        return False
+
+    # -- data plane ---------------------------------------------------------
+
+    def attach_endpoint(self, host_id: str, endpoint: Endpoint) -> None:
+        """Bind a host node's address to a datagram handler."""
+        if self.topology.node(host_id).kind != NodeKind.HOST:
+            raise ValueError(f"{host_id} is not a host node")
+        self._endpoints[host_id] = endpoint
+
+    def send(self, dgram: Datagram) -> None:
+        """Inject a datagram from its source host into the network."""
+        src_node = self.topology.node(dgram.src)
+        if src_node.kind == NodeKind.HOST:
+            first_router = self.topology.attachment_router(dgram.src)
+            access = self.topology.link(dgram.src, first_router)
+            if not self.link_is_up(dgram.src, first_router):
+                self.stats.dropped_unreachable += 1
+                return
+            delay = access.latency_ms / 1000.0
+        else:
+            first_router = dgram.src
+            delay = 0.0
+        if dgram.dst in self._endpoints:
+            self._deliver_unicast(dgram)
+            return
+        self.loop.call_later(
+            delay, lambda: self._forward(first_router, dgram))
+
+    def _forward(self, router_id: str, dgram: Datagram) -> None:
+        """One hop of FIB forwarding for an anycast destination."""
+        handler = self._local_delivery.get((router_id, dgram.dst))
+        next_hop = self._fib.get(router_id, {}).get(dgram.dst)
+        if next_hop == LOCAL and handler is not None:
+            self.stats.delivered += 1
+            self.stats.hops_total += len(dgram.hops)
+            handler(dgram.decremented(router_id))
+            return
+        if next_hop is None or next_hop == LOCAL:
+            self.stats.dropped_no_route += 1
+            return
+        if dgram.ip_ttl <= 1:
+            self.stats.dropped_ttl_expired += 1
+            return
+        if not self.link_is_up(router_id, next_hop):
+            self.stats.dropped_no_route += 1
+            return
+        link = self.topology.link(router_id, next_hop)
+        if not self._link_admit(link):
+            self.stats.dropped_congestion += 1
+            return
+        delay = link.latency_ms / 1000.0 + HOP_COST_S
+        moved = dgram.decremented(router_id)
+        self.loop.call_later(
+            delay, lambda: self._forward(next_hop, moved))
+
+    def _deliver_unicast(self, dgram: Datagram) -> None:
+        latency = self.unicast_latency(dgram.src, dgram.dst)
+        if latency is None:
+            self.stats.dropped_unreachable += 1
+            return
+        endpoint = self._endpoints[dgram.dst]
+        self.stats.delivered += 1
+        self.loop.call_later(latency,
+                             lambda: endpoint.handle_datagram(dgram))
+
+    # -- unicast shortest paths ----------------------------------------------
+
+    def unicast_latency(self, src: str, dst: str) -> float | None:
+        """One-way latency along the shortest live path, or None."""
+        if self._unicast_cache_version != self.topology.version:
+            # Topology grew (new hosts/links) since the cache was built.
+            self._unicast_cache.clear()
+            self._unicast_cache_version = self.topology.version
+        distances = self._unicast_cache.get(src)
+        if distances is None:
+            distances = self._dijkstra(src)
+            self._unicast_cache[src] = distances
+        return distances.get(dst)
+
+    def unicast_rtt_ms(self, a: str, b: str) -> float | None:
+        """Round-trip time in milliseconds between two nodes."""
+        one_way = self.unicast_latency(a, b)
+        return None if one_way is None else one_way * 2000.0
+
+    def _dijkstra(self, src: str) -> dict[str, float]:
+        distances = {src: 0.0}
+        frontier: list[tuple[float, str]] = [(0.0, src)]
+        visited: set[str] = set()
+        while frontier:
+            dist, node = heapq.heappop(frontier)
+            if node in visited:
+                continue
+            visited.add(node)
+            for neighbor in self.topology.neighbors(node):
+                if not self.link_is_up(node, neighbor):
+                    continue
+                link = self.topology.link(node, neighbor)
+                candidate = dist + link.latency_ms / 1000.0 + HOP_COST_S
+                if candidate < distances.get(neighbor, float("inf")):
+                    distances[neighbor] = candidate
+                    heapq.heappush(frontier, (candidate, neighbor))
+        return distances

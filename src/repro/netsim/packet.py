@@ -1,0 +1,43 @@
+"""Datagrams exchanged across the simulated internetwork.
+
+A :class:`Datagram` is a UDP-over-IP stand-in: source/destination address
+and port, an IP TTL that routers decrement (so divergent routing tables
+during BGP convergence really do discard looping packets, reproducing the
+withdrawal-timeout behaviour of paper section 4.1), and an arbitrary
+payload — usually DNS message bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+DEFAULT_IP_TTL = 64
+
+
+@dataclass(slots=True)
+class Datagram:
+    """One packet in flight."""
+
+    src: str
+    dst: str
+    payload: object
+    src_port: int = 0
+    dst_port: int = 53
+    ip_ttl: int = DEFAULT_IP_TTL
+    size_bytes: int = 120
+    hops: tuple[str, ...] = field(default_factory=tuple)
+
+    def decremented(self, via: str) -> "Datagram":
+        """A copy with TTL decremented and the traversed router recorded."""
+        return replace(self, ip_ttl=self.ip_ttl - 1,
+                       hops=self.hops + (via,))
+
+    def reply_template(self) -> "Datagram":
+        """Swap src/dst to address a response back to the sender."""
+        return Datagram(src=self.dst, dst=self.src, payload=None,
+                        src_port=self.dst_port, dst_port=self.src_port)
+
+    @property
+    def flow_key(self) -> tuple[str, int, str, int]:
+        """The tuple ECMP hashes on (paper section 3.1)."""
+        return (self.src, self.src_port, self.dst, self.dst_port)

@@ -1,0 +1,597 @@
+"""The assembled Akamai DNS platform.
+
+Builds everything Figure 5 shows into one simulated world: a synthetic
+Internet, PoPs with nameserver machines and monitoring agents, the 24
+anycast clouds (each PoP advertising at most two), input-delayed
+nameservers, the control plane (metadata bus, mapping intelligence,
+management portal, recovery system), the DNS hierarchy (root, TLDs,
+Akamai zones, Two-Tier toplevels/lowlevels), and the CDN edge fleet
+running lowlevel nameservers. Experiments and examples drive the world
+through this facade.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..control.mapping import (
+    EdgeServer,
+    GTMProperty,
+    MapSnapshot,
+    MappingIntelligence,
+    MappingView,
+)
+from ..control.portal import ManagementPortal
+from ..control.pubsub import CDN_CHANNEL, MULTICAST_CHANNEL, MetadataBus
+from ..control.recovery import RecoverySystem
+from ..control.reporting import TrafficCollector
+from ..control.consensus import QuorumSuspensionCoordinator
+from ..dnscore.name import Name, name
+from ..dnscore.rdata import A, AAAA, CNAME, NS, SOA
+from ..dnscore.records import make_rrset
+from ..dnscore.rrtypes import RType
+from ..dnscore.zone import Zone, make_zone
+from ..filters.allowlist import AllowlistFilter
+from ..filters.base import ScoringPipeline
+from ..filters.hopcount import HopCountFilter
+from ..filters.loyalty import LoyaltyFilter
+from ..filters.nxdomain import NXDomainFilter
+from ..filters.ratelimit import RateLimitFilter
+from ..filters.scoring import QueuePolicy
+from ..netsim.builder import (
+    Internet,
+    InternetParams,
+    attach_host,
+    attach_pop,
+    build_internet,
+)
+from ..netsim.clock import EventLoop, PeriodicTask
+from ..netsim.geo import GeoPoint
+from ..netsim.network import Network
+from ..resolver.resolver import RecursiveResolver
+from ..resolver.selection import SelectionStrategy
+from ..server.engine import AuthoritativeEngine, ZoneStore
+from ..server.host import HostNameserver
+from ..server.machine import MachineConfig, NameserverMachine
+from ..server.monitoring import MonitoringAgent
+from ..server.pop import PoP
+from ..server.speaker import MachineBGPSpeaker
+from .clouds import (
+    AnycastCloudSpec,
+    CDN_DELEGATION_COUNT,
+    DelegationAssigner,
+    all_clouds,
+)
+from .twotier import (
+    TailoredDelegationProvider,
+    TwoTierNames,
+    build_lowlevel_zone,
+    build_toplevel_zone,
+)
+
+ROOT_SERVER_ADDRESS = "198.41.0.4"
+TLD_SERVER_ADDRESS = "192.5.6.30"
+INPUT_DELAYED_MED = 100
+
+
+@dataclass(slots=True)
+class DeploymentParams:
+    """Size and behaviour knobs for the assembled platform."""
+
+    seed: int = 42
+    internet: InternetParams = field(default_factory=InternetParams)
+    n_pops: int = 24
+    machines_per_pop: int = 2
+    pops_per_cloud: int = 2
+    max_clouds_per_pop: int = 2          # paper: "no PoP advertising more
+                                         # than two clouds"
+    deployed_clouds: int = 24
+    n_edge_servers: int = 24
+    input_delayed_enabled: bool = True
+    monitoring_period: float = 2.0
+    metadata_heartbeat: float = 10.0
+    input_delay_seconds: float = 3600.0
+    filters_enabled: bool = True
+    machine_config: MachineConfig = field(default_factory=MachineConfig)
+    queue_policy: QueuePolicy = field(default_factory=QueuePolicy)
+
+
+@dataclass(slots=True)
+class MachineDeployment:
+    """One machine plus its co-resident processes."""
+
+    machine: NameserverMachine
+    speaker: MachineBGPSpeaker
+    agent: MonitoringAgent
+    view: MappingView
+    input_delayed: bool = False
+
+
+class AkamaiDNSDeployment:
+    """Facade over the whole simulated platform."""
+
+    def __init__(self, params: DeploymentParams | None = None) -> None:
+        self.params = params or DeploymentParams()
+        p = self.params
+        self.rng = random.Random(p.seed)
+        self.loop = EventLoop()
+        self.internet: Internet = build_internet(self.rng, p.internet)
+        self.names = TwoTierNames()
+        self._machine_seq = 0
+        #: Locations for client keys that are not topology nodes
+        #: (e.g. ECS subnets registered by experiments).
+        self.client_locations: dict[str, GeoPoint] = {}
+
+        # Clouds and their PoP assignment.
+        self.clouds: list[AnycastCloudSpec] = \
+            all_clouds()[:p.deployed_clouds]
+        self.assigner = DelegationAssigner(
+            total=p.deployed_clouds,
+            set_size=min(6, p.deployed_clouds))
+        self.pop_ids = [attach_pop(self.internet, self.rng)
+                        for _ in range(p.n_pops)]
+        self.cloud_pops: dict[int, list[str]] = self._assign_clouds_to_pops()
+
+        # Infrastructure hosts.
+        attach_host(self.internet, self.rng, host_id=ROOT_SERVER_ADDRESS)
+        attach_host(self.internet, self.rng, host_id=TLD_SERVER_ADDRESS)
+        self.edge_addresses = [f"172.16.{i // 250}.{i % 250 + 1}"
+                               for i in range(p.n_edge_servers)]
+        for address in self.edge_addresses:
+            attach_host(self.internet, self.rng, host_id=address)
+
+        # Data plane.
+        self.network = Network(self.loop, self.internet.topology, self.rng)
+        self.network.build_speakers()
+
+        # Control plane.
+        self.bus = MetadataBus(self.loop, self.rng)
+        self.mapping = MappingIntelligence(self.loop, self.bus)
+        for address in self.edge_addresses:
+            location = self.internet.topology.node(address).location
+            self.mapping.add_edge(EdgeServer(address, location))
+        self.portal = ManagementPortal(self.bus)
+        self.coordinator = QuorumSuspensionCoordinator(
+            self.loop, max_concurrent=max(2, p.n_pops
+                                          * p.machines_per_pop // 4))
+        self.recovery = RecoverySystem(self.loop,
+                                       coordinator=self.coordinator)
+        self._initial_snapshot: MapSnapshot = self.mapping.snapshot()
+
+        # Akamai zones.
+        self.akamai_zones = self._build_akamai_zones()
+        self.enterprise_zones: dict[Name, Zone] = {}
+        self.tld_zone = self._build_tld_zone()
+        self.root_zone = self._build_root_zone()
+
+        # Fleet.
+        self.pops: dict[str, PoP] = {}
+        self.deployments: list[MachineDeployment] = []
+        self._build_fleet()
+        self._build_infrastructure_hosts()
+        self._build_lowlevel_fleet()
+
+        # Data Collection/Aggregation (Figure 5): per-zone traffic
+        # reports compiled for the portal.
+        self.collector = TrafficCollector(self.loop, period=60.0)
+        for deployment in self.deployments:
+            self.collector.register(deployment.machine)
+
+        # Heartbeats keep metadata fresh platform-wide.
+        self._heartbeat = PeriodicTask(
+            self.loop, p.metadata_heartbeat,
+            lambda: self.mapping.publish(),
+            start_delay=p.metadata_heartbeat)
+
+        #: Resolvers created through :meth:`add_resolver`.
+        self.resolvers: dict[str, RecursiveResolver] = {}
+
+    # -- topology/cloud wiring ----------------------------------------------------
+
+    def _assign_clouds_to_pops(self) -> dict[int, list[str]]:
+        """Greedy assignment honoring the two-clouds-per-PoP cap."""
+        p = self.params
+        capacity = {pop: p.max_clouds_per_pop for pop in self.pop_ids}
+        assignment: dict[int, list[str]] = {}
+        ordered_pops = list(self.pop_ids)
+        for cloud in self.clouds:
+            chosen: list[str] = []
+            candidates = sorted(ordered_pops,
+                                key=lambda pop: -capacity[pop])
+            for pop in candidates:
+                if capacity[pop] > 0:
+                    chosen.append(pop)
+                    capacity[pop] -= 1
+                if len(chosen) == p.pops_per_cloud:
+                    break
+            if len(chosen) < p.pops_per_cloud:
+                raise ValueError(
+                    "not enough PoP capacity: increase n_pops or "
+                    "max_clouds_per_pop, or lower pops_per_cloud")
+            assignment[cloud.index] = chosen
+        return assignment
+
+    def pop_clouds(self, pop_id: str) -> list[AnycastCloudSpec]:
+        """The clouds a PoP advertises."""
+        return [c for c in self.clouds
+                if pop_id in self.cloud_pops[c.index]]
+
+    # -- zones -----------------------------------------------------------------------
+
+    def _build_akamai_zones(self) -> list[Zone]:
+        toplevel_specs = self.clouds[:CDN_DELEGATION_COUNT]
+        toplevel_ns = [(c.ns_hostname, c.prefix) for c in toplevel_specs]
+        static_lowlevels = [
+            (name(f"n{a.replace('.', '-')}.{self.names.lowlevel_zone}"), a)
+            for a in self.edge_addresses[:2]]
+        toplevel_zone = build_toplevel_zone(self.names, toplevel_ns,
+                                            static_lowlevels)
+        lowlevel_zone = build_lowlevel_zone(
+            self.names,
+            [(name(f"n{a.replace('.', '-')}.{self.names.lowlevel_zone}"), a)
+             for a in self.edge_addresses] or static_lowlevels)
+
+        # akam.net: the cloud NS hostnames' own zone.
+        akam = make_zone(
+            name("akam.net"),
+            SOA(self.clouds[0].ns_hostname, name("hostmaster.akamai.com"),
+                1, 7200, 3600, 1209600, 300),
+            [c.ns_hostname for c in self.clouds], ttl=86400)
+        for cloud in self.clouds:
+            akam.add_rrset(make_rrset(cloud.ns_hostname, RType.A, 86400,
+                                      [A(cloud.prefix)]))
+            akam.add_rrset(make_rrset(cloud.ns_hostname, RType.AAAA,
+                                      86400, [AAAA(cloud.prefix6)]))
+
+        # edgesuite.net: CDN entry domain, CNAMEs added per enterprise.
+        edgesuite = make_zone(
+            name("edgesuite.net"),
+            SOA(self.clouds[0].ns_hostname, name("hostmaster.akamai.com"),
+                1, 7200, 3600, 1209600, 300),
+            [c.ns_hostname for c in toplevel_specs], ttl=86400)
+
+        return [toplevel_zone, lowlevel_zone, akam, edgesuite]
+
+    def _build_tld_zone(self) -> Zone:
+        """One server covering net/com delegations (enough hierarchy for
+        the experiments; the real TLD infrastructure is out of scope)."""
+        tld = make_zone(
+            name("net"),
+            SOA(name("a.gtld.net"), name("hostmaster.gtld.net"), 1,
+                7200, 3600, 1209600, 300),
+            [name("a.gtld.net")], ttl=86400)
+        tld.add_rrset(make_rrset(name("a.gtld.net"), RType.A, 86400,
+                                 [A(TLD_SERVER_ADDRESS)]))
+        # Delegate akam.net with full glue: the critical bootstrap.
+        tld.add_rrset(make_rrset(
+            name("akam.net"), RType.NS, 86400,
+            [NS(c.ns_hostname) for c in self.clouds]))
+        for cloud in self.clouds:
+            tld.add_rrset(make_rrset(cloud.ns_hostname, RType.A, 86400,
+                                     [A(cloud.prefix)]))
+            tld.add_rrset(make_rrset(cloud.ns_hostname, RType.AAAA,
+                                     86400, [AAAA(cloud.prefix6)]))
+        toplevel = self.clouds[:CDN_DELEGATION_COUNT]
+        tld.add_rrset(make_rrset(
+            name("akamai.net"), RType.NS, 86400,
+            [NS(c.ns_hostname) for c in toplevel]))
+        tld.add_rrset(make_rrset(
+            name("edgesuite.net"), RType.NS, 86400,
+            [NS(c.ns_hostname) for c in toplevel]))
+        return tld
+
+    def _build_root_zone(self) -> Zone:
+        root = make_zone(
+            name("."),
+            SOA(name("a.root-servers.net"), name("nstld.verisign-grs.com"),
+                1, 1800, 900, 604800, 86400),
+            [name("a.root-servers.net")], ttl=518400)
+        root.add_rrset(make_rrset(name("a.root-servers.net"), RType.A,
+                                  518400, [A(ROOT_SERVER_ADDRESS)]))
+        root.add_rrset(make_rrset(name("net"), RType.NS, 172800,
+                                  [NS(name("a.gtld.net"))]))
+        root.add_rrset(make_rrset(name("a.gtld.net"), RType.A, 172800,
+                                  [A(TLD_SERVER_ADDRESS)]))
+        return root
+
+    # -- fleet construction -----------------------------------------------------------
+
+    def _locate_client(self, client_key: str | None) -> GeoPoint | None:
+        if client_key is None:
+            return None
+        if self.internet.topology.has_node(client_key):
+            return self.internet.topology.node(client_key).location
+        return self.client_locations.get(client_key)
+
+    def _make_pipeline(self, store: ZoneStore) -> ScoringPipeline:
+        if not self.params.filters_enabled:
+            return ScoringPipeline([])
+        return ScoringPipeline([
+            RateLimitFilter(),
+            AllowlistFilter(),
+            NXDomainFilter(store),
+            HopCountFilter(),
+            LoyaltyFilter(),
+        ])
+
+    def _make_machine(self, machine_id: str,
+                      config: MachineConfig) -> tuple[NameserverMachine,
+                                                      MappingView]:
+        store = ZoneStore()
+        for zone in self.akamai_zones:
+            # Fleet (toplevel) machines do NOT serve the lowlevel zone:
+            # they delegate it — that split *is* the Two-Tier system.
+            if zone.origin == self.names.lowlevel_zone:
+                continue
+            store.add(zone)
+        for zone in self.enterprise_zones.values():
+            store.add(zone)
+        view = MappingView(self._locate_client, random.Random(
+            self.rng.randrange(2**31)))
+        view.snapshot = self._initial_snapshot
+        provider = TailoredDelegationProvider(
+            lambda v=view: v.snapshot, self._locate_client)
+        engine = AuthoritativeEngine(
+            store, mapping=view,
+            dynamic_delegations={self.names.lowlevel_zone: provider})
+        pipeline = self._make_pipeline(store)
+        machine = NameserverMachine(self.loop, machine_id, engine, pipeline,
+                                    self.params.queue_policy, config)
+        machine.metadata_handlers["mapping"] = view.apply
+        nxd = next((f for f in pipeline.filters
+                    if isinstance(f, NXDomainFilter)), None)
+        machine.metadata_handlers["zone"] = \
+            lambda msg, s=store, f=nxd: self._install_zone_update(s, msg, f)
+        self.bus.subscribe(MULTICAST_CHANNEL, machine,
+                           extra_delay=(self.params.input_delay_seconds
+                                        if config.input_delayed else 0.0))
+        self.bus.subscribe(CDN_CHANNEL, machine,
+                           extra_delay=(self.params.input_delay_seconds
+                                        if config.input_delayed else 0.0))
+        self.recovery.register(machine)
+        return machine, view
+
+    def _install_zone_update(self, store: ZoneStore, message,
+                             nxd_filter: NXDomainFilter | None = None
+                             ) -> None:
+        zone = message.payload
+        if isinstance(zone, Zone):
+            store.add(zone)
+            if nxd_filter is not None:
+                # Zone contents changed: any cached hostname tree for it
+                # is now wrong and must be rebuilt on demand.
+                nxd_filter.invalidate(zone.origin)
+
+    def _build_fleet(self) -> None:
+        p = self.params
+        for pop_id in self.pop_ids:
+            pop = PoP(self.loop, self.network, pop_id)
+            self.pops[pop_id] = pop
+            prefixes = [p for c in self.pop_clouds(pop_id)
+                        for p in c.prefixes]
+            for j in range(p.machines_per_pop):
+                self._add_fleet_machine(pop, prefixes, input_delayed=False)
+        if p.input_delayed_enabled:
+            # One input-delayed machine per cloud, at its first PoP.
+            for cloud in self.clouds:
+                pop_id = self.cloud_pops[cloud.index][0]
+                self._add_fleet_machine(self.pops[pop_id],
+                                        list(cloud.prefixes),
+                                        input_delayed=True)
+
+    def _add_fleet_machine(self, pop: PoP, prefixes: list[str],
+                           *, input_delayed: bool) -> MachineDeployment:
+        p = self.params
+        self._machine_seq += 1
+        machine_id = f"{pop.router_id}-m{self._machine_seq}"
+        config = MachineConfig(**{
+            **_vars_slots(p.machine_config),
+            "input_delayed": input_delayed,
+            "input_delay": p.input_delay_seconds,
+        })
+        machine, view = self._make_machine(machine_id, config)
+        pop.add_machine(machine)
+        speaker = MachineBGPSpeaker(
+            pop, machine_id, prefixes,
+            med=INPUT_DELAYED_MED if input_delayed else 0)
+        agent = MonitoringAgent(
+            self.loop, machine, speaker,
+            period=p.monitoring_period,
+            coordinator=None if input_delayed else self.coordinator,
+            allow_self_suspend=not input_delayed)
+        speaker.advertise_all()
+        deployment = MachineDeployment(machine, speaker, agent, view,
+                                       input_delayed)
+        self.deployments.append(deployment)
+        return deployment
+
+    def _build_infrastructure_hosts(self) -> None:
+        self._root_host = self._simple_host(ROOT_SERVER_ADDRESS,
+                                            [self.root_zone])
+        self._tld_host = self._simple_host(TLD_SERVER_ADDRESS,
+                                           [self.tld_zone])
+
+    def _simple_host(self, address: str, zones: list[Zone]
+                     ) -> HostNameserver:
+        store = ZoneStore()
+        for zone in zones:
+            store.add(zone)
+        machine = NameserverMachine(
+            self.loop, f"host-{address}", AuthoritativeEngine(store),
+            ScoringPipeline([]), self.params.queue_policy,
+            MachineConfig(staleness_threshold=float("inf"),
+                          wire_responses=self.params.machine_config
+                          .wire_responses))
+        return HostNameserver(self.loop, self.network, address, machine)
+
+    def _build_lowlevel_fleet(self) -> None:
+        """Every CDN edge runs a lowlevel nameserver (section 5.2)."""
+        self.lowlevel_hosts: dict[str, HostNameserver] = {}
+        lowlevel_zone = self.akamai_zones[1]
+        for address in self.edge_addresses:
+            store = ZoneStore()
+            store.add(lowlevel_zone)
+            view = MappingView(self._locate_client, random.Random(
+                self.rng.randrange(2**31)))
+            view.snapshot = self._initial_snapshot
+            engine = AuthoritativeEngine(
+                store, mapping=view,
+                dynamic_domains=[self.names.lowlevel_zone])
+            machine = NameserverMachine(
+                self.loop, f"ll-{address}", engine, ScoringPipeline([]),
+                self.params.queue_policy,
+                MachineConfig(staleness_threshold=float("inf"),
+                              wire_responses=self.params.machine_config
+                              .wire_responses))
+            machine.metadata_handlers["mapping"] = view.apply
+            self.bus.subscribe(MULTICAST_CHANNEL, machine)
+            self.lowlevel_hosts[address] = HostNameserver(
+                self.loop, self.network, address, machine)
+
+    # -- provisioning -----------------------------------------------------------------
+
+    def provision_enterprise(self, enterprise_id: str, origin: str,
+                             zone_body: str = "", *,
+                             cdn_hostnames: list[str] | None = None
+                             ) -> tuple[AnycastCloudSpec, ...]:
+        """Onboard an enterprise: assign clouds, build+publish its zone,
+        update the parent TLD delegation, and optionally wire CDN names.
+
+        ``zone_body`` is extra master-file content (no SOA/NS needed).
+        Origins must sit under ".net" — the only TLD the simulated
+        hierarchy carries. Returns the assigned delegation set.
+        """
+        if not name(origin).is_subdomain_of(self.tld_zone.origin):
+            raise ValueError(f"enterprise origins must end in "
+                             f".{self.tld_zone.origin}")
+        delegation = self.assigner.assign(enterprise_id)
+        usable = [c for c in delegation if c in self.clouds]
+        if not usable:
+            raise ValueError(
+                "assigned clouds are not deployed; raise deployed_clouds")
+        ns_lines = "\n".join(f"@ IN NS {c.ns_hostname}" for c in usable)
+        text = (f"$ORIGIN {origin.rstrip('.')}.\n$TTL 3600\n"
+                f"@ IN SOA {usable[0].ns_hostname} "
+                f"hostmaster.{origin.rstrip('.')}. 1 7200 3600 1209600 300\n"
+                f"{ns_lines}\n{zone_body}")
+        self.portal.register_enterprise(
+            enterprise_id,
+            tuple(str(c.ns_hostname) for c in usable))
+        zone = self.portal.submit_zone_text(enterprise_id, text)
+        self.enterprise_zones[zone.origin] = zone
+        # Immediate install (steady-state assumption) in addition to the
+        # bus publication the portal already made.
+        for deployment in self.deployments:
+            deployment.machine.engine.store.add(zone)
+        # Parent delegation: "adding the NS records to the parent zone
+        # ensures that resolvers are directed to Akamai DNS".
+        self.tld_zone.add_rrset(make_rrset(
+            zone.origin, RType.NS, 86400,
+            [NS(c.ns_hostname) for c in usable]))
+        for hostname in cdn_hostnames or []:
+            self._wire_cdn_hostname(zone, hostname)
+        return tuple(usable)
+
+    def provision_gtm_property(self, enterprise_id: str, hostname: str,
+                               datacenters: list[tuple[str, GeoPoint]],
+                               weights: list[float]) -> GTMProperty:
+        """Configure DNS-based load balancing for an enterprise hostname.
+
+        ``hostname`` must fall under one of the enterprise's provisioned
+        zones (so queries reach Akamai DNS); answers are computed per
+        query from the weighted live datacenter set, published to the
+        fleet through the mapping channel (paper sections 1 and 3.2).
+        """
+        gtm_name = name(hostname)
+        enterprise = self.portal.enterprises.get(enterprise_id)
+        if enterprise is None:
+            raise ValueError(f"unknown enterprise {enterprise_id}")
+        if not any(gtm_name.is_subdomain_of(origin)
+                   for origin in enterprise.zones):
+            raise ValueError(
+                f"{hostname} is not under any of {enterprise_id}'s zones")
+        prop = GTMProperty(
+            gtm_name,
+            tuple(EdgeServer(address, location)
+                  for address, location in datacenters),
+            tuple(weights))
+        self.mapping.add_gtm_property(prop)
+        for deployment in self.deployments:
+            deployment.machine.engine.dynamic_domains.append(gtm_name)
+        self._initial_snapshot = self.mapping.publish()
+        return prop
+
+    def set_datacenter_alive(self, hostname: str, address: str,
+                             alive: bool) -> None:
+        """Mark a GTM datacenter up or down; the mapping system
+        publishes the change immediately."""
+        self.mapping.set_gtm_datacenter_alive(name(hostname), address,
+                                              alive)
+
+    def _wire_cdn_hostname(self, zone: Zone, hostname: str) -> None:
+        """www.ex.com -> ex.edgesuite.net -> a1.w10.akamai.net."""
+        short = str(zone.origin).split(".")[0]
+        entry = name(f"{short}.edgesuite.net")
+        zone.add_rrset(make_rrset(
+            name(hostname), RType.CNAME, 300, [CNAME(entry)]))
+        edgesuite = self.akamai_zones[3]
+        if edgesuite.get_rrset(entry, RType.CNAME) is None:
+            edgesuite.add_rrset(make_rrset(
+                entry, RType.CNAME, 21600, [CNAME(self.names.hostname(1))]))
+
+    # -- resolvers ---------------------------------------------------------------------
+
+    def hints(self) -> dict[Name, list[str]]:
+        """Root hints for resolvers."""
+        return {name("."): [ROOT_SERVER_ADDRESS]}
+
+    def add_resolver(self, resolver_id: str, *,
+                     selection: SelectionStrategy | None = None,
+                     attach_to: str | None = None,
+                     fixed_source_port: int | None = None,
+                     timeout: float = 2.0) -> RecursiveResolver:
+        """Attach a recursive resolver host to the Internet."""
+        attach_host(self.internet, self.rng, host_id=resolver_id,
+                    attach_to=attach_to)
+        resolver = RecursiveResolver(
+            self.loop, self.network, resolver_id, self.hints(),
+            selection=selection,
+            rng=random.Random(self.rng.randrange(2**31)),
+            timeout=timeout, fixed_source_port=fixed_source_port)
+        self.resolvers[resolver_id] = resolver
+        return resolver
+
+    # -- running -----------------------------------------------------------------------
+
+    def run_until(self, deadline: float) -> None:
+        """Advance simulated time."""
+        self.loop.run_until(deadline)
+
+    def settle(self, seconds: float = 30.0) -> None:
+        """Let BGP and control-plane state converge."""
+        self.run_until(self.loop.now + seconds)
+
+    def enterprise_traffic_report(self,
+                                  enterprise_id: str) -> dict[str, float]:
+        """The traffic roll-up an enterprise sees in the portal."""
+        enterprise = self.portal.enterprises[enterprise_id]
+        return self.collector.enterprise_report(list(enterprise.zones))
+
+    def machines(self) -> list[NameserverMachine]:
+        return [d.machine for d in self.deployments]
+
+    def regular_deployments(self) -> list[MachineDeployment]:
+        return [d for d in self.deployments if not d.input_delayed]
+
+    def input_delayed_deployments(self) -> list[MachineDeployment]:
+        return [d for d in self.deployments if d.input_delayed]
+
+
+def _copy_config(config: MachineConfig) -> MachineConfig:
+    return MachineConfig(**{f: getattr(config, f)
+                            for f in MachineConfig.__dataclass_fields__})
+
+
+def _vars_slots(obj) -> dict:
+    return {f: getattr(obj, f) for f in obj.__dataclass_fields__}

@@ -1,0 +1,105 @@
+"""Anycast traffic engineering during attacks (paper section 4.3.2).
+
+Implements the Figure 9 decision tree as executable policy. The paper is
+explicit that these actions are taken by *human operators* — automation
+here would leak information to attackers and interact badly with the
+history-based filters — so the module separates *deciding* (pure
+function over an observed situation) from *applying* (issuing per-peer
+export withdrawals through the BGP substrate), exactly the "rich
+controls and rapid delivery of configuration" the operators rely on.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..netsim.network import Network
+
+
+class TEAction(enum.Enum):
+    """The five actions of the Figure 9 decision tree."""
+
+    DO_NOTHING = "I: do nothing"
+    WORK_WITH_PEERS = "II: work with peers on upstream congestion"
+    WITHDRAW_FRACTION_OF_ATTACK_LINKS = (
+        "III: withdraw from a fraction of links sourcing attack")
+    WITHDRAW_ALL_ATTACK_LINKS = "IV: withdraw from all links sourcing attack"
+    WITHDRAW_NON_ATTACK_LINKS = (
+        "V: withdraw from all links not sourcing attack")
+
+
+@dataclass(frozen=True, slots=True)
+class AttackSituation:
+    """What the operator knows, from monitoring and peer information."""
+
+    resolvers_dosed: bool
+    peering_links_congested: bool
+    compute_saturated: bool
+    can_spread_attack: bool
+
+
+def decide(situation: AttackSituation) -> TEAction:
+    """The Figure 9 decision tree, verbatim."""
+    if not situation.resolvers_dosed:
+        return TEAction.DO_NOTHING
+    if not situation.peering_links_congested:
+        if situation.compute_saturated:
+            return TEAction.WITHDRAW_FRACTION_OF_ATTACK_LINKS
+        return TEAction.WORK_WITH_PEERS
+    if situation.can_spread_attack:
+        return TEAction.WITHDRAW_ALL_ATTACK_LINKS
+    return TEAction.WITHDRAW_NON_ATTACK_LINKS
+
+
+@dataclass(slots=True)
+class TEPlan:
+    """The concrete per-peer withdrawals an action expands into."""
+
+    action: TEAction
+    withdrawals: list[tuple[str, str]] = field(default_factory=list)
+    # (pop_router_id, peer_id) pairs whose export gets suppressed.
+
+
+class TrafficEngineer:
+    """Expands decisions into per-peering-link export changes."""
+
+    def __init__(self, network: Network, prefix: str) -> None:
+        self.network = network
+        self.prefix = prefix
+        self.applied: list[TEPlan] = []
+
+    def plan(self, situation: AttackSituation, *,
+             pop_router_id: str,
+             attack_peers: list[str],
+             fraction: float = 0.5) -> TEPlan:
+        """Build the withdrawal plan for one PoP under attack."""
+        action = decide(situation)
+        plan = TEPlan(action)
+        topology = self.network.topology
+        all_peers = topology.bgp_neighbors(pop_router_id)
+        if action == TEAction.WITHDRAW_FRACTION_OF_ATTACK_LINKS:
+            count = max(1, int(len(attack_peers) * fraction))
+            plan.withdrawals = [(pop_router_id, p)
+                                for p in sorted(attack_peers)[:count]]
+        elif action == TEAction.WITHDRAW_ALL_ATTACK_LINKS:
+            plan.withdrawals = [(pop_router_id, p)
+                                for p in sorted(attack_peers)]
+        elif action == TEAction.WITHDRAW_NON_ATTACK_LINKS:
+            plan.withdrawals = [(pop_router_id, p)
+                                for p in sorted(all_peers)
+                                if p not in attack_peers]
+        return plan
+
+    def apply(self, plan: TEPlan) -> None:
+        """Push the plan's withdrawals into BGP."""
+        for router_id, peer_id in plan.withdrawals:
+            self.network.speaker(router_id).set_export_blocked(
+                peer_id, self.prefix, True)
+        self.applied.append(plan)
+
+    def revert(self, plan: TEPlan) -> None:
+        """Restore every export the plan suppressed (attack over)."""
+        for router_id, peer_id in plan.withdrawals:
+            self.network.speaker(router_id).set_export_blocked(
+                peer_id, self.prefix, False)

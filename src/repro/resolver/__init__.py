@@ -1,0 +1,29 @@
+"""Recursive resolver simulation: cache, selection strategies, iteration."""
+
+from .cache import CacheEntry, DNSCache, NegativeEntry
+from .resolver import (
+    DEFAULT_TIMEOUT,
+    MAX_ATTEMPTS,
+    RecursiveResolver,
+    ResolutionResult,
+)
+from .service import (
+    ClientResult,
+    ResolverService,
+    ServiceStats,
+    StubClient,
+)
+from .selection import (
+    FixedSelection,
+    RTTWeightedSelection,
+    SelectionStrategy,
+    UniformSelection,
+)
+
+__all__ = [
+    "CacheEntry", "DEFAULT_TIMEOUT", "DNSCache", "FixedSelection",
+    "MAX_ATTEMPTS", "NegativeEntry", "RTTWeightedSelection",
+    "ClientResult", "RecursiveResolver", "ResolutionResult",
+    "ResolverService", "SelectionStrategy", "ServiceStats", "StubClient",
+    "UniformSelection",
+]

@@ -1,0 +1,416 @@
+"""Iterative recursive resolver over the simulated network.
+
+Implements the client-side behaviour the paper's design leans on:
+
+* iterative descent from hints through referrals, caching NS/glue;
+* per-query random ephemeral source ports (which is what makes PoP ECMP
+  spread traffic across machines, section 3.1);
+* timeout-and-retry against the *other* delegations of a zone — the
+  behaviour that makes unique 6-cloud delegation sets an effective DDoS
+  compartmentalization (section 4.3.1);
+* positive and negative caching with TTL aging, which drives the
+  toplevel/lowlevel query ratio rT in the Two-Tier analysis (section 5.2).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..dnscore.edns import ClientSubnetOption, EDNSOptions
+from ..dnscore.message import Message, make_query
+from ..dnscore.name import Name
+from ..dnscore.rdata import CNAME, SOA
+from ..dnscore.records import RRset
+from ..dnscore.rrtypes import RCode, RType
+from ..netsim.clock import EventHandle, EventLoop
+from ..netsim.network import Network
+from ..netsim.packet import Datagram
+from ..server.machine import QueryEnvelope
+from .cache import DNSCache
+from .selection import SelectionStrategy, UniformSelection
+
+DEFAULT_TIMEOUT = 2.0
+MAX_ATTEMPTS = 9
+MAX_REFERRALS = 24
+DEFAULT_NEGATIVE_TTL = 300
+
+
+@dataclass(slots=True)
+class ResolutionResult:
+    """Outcome of one recursive resolution."""
+
+    qname: Name
+    qtype: RType
+    rcode: RCode
+    answers: list[RRset] = field(default_factory=list)
+    started_at: float = 0.0
+    finished_at: float = 0.0
+    queries_sent: int = 0
+    timeouts: int = 0
+    tcp_retries: int = 0
+    servers: list[str] = field(default_factory=list)
+    from_cache: bool = False
+
+    @property
+    def duration(self) -> float:
+        return self.finished_at - self.started_at
+
+    @property
+    def failed(self) -> bool:
+        return self.rcode not in (RCode.NOERROR, RCode.NXDOMAIN)
+
+    def addresses(self) -> list[str]:
+        """All A/AAAA rdata strings in the answer chain."""
+        out = []
+        for rrset in self.answers:
+            if rrset.rtype in (RType.A, RType.AAAA):
+                out.extend(r.rdata.address for r in rrset.records)
+        return out
+
+
+ResolveCallback = Callable[[ResolutionResult], None]
+
+
+class _Resolution:
+    """State machine for one in-flight resolution."""
+
+    def __init__(self, resolver: "RecursiveResolver", qname: Name,
+                 qtype: RType, callback: ResolveCallback) -> None:
+        self.resolver = resolver
+        self.original_qname = qname
+        self.target = qname
+        self.qtype = qtype
+        self.callback = callback
+        self.result = ResolutionResult(qname, qtype, RCode.SERVFAIL,
+                                       started_at=resolver.loop.now)
+        self.answers: list[RRset] = []
+        self.attempts = 0
+        self.referrals = 0
+        self.tried: set[str] = set()
+        self.pending_msg_id: int | None = None
+        self.pending_address: str | None = None
+        self.pending_sent_at = 0.0
+        self.timeout_handle: EventHandle | None = None
+        self.done = False
+        #: Depth of nested NS-address (glueless referral) resolutions.
+        self.sub_depth = 0
+        #: NS targets whose addresses we already tried to resolve.
+        self.glue_chased: set[Name] = set()
+
+
+class RecursiveResolver:
+    """A resolver attached to one host node of the simulated Internet."""
+
+    def __init__(self, loop: EventLoop, network: Network, host_id: str,
+                 hints: dict[Name, list[str]],
+                 *, selection: SelectionStrategy | None = None,
+                 rng: random.Random | None = None,
+                 timeout: float = DEFAULT_TIMEOUT,
+                 send_ecs_for: str | None = None,
+                 edns_payload: int | None = 1232,
+                 fixed_source_port: int | None = None) -> None:
+        self.loop = loop
+        self.network = network
+        self.host_id = host_id
+        #: zone name -> nameserver addresses bootstrap (the "root hints").
+        self.hints = {origin: list(addrs) for origin, addrs in hints.items()}
+        self.selection = selection or UniformSelection()
+        self.rng = rng or random.Random(0)
+        self.timeout = timeout
+        self.send_ecs_for = send_ecs_for
+        #: Advertised EDNS UDP payload size (None disables EDNS unless
+        #: ECS is configured). Modern resolvers advertise ~1232.
+        self.edns_payload = edns_payload
+        self.fixed_source_port = fixed_source_port
+        self.cache = DNSCache()
+        self._inflight: dict[int, _Resolution] = {}
+        self._next_id = self.rng.randrange(0, 0xFFFF)
+        #: queries sent per authority address, for rT-style accounting.
+        self.queries_by_server: dict[str, int] = {}
+        self.resolutions_started = 0
+        self.resolutions_completed = 0
+        network.attach_endpoint(host_id, self)
+
+    # -- public API ---------------------------------------------------------
+
+    def resolve(self, qname: Name, qtype: RType,
+                callback: ResolveCallback) -> None:
+        """Start resolving; ``callback`` fires exactly once on completion."""
+        self.resolutions_started += 1
+        resolution = _Resolution(self, qname, qtype, callback)
+        self._step(resolution)
+
+    # -- cache-driven stepping ------------------------------------------------
+
+    def _step(self, resolution: _Resolution) -> None:
+        if resolution.done:
+            return
+        now = self.loop.now
+        # Negative cache.
+        negative = self.cache.get_negative(resolution.target,
+                                           resolution.qtype, now)
+        if negative is not None:
+            self._finish(resolution, negative, from_cache=True)
+            return
+        # Positive cache, following CNAMEs that are cached.
+        chased = 0
+        while chased < 16:
+            answer = self.cache.get(resolution.target, resolution.qtype, now)
+            if answer is not None:
+                resolution.answers.append(answer)
+                self._finish(resolution, RCode.NOERROR,
+                             from_cache=resolution.result.queries_sent == 0)
+                return
+            cname = self.cache.get(resolution.target, RType.CNAME, now)
+            if cname is None or resolution.qtype == RType.CNAME:
+                break
+            resolution.answers.append(cname)
+            rdata = cname.records[0].rdata
+            assert isinstance(rdata, CNAME)
+            resolution.target = rdata.target
+            chased += 1
+        self._query_authority(resolution)
+
+    def _authority_candidates(self, resolution: _Resolution
+                              ) -> tuple[list[str], list[Name]]:
+        """(addresses, address-less NS targets) for the best authority."""
+        now = self.loop.now
+        delegation = self.cache.best_delegation(resolution.target, now)
+        addresses: list[str] = []
+        glueless: list[Name] = []
+        if delegation is not None:
+            _zone_cut, ns_rrset = delegation
+            for record in ns_rrset:
+                target = record.rdata.target
+                found = False
+                for addr_type in (RType.A, RType.AAAA):
+                    glue = self.cache.get(target, addr_type, now)
+                    if glue is not None:
+                        found = True
+                        addresses.extend(r.rdata.address
+                                         for r in glue.records)
+                if not found:
+                    glueless.append(target)
+            if addresses or glueless:
+                return addresses, glueless
+        # Fall back to configured hints: deepest hint enclosing target.
+        for ancestor in resolution.target.ancestors():
+            hinted = self.hints.get(ancestor)
+            if hinted:
+                return list(hinted), []
+        return [], []
+
+    def _query_authority(self, resolution: _Resolution) -> None:
+        candidates, glueless = self._authority_candidates(resolution)
+        untried = [a for a in candidates if a not in resolution.tried]
+        pool = untried or candidates
+        if not pool:
+            if self._chase_glue(resolution, glueless):
+                return
+            self._finish(resolution, RCode.SERVFAIL)
+            return
+        # Resolvers retry against every delegation of a zone before
+        # giving up (the behaviour section 4.3.1's compartmentalization
+        # depends on); the budget scales with the candidate set.
+        attempt_budget = max(MAX_ATTEMPTS, len(candidates) + 3)
+        if resolution.attempts >= attempt_budget:
+            self._finish(resolution, RCode.SERVFAIL)
+            return
+        # Prefer untried addresses outright while any remain.
+        if untried:
+            pool = untried
+        address = self.selection.choose(pool, self.rng)
+        resolution.attempts += 1
+        resolution.tried.add(address)
+        self._send_query(resolution, address)
+
+    def _retry_over_tcp(self, resolution: _Resolution,
+                        address: str) -> None:
+        """A UDP answer came back truncated; re-ask over TCP.
+
+        TCP retries are progress, not failures, so they do not count
+        against the attempt budget.
+        """
+        resolution.result.tcp_retries += 1
+        self._send_query(resolution, address, tcp=True)
+
+    def _chase_glue(self, resolution: _Resolution,
+                    glueless: list[Name]) -> bool:
+        """Resolve a glueless NS target's address, then resume.
+
+        Returns True when a sub-resolution was started. Depth-capped so
+        circular glueless delegations cannot recurse forever.
+        """
+        if resolution.sub_depth >= 3:
+            return False
+        targets = [t for t in glueless if t not in resolution.glue_chased]
+        if not targets:
+            return False
+        target = targets[0]
+        resolution.glue_chased.add(target)
+
+        def resumed(_sub_result: ResolutionResult) -> None:
+            if not resolution.done:
+                self._query_authority(resolution)
+
+        sub = _Resolution(self, target, RType.A, resumed)
+        sub.sub_depth = resolution.sub_depth + 1
+        sub.glue_chased = resolution.glue_chased
+        self._step(sub)
+        return True
+
+    def _send_query(self, resolution: _Resolution, address: str,
+                    *, tcp: bool = False) -> None:
+        msg_id = self._allocate_id()
+        edns = None
+        if self.send_ecs_for is not None or self.edns_payload is not None:
+            edns = EDNSOptions(
+                payload_size=self.edns_payload or 512,
+                client_subnet=(ClientSubnetOption.for_client(
+                    self.send_ecs_for)
+                    if self.send_ecs_for is not None else None))
+        query = make_query(msg_id, resolution.target, resolution.qtype,
+                           edns=edns)
+        port = (self.fixed_source_port if self.fixed_source_port is not None
+                else self.rng.randint(1024, 65535))
+        dgram = Datagram(src=self.host_id, dst=address,
+                         payload=QueryEnvelope(query, tcp=tcp),
+                         src_port=port)
+        resolution.pending_msg_id = msg_id
+        resolution.pending_address = address
+        resolution.pending_sent_at = self.loop.now
+        self._inflight[msg_id] = resolution
+        resolution.result.queries_sent += 1
+        resolution.result.servers.append(address)
+        self.queries_by_server[address] = \
+            self.queries_by_server.get(address, 0) + 1
+        self.network.send(dgram)
+        resolution.timeout_handle = self.loop.call_later(
+            self.timeout, lambda: self._on_timeout(resolution, msg_id))
+
+    def _allocate_id(self) -> int:
+        for _ in range(0x10000):
+            self._next_id = (self._next_id + 1) & 0xFFFF
+            if self._next_id not in self._inflight:
+                return self._next_id
+        raise RuntimeError("no free DNS message ids")
+
+    # -- network events ---------------------------------------------------------
+
+    def handle_datagram(self, dgram: Datagram) -> None:
+        """A response arrived at this resolver's host."""
+        envelope = dgram.payload
+        wire = getattr(envelope, "wire", None)
+        if wire is not None:
+            message = Message.from_wire(wire)
+        else:
+            message = envelope.message
+        resolution = self._inflight.pop(message.msg_id, None)
+        if resolution is None or resolution.done:
+            return
+        if resolution.timeout_handle is not None:
+            resolution.timeout_handle.cancel()
+        rtt = self.loop.now - resolution.pending_sent_at
+        address = resolution.pending_address
+        if address is not None:
+            self.selection.observe_rtt(address, rtt)
+        if message.flags.tc and address is not None:
+            # Truncated UDP answer: discard it and retry over TCP.
+            self._retry_over_tcp(resolution, address)
+            return
+        self._process_response(resolution, message)
+
+    def _on_timeout(self, resolution: _Resolution, msg_id: int) -> None:
+        if resolution.done or resolution.pending_msg_id != msg_id:
+            return
+        self._inflight.pop(msg_id, None)
+        resolution.result.timeouts += 1
+        # Retry: a different delegation of the same zone with high
+        # probability, since tried addresses are excluded first.
+        self._query_authority(resolution)
+
+    # -- response classification ---------------------------------------------------
+
+    def _process_response(self, resolution: _Resolution,
+                          message: Message) -> None:
+        now = self.loop.now
+        if message.rcode == RCode.NXDOMAIN:
+            ttl = _negative_ttl(message)
+            self.cache.put_negative(resolution.target, resolution.qtype,
+                                    RCode.NXDOMAIN, ttl, now)
+            self._finish(resolution, RCode.NXDOMAIN)
+            return
+        if message.rcode != RCode.NOERROR:
+            # SERVFAIL/REFUSED: try another server.
+            self._query_authority(resolution)
+            return
+
+        for rrset in (message.answer_rrsets() + message.authority_rrsets()
+                      + message.additional_rrsets()):
+            self.cache.put(rrset, now)
+
+        answer_sets = message.answer_rrsets()
+        if answer_sets:
+            terminal = False
+            for rrset in answer_sets:
+                resolution.answers.append(rrset)
+                if (rrset.name == resolution.target
+                        and rrset.rtype == resolution.qtype):
+                    terminal = True
+                elif rrset.rtype == RType.CNAME \
+                        and rrset.name == resolution.target:
+                    rdata = rrset.records[0].rdata
+                    assert isinstance(rdata, CNAME)
+                    resolution.target = rdata.target
+            if terminal:
+                self._finish(resolution, RCode.NOERROR)
+            else:
+                # CNAME led elsewhere: continue from cache/authorities.
+                resolution.tried.clear()
+                self._step(resolution)
+            return
+
+        ns_sets = [r for r in message.authority_rrsets()
+                   if r.rtype == RType.NS]
+        if ns_sets:
+            resolution.referrals += 1
+            if resolution.referrals > MAX_REFERRALS:
+                self._finish(resolution, RCode.SERVFAIL)
+                return
+            # Referral: NS (+glue) were cached above; requery deeper.
+            resolution.tried.clear()
+            self._query_authority(resolution)
+            return
+
+        # NODATA.
+        ttl = _negative_ttl(message)
+        self.cache.put_negative(resolution.target, resolution.qtype,
+                                RCode.NOERROR, ttl, now)
+        self._finish(resolution, RCode.NOERROR)
+
+    def _finish(self, resolution: _Resolution, rcode: RCode,
+                *, from_cache: bool = False) -> None:
+        if resolution.done:
+            return
+        resolution.done = True
+        if resolution.timeout_handle is not None:
+            resolution.timeout_handle.cancel()
+        result = resolution.result
+        result.rcode = rcode
+        result.answers = resolution.answers
+        result.finished_at = self.loop.now
+        result.from_cache = from_cache and result.queries_sent == 0
+        if resolution.sub_depth == 0:
+            self.resolutions_completed += 1
+        resolution.callback(result)
+
+
+def _negative_ttl(message: Message) -> int:
+    for rrset in message.authority_rrsets():
+        if rrset.rtype == RType.SOA:
+            rdata = rrset.records[0].rdata
+            assert isinstance(rdata, SOA)
+            return min(rrset.ttl, rdata.minimum)
+    return DEFAULT_NEGATIVE_TTL

@@ -1,0 +1,74 @@
+"""Delegation (nameserver) selection strategies.
+
+Research cited by the paper ([34, 44, 56]) observes resolver behaviours
+from apparent uniformity to strong preference for low-RTT nameservers.
+Both extremes matter to the Two-Tier evaluation: uniform selection is the
+best case for Two-Tier (anycast toplevel RTTs vary widely) and
+RTT-weighted selection the worst case, so the experiments simulate both
+(paper section 5.2, "avg RTT" vs "wgt RTT").
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Protocol
+
+
+class SelectionStrategy(Protocol):
+    """Chooses which nameserver address to query next."""
+
+    def choose(self, addresses: list[str], rng: random.Random) -> str:
+        """Pick one address from the candidate set."""
+
+    def observe_rtt(self, address: str, rtt: float) -> None:
+        """Feed back a measured RTT for learning strategies."""
+
+
+class UniformSelection:
+    """Every delegation equally likely (paper's best case for Two-Tier)."""
+
+    def choose(self, addresses: list[str], rng: random.Random) -> str:
+        return rng.choice(addresses)
+
+    def observe_rtt(self, address: str, rtt: float) -> None:
+        """Uniform selection ignores RTT feedback."""
+
+
+class RTTWeightedSelection:
+    """Preference inversely proportional to smoothed RTT.
+
+    Matches the paper's 'weighted RTT' resolver model: delegations with
+    lower observed RTT attract proportionally more queries, with
+    unprobed servers given a small exploration weight.
+    """
+
+    def __init__(self, alpha: float = 0.25,
+                 initial_rtt: float = 0.05) -> None:
+        self._alpha = alpha
+        self._initial = initial_rtt
+        self._srtt: dict[str, float] = {}
+
+    def srtt(self, address: str) -> float:
+        return self._srtt.get(address, self._initial)
+
+    def choose(self, addresses: list[str], rng: random.Random) -> str:
+        weights = [1.0 / max(1e-4, self.srtt(a)) for a in addresses]
+        return rng.choices(addresses, weights=weights, k=1)[0]
+
+    def observe_rtt(self, address: str, rtt: float) -> None:
+        previous = self._srtt.get(address)
+        if previous is None:
+            self._srtt[address] = rtt
+        else:
+            self._srtt[address] = (1 - self._alpha) * previous \
+                + self._alpha * rtt
+
+
+class FixedSelection:
+    """Always the first candidate; used to pin tests to one server."""
+
+    def choose(self, addresses: list[str], rng: random.Random) -> str:
+        return addresses[0]
+
+    def observe_rtt(self, address: str, rtt: float) -> None:
+        """Fixed selection ignores RTT feedback."""

@@ -1,0 +1,36 @@
+"""Authoritative nameserver runtime: engine, machines, PoPs, monitoring.
+
+The server package models everything that runs inside a PoP (paper
+Figure 6): the query engine over zone data, the machine capacity model
+with penalty-queue scheduling, the query-of-death firewall, the
+co-resident BGP speaker, and the on-machine monitoring agent.
+"""
+
+from .engine import AuthoritativeEngine, MappingProvider, ZoneStore
+from .firewall import QoDFirewall, QoDSignature
+from .machine import (
+    MachineConfig,
+    MachineMetrics,
+    MachineState,
+    NameserverMachine,
+    QueryEnvelope,
+)
+from .monitoring import (
+    AgentMetrics,
+    HealthReport,
+    MonitoringAgent,
+    SuspensionCoordinator,
+)
+from .pop import INTRA_POP_LATENCY_S, PoP, ResponseEnvelope, ecmp_hash
+from .queues import PenaltyQueueRuntime, QueueStats
+from .host import HostNameserver
+from .speaker import MachineBGPSpeaker
+
+__all__ = [
+    "AgentMetrics", "AuthoritativeEngine", "HealthReport",
+    "INTRA_POP_LATENCY_S", "MachineBGPSpeaker", "MachineConfig",
+    "MachineMetrics", "MachineState", "MappingProvider", "MonitoringAgent",
+    "NameserverMachine", "PenaltyQueueRuntime", "PoP", "QoDFirewall",
+    "QoDSignature", "QueryEnvelope", "QueueStats", "ResponseEnvelope",
+    "SuspensionCoordinator", "ZoneStore", "ecmp_hash", "HostNameserver",
+]

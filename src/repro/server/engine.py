@@ -1,0 +1,187 @@
+"""Authoritative response assembly.
+
+The :class:`AuthoritativeEngine` owns a set of zones and turns a DNS query
+message into a response message with correct sections: answers (following
+in-zone CNAME chains), referrals with glue at zone cuts, SOA-in-authority
+for NXDOMAIN/NODATA, and REFUSED outside its bailiwick. Names under a
+registered *dynamic domain* are answered through a mapping provider hook,
+which is how the platform layer plugs in GTM/CDN load-balanced answers
+(paper section 3.2, "Mapping Intelligence").
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol
+
+from ..dnscore.message import Message, make_response
+from ..dnscore.name import Name
+from ..dnscore.records import RRset
+from ..dnscore.rrtypes import Opcode, RClass, RCode, RType
+from ..dnscore.zone import LookupStatus, Zone
+
+
+class MappingProvider(Protocol):
+    """Resolves dynamic (load-balanced) names to address RRsets."""
+
+    def answer(self, qname: Name, qtype: RType,
+               client_key: str | None) -> RRset | None:
+        """Return the tailored RRset, or None to fall through to zone data."""
+
+
+class DelegationProvider(Protocol):
+    """Tailors a zone cut's NS set per client (Two-Tier lowlevels).
+
+    Paper section 5.2: the mapping system tailors the set of lowlevel
+    delegations for "w10.akamai.net" to be near the resolver issuing the
+    query.
+    """
+
+    def delegation(self, cut: Name, client_key: str | None
+                   ) -> tuple[RRset, list[RRset]] | None:
+        """Return (NS rrset, glue rrsets), or None for the static set."""
+
+
+class ZoneStore:
+    """Holds zones indexed by origin with longest-match lookup."""
+
+    def __init__(self) -> None:
+        self._zones: dict[Name, Zone] = {}
+
+    def add(self, zone: Zone) -> None:
+        zone.validate()
+        self._zones[zone.origin] = zone
+
+    def remove(self, origin: Name) -> bool:
+        return self._zones.pop(origin, None) is not None
+
+    def get(self, origin: Name) -> Zone | None:
+        return self._zones.get(origin)
+
+    def find(self, qname: Name) -> Zone | None:
+        """The zone with the longest origin that encloses ``qname``."""
+        best: Zone | None = None
+        for ancestor in qname.ancestors():
+            zone = self._zones.get(ancestor)
+            if zone is not None:
+                best = zone
+                break
+        return best
+
+    def origins(self) -> list[Name]:
+        return sorted(self._zones, key=Name.canonical_key)
+
+    def zones(self) -> list[Zone]:
+        return [self._zones[o] for o in self.origins()]
+
+    def __len__(self) -> int:
+        return len(self._zones)
+
+    def __contains__(self, origin: Name) -> bool:
+        return origin in self._zones
+
+
+class AuthoritativeEngine:
+    """Pure query-to-response logic, independent of transport and timing."""
+
+    def __init__(self, store: ZoneStore,
+                 mapping: MappingProvider | None = None,
+                 dynamic_domains: list[Name] | None = None,
+                 dynamic_delegations: dict[Name, DelegationProvider]
+                 | None = None) -> None:
+        self.store = store
+        self.mapping = mapping
+        self.dynamic_domains = list(dynamic_domains or [])
+        self.dynamic_delegations = dict(dynamic_delegations or {})
+        self.queries_answered = 0
+        self.nxdomain_count = 0
+        #: Observers called with (query, response) after assembly; the
+        #: NXDOMAIN filter taps this to count negative answers per zone.
+        self.response_observers: list[Callable[[Message, Message], None]] = []
+
+    def is_dynamic(self, qname: Name) -> bool:
+        return any(qname.is_subdomain_of(d) for d in self.dynamic_domains)
+
+    def respond(self, query: Message,
+                client_key: str | None = None) -> Message:
+        """Assemble the authoritative response to ``query``.
+
+        ``client_key`` identifies the client for mapping purposes — the
+        ECS subnet when present, else the resolver source address.
+        """
+        if query.flags.opcode != Opcode.QUERY:
+            return self._finish(query, make_response(
+                query, RCode.NOTIMP, aa=False))
+        try:
+            question = query.question
+        except Exception:
+            return self._finish(query, make_response(
+                query, RCode.FORMERR, aa=False))
+        if question.qclass != RClass.IN:
+            return self._finish(query, make_response(
+                query, RCode.REFUSED, aa=False))
+        if query.edns is not None and query.edns.client_subnet is not None:
+            client_key = str(query.edns.client_subnet.network())
+
+        zone = self.store.find(question.qname)
+        if zone is None:
+            return self._finish(query, make_response(
+                query, RCode.REFUSED, aa=False))
+
+        response = make_response(query, RCode.NOERROR, aa=True)
+
+        # Mapping hook: tailored answers for GTM/CDN names.
+        if (self.mapping is not None and self.is_dynamic(question.qname)
+                and question.qtype in (RType.A, RType.AAAA)):
+            mapped = self.mapping.answer(question.qname, question.qtype,
+                                         client_key)
+            if mapped is not None:
+                response.add_rrset("answers", mapped)
+                return self._finish(query, response)
+
+        chain, result = zone.cname_chain(question.qname, question.qtype)
+        for alias in chain:
+            response.add_rrset("answers", alias)
+
+        if result.status == LookupStatus.SUCCESS:
+            assert result.rrset is not None
+            response.add_rrset("answers", result.rrset)
+        elif result.status == LookupStatus.DELEGATION:
+            assert result.delegation is not None
+            response.flags.aa = False
+            delegation, glue_sets = result.delegation, result.glue
+            provider = self.dynamic_delegations.get(delegation.name)
+            if provider is not None:
+                tailored = provider.delegation(delegation.name, client_key)
+                if tailored is not None:
+                    delegation, glue_sets = tailored
+            response.add_rrset("authority", delegation)
+            for glue in glue_sets:
+                response.add_rrset("additional", glue)
+        elif result.status == LookupStatus.NODATA:
+            if result.soa is not None:
+                response.add_rrset("authority", result.soa)
+        elif result.status == LookupStatus.NXDOMAIN:
+            if not chain:
+                response.flags.rcode = RCode.NXDOMAIN
+            # After a CNAME chain, RFC 6604: rcode reflects the last name,
+            # but many servers answer NOERROR; we follow the RFC.
+            else:
+                response.flags.rcode = RCode.NXDOMAIN
+            if result.soa is not None:
+                response.add_rrset("authority", result.soa)
+        elif result.status == LookupStatus.CNAME:
+            # Chain depth exceeded; return what we have.
+            pass
+        elif result.status == LookupStatus.NOT_IN_ZONE:
+            # CNAME led out of this zone: the chase becomes the
+            # resolver's job; answer with the chain collected so far.
+            pass
+        return self._finish(query, response)
+
+    def _finish(self, query: Message, response: Message) -> Message:
+        self.queries_answered += 1
+        if response.flags.rcode == RCode.NXDOMAIN:
+            self.nxdomain_count += 1
+        for observer in self.response_observers:
+            observer(query, response)
+        return response

@@ -1,0 +1,69 @@
+"""Query-of-death containment (paper section 4.2.4).
+
+When the nameserver detects an unrecoverable fault while processing a
+query, it writes the offending DNS payload to disk before dying; a
+separate process inserts a firewall rule dropping *similar* queries so
+the restarted nameserver is not immediately re-crashed. Rules are broad
+by design (they may drop false positives), so each expires after
+``t_qod`` seconds — the nameserver then re-attempts such queries,
+limiting the crash rate to at most once per ``t_qod``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..dnscore.name import Name
+from ..dnscore.rrtypes import RType
+
+
+@dataclass(frozen=True, slots=True)
+class QoDSignature:
+    """What the kernel-level rule matches: the query's shape, not its bits.
+
+    The rule is intentionally broader than the exact packet — it matches
+    the (parent domain, qtype) pair — because QoDs arise from corner-case
+    code paths that nearby queries would also hit.
+    """
+
+    parent: Name
+    qtype: RType
+
+    @classmethod
+    def for_query(cls, qname: Name, qtype: RType) -> "QoDSignature":
+        parent = qname.parent() if not qname.is_root else qname
+        return cls(parent, qtype)
+
+    def matches(self, qname: Name, qtype: RType) -> bool:
+        return qtype == self.qtype and qname.is_subdomain_of(self.parent)
+
+
+class QoDFirewall:
+    """Expiring firewall rules derived from crash payloads."""
+
+    def __init__(self, t_qod: float = 300.0) -> None:
+        self.t_qod = t_qod
+        self._rules: dict[QoDSignature, float] = {}
+        self.crash_dumps: list[tuple[float, QoDSignature]] = []
+        self.dropped = 0
+
+    def record_crash(self, qname: Name, qtype: RType, now: float) -> None:
+        """Install a rule from the payload the dying nameserver dumped."""
+        signature = QoDSignature.for_query(qname, qtype)
+        self._rules[signature] = now + self.t_qod
+        self.crash_dumps.append((now, signature))
+
+    def should_drop(self, qname: Name, qtype: RType, now: float) -> bool:
+        """Whether an arriving query matches a live rule."""
+        expired = [s for s, deadline in self._rules.items()
+                   if deadline <= now]
+        for signature in expired:
+            del self._rules[signature]
+        for signature in self._rules:
+            if signature.matches(qname, qtype):
+                self.dropped += 1
+                return True
+        return False
+
+    def active_rules(self, now: float) -> int:
+        return sum(1 for deadline in self._rules.values() if deadline > now)

@@ -1,0 +1,315 @@
+"""The nameserver machine: ingestion, scoring, service, crash/restart.
+
+Models one purpose-built server in a PoP (paper Figure 6) with the two
+capacity stages the NXDOMAIN-filter experiment (Figure 10) exposes:
+
+* an **I/O stage** — the rate at which the network stack can hand packets
+  to the application. Past it, packets drop below the application layer,
+  legitimate and attack alike (the paper's region beyond A2);
+* a **compute stage** — the rate at which the nameserver answers queries.
+  Between A1 and A2, prioritization decides who gets served.
+
+Queries are scored by the filter pipeline on arrival, placed into penalty
+queues, and served in increasing penalty order. A query flagged as a
+query-of-death crashes the machine; the QoD firewall then drops similar
+queries until its rule expires (section 4.2.4).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable
+
+from ..dnscore.message import Message
+from ..dnscore.rrtypes import RCode
+from ..filters.base import QueryContext, ScoringPipeline
+from ..filters.nxdomain import NXDomainFilter
+from ..filters.scoring import QueuePolicy
+from ..netsim.clock import EventLoop
+from ..netsim.packet import Datagram
+from .engine import AuthoritativeEngine
+from .firewall import QoDFirewall
+from .queues import PenaltyQueueRuntime
+
+
+class MachineState(enum.Enum):
+    """Lifecycle state of a nameserver machine."""
+
+    RUNNING = "running"
+    CRASHED = "crashed"
+    SUSPENDED = "suspended"
+
+
+@dataclass(slots=True)
+class QueryEnvelope:
+    """A query in flight plus simulation-side ground truth.
+
+    ``is_attack`` labels traffic for experiment accounting only; no filter
+    or server logic may read it. ``poison`` marks a query-of-death.
+    ``tcp`` marks a retry over TCP after a truncated UDP response.
+    """
+
+    message: Message
+    is_attack: bool = False
+    poison: bool = False
+    tcp: bool = False
+
+
+@dataclass(slots=True)
+class MachineConfig:
+    """Capacities and behaviour switches for one machine."""
+
+    compute_capacity_qps: float = 50_000.0
+    io_capacity_qps: float = 150_000.0
+    io_burst_seconds: float = 0.02
+    queue_depth: int = 2_000
+    restart_delay: float = 10.0
+    qod_firewall_enabled: bool = True
+    t_qod: float = 300.0
+    #: When True, responses are serialized to real wire bytes with UDP
+    #: size limits (the EDNS-advertised payload size, else 512), setting
+    #: TC on overflow so resolvers retry over TCP.
+    wire_responses: bool = False
+    staleness_threshold: float = 30.0
+    input_delayed: bool = False
+    input_delay: float = 3600.0
+
+
+@dataclass(slots=True)
+class MachineMetrics:
+    """Counters read by tests and experiments."""
+
+    received: int = 0
+    answered: int = 0
+    dropped_not_running: int = 0
+    dropped_firewall: int = 0
+    dropped_io: int = 0
+    dropped_queue: int = 0
+    crashes: int = 0
+    legit_received: int = 0
+    legit_answered: int = 0
+    attack_received: int = 0
+    attack_answered: int = 0
+    response_latency_sum: float = 0.0
+
+
+ResponseCallback = Callable[[Datagram, Message], None]
+
+
+class NameserverMachine:
+    """One machine running the nameserver software."""
+
+    def __init__(self, loop: EventLoop, machine_id: str,
+                 engine: AuthoritativeEngine, pipeline: ScoringPipeline,
+                 queue_policy: QueuePolicy,
+                 config: MachineConfig | None = None,
+                 respond: ResponseCallback | None = None) -> None:
+        self.loop = loop
+        self.machine_id = machine_id
+        self.engine = engine
+        self.pipeline = pipeline
+        self.config = config or MachineConfig()
+        self.queues: PenaltyQueueRuntime[tuple[Datagram, QueryEnvelope]] = (
+            PenaltyQueueRuntime(queue_policy, self.config.queue_depth))
+        self.firewall = QoDFirewall(self.config.t_qod)
+        self.respond = respond or (lambda dgram, message: None)
+        self.state = MachineState.RUNNING
+        self.metrics = MachineMetrics()
+        #: Injected hardware/software fault: None, "unresponsive", or
+        #: "wrong_answer" (e.g. answering from a failed disk's stale data).
+        self.fault: str | None = None
+        #: Timestamp of the most recent metadata input (staleness checks).
+        self.last_input_time = 0.0
+        #: Dispatch table for metadata kinds ("mapping", "zone", ...).
+        self.metadata_handlers: dict[str, Callable[[object], None]] = {}
+        self._io_tokens = self.config.io_capacity_qps * self.config.io_burst_seconds
+        self._io_last = 0.0
+        self._busy = False
+        #: Observers notified on crash (monitoring agent).
+        self.crash_listeners: list[Callable[["NameserverMachine"], None]] = []
+        self.state_listeners: list[Callable[["NameserverMachine"], None]] = []
+        #: NXDOMAIN filter reference so responses feed its learning loop.
+        self._nxdomain_filter: NXDomainFilter | None = next(
+            (f for f in pipeline.filters if isinstance(f, NXDomainFilter)),
+            None)
+
+    # -- metadata ------------------------------------------------------------
+
+    def receive_metadata(self, timestamp: float) -> None:
+        """Record that a metadata input arrived (control-plane delivery)."""
+        self.last_input_time = max(self.last_input_time, timestamp)
+
+    def receive_metadata_message(self, message) -> None:
+        """Pub/sub subscriber hook: timestamp the input and dispatch it.
+
+        Staleness is judged by the *publication* time of the newest input
+        received, so a partitioned machine's clock stops advancing here
+        and the staleness check fires (section 4.2.2).
+        """
+        self.receive_metadata(message.published_at)
+        handler = self.metadata_handlers.get(message.kind)
+        if handler is not None:
+            handler(message)
+
+    def is_stale(self, now: float) -> bool:
+        """Whether critical inputs are older than the staleness threshold.
+
+        Input-delayed machines run intentionally stale and never report
+        staleness (section 4.2.3).
+        """
+        if self.config.input_delayed:
+            return False
+        return now - self.last_input_time > self.config.staleness_threshold
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def suspend(self) -> None:
+        """Self-suspend: stop answering until resumed."""
+        if self.state == MachineState.RUNNING:
+            self.state = MachineState.SUSPENDED
+            self._notify_state()
+
+    def resume(self) -> None:
+        if self.state == MachineState.SUSPENDED:
+            self.state = MachineState.RUNNING
+            self._notify_state()
+            self._kick()
+
+    def crash(self, qname=None, qtype=None) -> None:
+        """Unrecoverable fault; queued queries are lost."""
+        self.metrics.crashes += 1
+        self.state = MachineState.CRASHED
+        self.queues.clear()
+        self._busy = False
+        if (qname is not None and qtype is not None
+                and self.config.qod_firewall_enabled):
+            self.firewall.record_crash(qname, qtype, self.loop.now)
+        for listener in self.crash_listeners:
+            listener(self)
+        self._notify_state()
+        self.loop.call_later(self.config.restart_delay, self._restart)
+
+    def _restart(self) -> None:
+        if self.state == MachineState.CRASHED:
+            self.state = MachineState.RUNNING
+            self._notify_state()
+            self._kick()
+
+    def _notify_state(self) -> None:
+        for listener in self.state_listeners:
+            listener(self)
+
+    def health_probe(self, message: Message) -> Message | None:
+        """Answer a monitoring-agent test query through the real engine.
+
+        Returns None when the machine is down or unresponsive, and a
+        degraded response when a fault corrupts answers — exactly what
+        the agent's test suite is built to detect. A *suspended* machine
+        still answers probes: self-suspension only withdraws the BGP
+        advertisement, the nameserver process keeps running so the agent
+        can observe recovery and re-advertise.
+        """
+        if self.state == MachineState.CRASHED:
+            return None
+        if self.fault == "unresponsive":
+            return None
+        response = self.engine.respond(message)
+        if self.fault == "wrong_answer":
+            response.answers.clear()
+            response.flags.rcode = RCode.SERVFAIL
+        return response
+
+    # -- ingestion -------------------------------------------------------------
+
+    def receive_query(self, dgram: Datagram) -> None:
+        """Packet handed to this machine by the PoP router's ECMP."""
+        envelope = dgram.payload
+        assert isinstance(envelope, QueryEnvelope)
+        metrics = self.metrics
+        metrics.received += 1
+        if envelope.is_attack:
+            metrics.attack_received += 1
+        else:
+            metrics.legit_received += 1
+
+        if self.state != MachineState.RUNNING:
+            metrics.dropped_not_running += 1
+            return
+
+        question = envelope.message.question
+        if (self.config.qod_firewall_enabled
+                and self.firewall.should_drop(question.qname, question.qtype,
+                                              self.loop.now)):
+            metrics.dropped_firewall += 1
+            return
+
+        if not self._io_admit():
+            metrics.dropped_io += 1
+            return
+
+        ctx = QueryContext(source=dgram.src, qname=question.qname,
+                           qtype=question.qtype, now=self.loop.now,
+                           ip_ttl=dgram.ip_ttl,
+                           nameserver_id=self.machine_id,
+                           is_attack=envelope.is_attack)
+        breakdown = self.pipeline.score(ctx)
+        if not self.queues.enqueue((dgram, envelope), breakdown.total):
+            metrics.dropped_queue += 1
+            return
+        self._kick()
+
+    def _io_admit(self) -> bool:
+        """Token bucket modelling the network stack's read capacity."""
+        config = self.config
+        elapsed = self.loop.now - self._io_last
+        self._io_last = self.loop.now
+        cap = config.io_capacity_qps * config.io_burst_seconds
+        self._io_tokens = min(cap, self._io_tokens
+                              + elapsed * config.io_capacity_qps)
+        if self._io_tokens >= 1.0:
+            self._io_tokens -= 1.0
+            return True
+        return False
+
+    # -- service ----------------------------------------------------------------
+
+    def _kick(self) -> None:
+        if self._busy or self.state != MachineState.RUNNING:
+            return
+        item = self.queues.pop_next()
+        if item is None:
+            return
+        self._busy = True
+        _, (dgram, envelope) = item
+        service_time = 1.0 / self.config.compute_capacity_qps
+        self.loop.call_later(service_time,
+                             lambda: self._complete(dgram, envelope))
+
+    def _complete(self, dgram: Datagram, envelope: QueryEnvelope) -> None:
+        self._busy = False
+        if self.state != MachineState.RUNNING:
+            return
+        question = envelope.message.question
+        if envelope.poison:
+            self.crash(question.qname, question.qtype)
+            return
+        if self.fault == "unresponsive":
+            self._kick()
+            return
+        response = self.engine.respond(envelope.message,
+                                       client_key=dgram.src)
+        if self.fault == "wrong_answer":
+            response.answers.clear()
+            response.flags.rcode = RCode.SERVFAIL
+        if self._nxdomain_filter is not None:
+            self._nxdomain_filter.observe_response(envelope.message, response,
+                                                   self.loop.now)
+        metrics = self.metrics
+        metrics.answered += 1
+        if envelope.is_attack:
+            metrics.attack_answered += 1
+        else:
+            metrics.legit_answered += 1
+        self.respond(dgram, response)
+        self._kick()

@@ -1,0 +1,171 @@
+"""The on-machine monitoring agent (paper sections 3.2 and 4.2.1).
+
+Every nameserver machine carries an agent that continually runs a test
+suite against the nameserver — a DNS query per hosted zone plus
+regression probes for known failure cases — and checks metadata
+staleness. On failure the agent *self-suspends* the machine: it
+instructs the co-resident BGP speaker to withdraw the anycast
+advertisements, shifting traffic to healthy machines (or, transitively,
+to other PoPs). Self-suspension is gated by the platform-wide recovery
+coordinator so a bad input or a buggy agent cannot suspend the fleet
+wholesale (section 4.2.1's consensus limit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Protocol
+
+from ..dnscore.message import make_query
+from ..dnscore.rrtypes import RCode, RType
+from ..netsim.clock import EventLoop, PeriodicTask
+from .machine import MachineState, NameserverMachine
+from .speaker import MachineBGPSpeaker
+
+
+class SuspensionCoordinator(Protocol):
+    """Platform service bounding concurrent self-suspensions."""
+
+    def request_suspension(self, machine_id: str) -> bool:
+        """True if the machine may suspend now."""
+
+    def release_suspension(self, machine_id: str) -> None:
+        """The machine resumed; free its suspension slot."""
+
+
+@dataclass(slots=True)
+class AgentMetrics:
+    """Counters for one agent."""
+
+    checks_run: int = 0
+    failures_detected: int = 0
+    suspensions: int = 0
+    resumptions: int = 0
+    suspensions_denied: int = 0
+
+
+RegressionTest = Callable[[NameserverMachine], bool]
+
+
+@dataclass(slots=True)
+class HealthReport:
+    """Outcome of one test-suite run."""
+
+    healthy: bool
+    reasons: list[str] = field(default_factory=list)
+
+
+class MonitoringAgent:
+    """Continuous health testing plus self-suspension logic."""
+
+    def __init__(self, loop: EventLoop, machine: NameserverMachine,
+                 speaker: MachineBGPSpeaker, *,
+                 period: float = 1.0,
+                 coordinator: SuspensionCoordinator | None = None,
+                 allow_self_suspend: bool = True,
+                 regression_tests: list[RegressionTest] | None = None,
+                 max_probe_zones: int = 8) -> None:
+        self.loop = loop
+        self.machine = machine
+        self.speaker = speaker
+        self.coordinator = coordinator
+        self.allow_self_suspend = allow_self_suspend
+        self.regression_tests = list(regression_tests or [])
+        self.max_probe_zones = max_probe_zones
+        self._probe_offset = 0
+        self.metrics = AgentMetrics()
+        self._suspended_by_agent = False
+        self._withdrew_for_crash = False
+        self._msg_id = 0
+        machine.crash_listeners.append(self._on_crash)
+        self._task = PeriodicTask(loop, period, self.run_check,
+                                  start_delay=period)
+
+    def stop(self) -> None:
+        self._task.stop()
+
+    # -- crash path -------------------------------------------------------------
+
+    def _on_crash(self, machine: NameserverMachine) -> None:
+        """Immediate reaction to a detected crash: withdraw advertisements."""
+        self.speaker.withdraw_all()
+        self._withdrew_for_crash = True
+
+    # -- periodic test suite -------------------------------------------------------
+
+    def run_suite(self) -> HealthReport:
+        """Run the full test suite once and report."""
+        machine = self.machine
+        reasons: list[str] = []
+        if machine.state == MachineState.CRASHED:
+            reasons.append("nameserver process down")
+            return HealthReport(False, reasons)
+        if machine.is_stale(self.loop.now):
+            reasons.append("critical inputs stale")
+        origins = machine.engine.store.origins()
+        if len(origins) > self.max_probe_zones:
+            # Rotate through the zone list so every zone is probed over
+            # successive cycles without making single cycles expensive.
+            start = self._probe_offset % len(origins)
+            self._probe_offset += self.max_probe_zones
+            origins = (origins * 2)[start:start + self.max_probe_zones]
+        for origin in origins:
+            self._msg_id = (self._msg_id + 1) & 0xFFFF
+            probe = make_query(self._msg_id, origin, RType.SOA)
+            response = machine.health_probe(probe)
+            if response is None:
+                reasons.append(f"no response for {origin}")
+                break
+            if response.flags.rcode != RCode.NOERROR or not response.answers:
+                reasons.append(f"bad answer for {origin}")
+        for index, test in enumerate(self.regression_tests):
+            if not test(machine):
+                reasons.append(f"regression test {index} failed")
+        return HealthReport(not reasons, reasons)
+
+    def run_check(self) -> None:
+        """One periodic agent cycle."""
+        self.metrics.checks_run += 1
+        machine = self.machine
+        if self._suspended_by_agent and self.coordinator is not None:
+            # Keep the suspension lease alive while we hold the slot, so
+            # the platform-wide concurrency bound stays accurate.
+            renew = getattr(self.coordinator, "renew", None)
+            if renew is not None:
+                renew(machine.machine_id)
+        if machine.state == MachineState.CRASHED:
+            if not self._withdrew_for_crash:
+                self._on_crash(machine)
+            return
+        report = self.run_suite()
+        if not report.healthy:
+            self.metrics.failures_detected += 1
+            self._handle_unhealthy()
+        else:
+            self._handle_healthy()
+
+    def _handle_unhealthy(self) -> None:
+        if self._suspended_by_agent or not self.allow_self_suspend:
+            return
+        if (self.coordinator is not None and
+                not self.coordinator.request_suspension(
+                    self.machine.machine_id)):
+            self.metrics.suspensions_denied += 1
+            return
+        self.machine.suspend()
+        self.speaker.withdraw_all()
+        self._suspended_by_agent = True
+        self.metrics.suspensions += 1
+
+    def _handle_healthy(self) -> None:
+        if self._suspended_by_agent:
+            self.machine.resume()
+            self.speaker.advertise_all()
+            self._suspended_by_agent = False
+            if self.coordinator is not None:
+                self.coordinator.release_suspension(self.machine.machine_id)
+            self.metrics.resumptions += 1
+        elif self._withdrew_for_crash:
+            # Recovered from a crash: resume advertising.
+            self.speaker.advertise_all()
+            self._withdrew_for_crash = False

@@ -1,0 +1,80 @@
+"""Penalty queues and the work-conserving service discipline.
+
+Queries are read in increasing penalty order: a higher-penalty queue is
+only served when every lower one is empty. Starvation is possible — and
+intended — in all queues except the lowest-penalty one, which by
+construction is always served first (paper section 4.3.3).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Generic, TypeVar
+
+from ..filters.scoring import QueuePolicy
+
+T = TypeVar("T")
+
+
+@dataclass(slots=True)
+class QueueStats:
+    """Counters for one run of the queue runtime."""
+
+    enqueued_per_queue: list[int] = field(default_factory=list)
+    served_per_queue: list[int] = field(default_factory=list)
+    discarded_s_max: int = 0
+    dropped_full: int = 0
+
+
+class PenaltyQueueRuntime(Generic[T]):
+    """Bounded FIFO queues ordered by penalty score band."""
+
+    def __init__(self, policy: QueuePolicy,
+                 max_depth_per_queue: int = 1000) -> None:
+        self.policy = policy
+        self.max_depth = max_depth_per_queue
+        self._queues: list[deque[T]] = [deque()
+                                        for _ in range(policy.queue_count)]
+        self.stats = QueueStats(
+            enqueued_per_queue=[0] * policy.queue_count,
+            served_per_queue=[0] * policy.queue_count,
+        )
+
+    def enqueue(self, item: T, score: float) -> bool:
+        """Place ``item`` by score; False if discarded or queue full."""
+        index = self.policy.queue_for(score)
+        if index is None:
+            self.stats.discarded_s_max += 1
+            return False
+        queue = self._queues[index]
+        if len(queue) >= self.max_depth:
+            self.stats.dropped_full += 1
+            return False
+        queue.append(item)
+        self.stats.enqueued_per_queue[index] += 1
+        return True
+
+    def pop_next(self) -> tuple[int, T] | None:
+        """The next item in increasing penalty order, or None if all empty."""
+        for index, queue in enumerate(self._queues):
+            if queue:
+                self.stats.served_per_queue[index] += 1
+                return index, queue.popleft()
+        return None
+
+    def depth(self, index: int) -> int:
+        return len(self._queues[index])
+
+    def total_depth(self) -> int:
+        return sum(len(q) for q in self._queues)
+
+    def clear(self) -> int:
+        """Drop everything queued (machine crash); returns the count lost."""
+        lost = self.total_depth()
+        for queue in self._queues:
+            queue.clear()
+        return lost
+
+    def __bool__(self) -> bool:
+        return any(self._queues)

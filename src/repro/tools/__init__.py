@@ -1,0 +1,7 @@
+"""Command-line tools for exploring the simulated platform.
+
+Import submodules directly (``from repro.tools import dig``) or run
+them: ``python -m repro.tools.dig <name> [type]``.
+"""
+
+__all__ = ["dig"]

@@ -1,0 +1,53 @@
+"""Workload models: populations, arrivals, attacks, geolocation.
+
+Generative models calibrated to the traffic characterization of paper
+section 2, plus the attack-traffic generators of section 4.3.4.
+"""
+
+from .arrivals import (
+    DiurnalModel,
+    QueryTrain,
+    SECONDS_PER_DAY,
+    SECONDS_PER_WEEK,
+    bursty_counts,
+    poisson_counts,
+)
+from .attacks import (
+    AttackStats,
+    DirectQueryAttack,
+    JunkPayload,
+    QoDInjector,
+    RandomSubdomainAttack,
+    SpoofedIdentity,
+    SpoofedSourceAttack,
+    VolumetricAttack,
+    random_label,
+)
+from .geolocation import (
+    GeoRecord,
+    GeolocationService,
+    MAJOR_REGIONS,
+    expected_major_share,
+    major_region_share,
+    regional_query_shares,
+)
+from .population import (
+    PopulationParams,
+    Resolver,
+    ResolverPopulation,
+    ZonePopularity,
+    overlap_fraction,
+    share_of_top,
+)
+
+__all__ = [
+    "AttackStats", "DirectQueryAttack", "DiurnalModel", "GeoRecord",
+    "GeolocationService", "JunkPayload", "MAJOR_REGIONS",
+    "PopulationParams", "QoDInjector", "QueryTrain",
+    "RandomSubdomainAttack", "Resolver", "ResolverPopulation",
+    "SECONDS_PER_DAY", "SECONDS_PER_WEEK", "SpoofedIdentity",
+    "SpoofedSourceAttack", "VolumetricAttack", "ZonePopularity",
+    "bursty_counts", "expected_major_share", "major_region_share",
+    "overlap_fraction", "poisson_counts", "random_label",
+    "regional_query_shares", "share_of_top",
+]

@@ -1,0 +1,133 @@
+"""Arrival processes: diurnal platform load and per-resolver burstiness.
+
+Figure 1 shows platform load cycling 3.9M-5.6M qps with a daily rhythm
+and a weekend dip; Figure 3 shows individual resolvers are bursty (the
+busiest averages 173 qps but peaks at 2,352). The diurnal model is a
+harmonic profile over the week; per-resolver traffic is an ON/OFF
+modulated Poisson process whose peak-to-mean ratio is the resolver's
+``burstiness``.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+import numpy as np
+
+SECONDS_PER_DAY = 86_400.0
+SECONDS_PER_WEEK = 7 * SECONDS_PER_DAY
+
+
+@dataclass(slots=True)
+class DiurnalModel:
+    """Weekly query-rate profile calibrated to Figure 1.
+
+    ``rate(t)`` returns platform qps at second ``t`` of the week
+    (t=0 is Sunday 00:00). The trough-to-peak range defaults to the
+    paper's 3.9M-5.6M with weekends ~8% below weekdays.
+    """
+
+    trough_qps: float = 3_900_000.0
+    peak_qps: float = 5_600_000.0
+    weekend_dip: float = 0.92
+    peak_hour_utc: float = 15.0   # aggregate peak across world regions
+
+    def rate(self, t: float) -> float:
+        day_fraction = (t % SECONDS_PER_DAY) / SECONDS_PER_DAY
+        phase = 2 * math.pi * (day_fraction - self.peak_hour_utc / 24.0)
+        mid = (self.peak_qps + self.trough_qps) / 2
+        amplitude = (self.peak_qps - self.trough_qps) / 2
+        base = mid + amplitude * math.cos(phase)
+        day_index = int(t // SECONDS_PER_DAY) % 7
+        if day_index in (0, 6):  # Sunday, Saturday
+            base *= self.weekend_dip
+        return base
+
+    def series(self, step_seconds: float = 3600.0,
+               duration: float = SECONDS_PER_WEEK
+               ) -> tuple[np.ndarray, np.ndarray]:
+        """(times, rates) sampled across a week, for Figure 1."""
+        times = np.arange(0.0, duration, step_seconds)
+        rates = np.array([self.rate(t) for t in times])
+        return times, rates
+
+
+def poisson_counts(rng: np.random.Generator, rate_qps: float,
+                   seconds: int) -> np.ndarray:
+    """Per-second Poisson query counts for one resolver."""
+    return rng.poisson(rate_qps, size=seconds)
+
+
+def bursty_counts(rng: np.random.Generator, mean_qps: float,
+                  burstiness: float, seconds: int,
+                  on_fraction: float | None = None) -> np.ndarray:
+    """Per-second counts for an ON/OFF modulated Poisson process.
+
+    During ON periods the instantaneous rate is ``burstiness`` times the
+    value that preserves the requested mean; OFF periods are silent.
+    ``on_fraction`` defaults to 1/burstiness so the long-run mean equals
+    ``mean_qps`` while peaks reach ``burstiness * mean_qps``.
+    """
+    if burstiness < 1.0:
+        raise ValueError("burstiness must be >= 1")
+    if on_fraction is None:
+        on_fraction = 1.0 / burstiness
+    on_rate = mean_qps / on_fraction
+    # Alternate ON/OFF periods with geometric lengths (mean 60 s ON).
+    counts = np.zeros(seconds, dtype=np.int64)
+    t = 0
+    on = rng.random() < on_fraction
+    while t < seconds:
+        mean_len = 60.0 if on else 60.0 * (1 - on_fraction) / on_fraction
+        length = max(1, int(rng.exponential(mean_len)))
+        end = min(seconds, t + length)
+        if on:
+            counts[t:end] = rng.poisson(on_rate, size=end - t)
+        t = end
+        on = not on
+    return counts
+
+
+class QueryTrain:
+    """Schedules per-query events onto the simulation loop.
+
+    Used by experiments that need real queries flowing through the
+    platform rather than count statistics: draws inter-arrival gaps from
+    an exponential (optionally ON/OFF-modulated) process and invokes a
+    send callback for each arrival.
+    """
+
+    def __init__(self, loop, rng: random.Random, rate_qps: float,
+                 send, *, burstiness: float = 1.0,
+                 duration: float | None = None) -> None:
+        self.loop = loop
+        self.rng = rng
+        self.rate = rate_qps
+        self.send = send
+        self.burstiness = burstiness
+        self.deadline = None if duration is None else loop.now + duration
+        self.sent = 0
+        self._stopped = False
+        self._schedule_next()
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    def _schedule_next(self) -> None:
+        if self.rate <= 0:
+            return
+        gap = self.rng.expovariate(self.rate)
+        if self.burstiness > 1.0 and self.rng.random() < 0.2:
+            gap *= self.burstiness
+        self.loop.call_later(gap, self._fire)
+
+    def _fire(self) -> None:
+        if self._stopped:
+            return
+        if self.deadline is not None and self.loop.now > self.deadline:
+            return
+        self.send()
+        self.sent += 1
+        self._schedule_next()

@@ -1,0 +1,53 @@
+"""CLI entry-point tests: dig tool and the experiment runner's flags."""
+
+import json
+
+import pytest
+
+
+class TestDigMain:
+    def test_main_resolves_and_exits_zero(self, capsys):
+        from repro.tools.dig import main
+        code = main(["www.acme.net", "A", "--seed", "11"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert ";; QUESTION: www.acme.net. A" in out
+        assert "203.0.113.10" in out
+
+    def test_main_trace_flag(self, capsys):
+        from repro.tools.dig import main
+        code = main(["www.acme.net", "--trace", "--seed", "11"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert ";; TRACE:" in out
+        assert "198.41.0.4" in out
+
+    def test_unknown_qtype_rejected(self):
+        from repro.tools.dig import main
+        with pytest.raises(ValueError):
+            main(["www.acme.net", "BOGUS"])
+
+
+class TestRunnerJSON:
+    def test_json_export_roundtrips(self, tmp_path):
+        # Use one cheap experiment directly to keep the test fast, then
+        # exercise the same serialization path the runner's --json uses.
+        from repro.experiments import fig1_qps
+        result = fig1_qps.run()
+        path = tmp_path / "out.json"
+        path.write_text(json.dumps(
+            [result.to_dict(include_series=True)], indent=2))
+        loaded = json.loads(path.read_text())
+        assert loaded[0]["experiment_id"] == "fig1"
+        assert loaded[0]["all_hold"] is True
+        assert len(loaded[0]["series"]["qps"][0]) > 100
+
+
+class TestFiguresTool:
+    def test_render_markdown(self):
+        from repro.experiments import fig1_qps
+        from repro.tools.figures import render_markdown
+        doc = render_markdown([fig1_qps.run()])
+        assert "## fig1" in doc
+        assert "```" in doc
+        assert "* qps" in doc

@@ -1,0 +1,128 @@
+"""Tests for the traffic collection/aggregation component."""
+
+import pytest
+
+from repro.control.reporting import TrafficCollector
+from repro.dnscore import RType, make_query, name, parse_zone_text
+from repro.filters import QueuePolicy, ScoringPipeline
+from repro.netsim import Datagram, EventLoop
+from repro.server import (
+    AuthoritativeEngine,
+    MachineConfig,
+    NameserverMachine,
+    QueryEnvelope,
+    ZoneStore,
+)
+
+ZONE_A = """\
+$ORIGIN a.report.\n$TTL 300
+@ IN SOA ns1.a.report. admin.a.report. 1 2 3 4 300
+@ IN NS ns1.a.report.
+www IN A 10.0.0.1
+"""
+ZONE_B = """\
+$ORIGIN b.report.\n$TTL 300
+@ IN SOA ns1.b.report. admin.b.report. 1 2 3 4 300
+@ IN NS ns1.b.report.
+www IN A 10.0.0.2
+"""
+
+
+def make_machine(loop, mid):
+    store = ZoneStore()
+    store.add(parse_zone_text(ZONE_A))
+    store.add(parse_zone_text(ZONE_B))
+    return NameserverMachine(
+        loop, mid, AuthoritativeEngine(store), ScoringPipeline([]),
+        QueuePolicy(), MachineConfig(staleness_threshold=float("inf")))
+
+
+def drive(loop, machine, qname, count, start, msg_base=0):
+    for i in range(count):
+        q = make_query((msg_base + i) & 0xFFFF, name(qname), RType.A)
+        loop.call_at(start + i * 0.01,
+                     lambda q=q: machine.receive_query(Datagram(
+                         src="10.1.0.1", dst="rep",
+                         payload=QueryEnvelope(q), src_port=5000 + i)))
+
+
+class TestTrafficCollector:
+    def test_per_zone_aggregation(self):
+        loop = EventLoop()
+        collector = TrafficCollector(loop, period=10.0)
+        m1 = make_machine(loop, "m1")
+        m2 = make_machine(loop, "m2")
+        collector.register(m1)
+        collector.register(m2)
+        drive(loop, m1, "www.a.report", 20, start=1.0)
+        drive(loop, m2, "www.a.report", 10, start=1.0, msg_base=100)
+        drive(loop, m1, "www.b.report", 5, start=1.0, msg_base=200)
+        loop.run_until(11.0)
+        report_a = collector.latest(name("a.report"))
+        assert report_a.queries == 30
+        assert report_a.reporting_machines == 2
+        assert collector.latest(name("b.report")).queries == 5
+
+    def test_nxdomain_fraction(self):
+        loop = EventLoop()
+        collector = TrafficCollector(loop, period=10.0)
+        machine = make_machine(loop, "m1")
+        collector.register(machine)
+        drive(loop, machine, "www.a.report", 9, start=1.0)
+        drive(loop, machine, "missing.a.report", 1, start=2.0,
+              msg_base=300)
+        loop.run_until(11.0)
+        report = collector.latest(name("a.report"))
+        assert report.nxdomains == 1
+        assert report.nxdomain_fraction == pytest.approx(0.1)
+
+    def test_windows_reset(self):
+        loop = EventLoop()
+        collector = TrafficCollector(loop, period=10.0)
+        machine = make_machine(loop, "m1")
+        collector.register(machine)
+        drive(loop, machine, "www.a.report", 10, start=1.0)
+        loop.run_until(11.0)
+        loop.run_until(21.0)
+        # Second window saw nothing; the latest report is the first.
+        assert collector.latest(name("a.report")).queries == 10
+        assert collector.total_queries(name("a.report")) == 10
+        drive(loop, machine, "www.a.report", 4, start=22.0, msg_base=400)
+        loop.run_until(31.0)
+        assert collector.latest(name("a.report")).queries == 4
+        assert collector.total_queries(name("a.report")) == 14
+
+    def test_qps_computed_over_window(self):
+        loop = EventLoop()
+        collector = TrafficCollector(loop, period=10.0)
+        machine = make_machine(loop, "m1")
+        collector.register(machine)
+        drive(loop, machine, "www.a.report", 50, start=0.5)
+        loop.run_until(11.0)
+        assert collector.latest(name("a.report")).qps == \
+            pytest.approx(5.0, rel=0.05)
+
+    def test_enterprise_rollup(self):
+        loop = EventLoop()
+        collector = TrafficCollector(loop, period=10.0)
+        machine = make_machine(loop, "m1")
+        collector.register(machine)
+        drive(loop, machine, "www.a.report", 8, start=1.0)
+        drive(loop, machine, "www.b.report", 2, start=1.0, msg_base=500)
+        loop.run_until(11.0)
+        rollup = collector.enterprise_report([name("a.report"),
+                                              name("b.report")])
+        assert rollup["total_queries"] == 10.0
+        assert rollup["zones"] == 2.0
+
+    def test_history_retention(self):
+        loop = EventLoop()
+        collector = TrafficCollector(loop, period=1.0,
+                                     history_windows=3)
+        machine = make_machine(loop, "m1")
+        collector.register(machine)
+        for window in range(6):
+            drive(loop, machine, "www.a.report", 1,
+                  start=window * 1.0 + 0.1, msg_base=window * 10)
+        loop.run_until(7.0)
+        assert len(collector.reports[name("a.report")]) <= 3

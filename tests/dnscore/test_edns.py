@@ -1,0 +1,82 @@
+"""Unit tests for EDNS0 and the Client Subnet option."""
+
+import pytest
+
+from repro.dnscore import (
+    ClientSubnetOption,
+    EDNSOptions,
+    Message,
+    RType,
+    WireFormatError,
+    make_query,
+    name,
+)
+
+
+class TestClientSubnet:
+    def test_for_client_ipv4_defaults(self):
+        ecs = ClientSubnetOption.for_client("198.51.100.77")
+        assert ecs.family == 1
+        assert ecs.source_prefix_length == 24
+        assert ecs.address == "198.51.100.0"
+        assert str(ecs.network()) == "198.51.100.0/24"
+
+    def test_for_client_ipv6_defaults(self):
+        ecs = ClientSubnetOption.for_client("2001:db8:1234:5678::9")
+        assert ecs.family == 2
+        assert ecs.source_prefix_length == 56
+        assert str(ecs.network()) == "2001:db8:1234:5600::/56"
+
+    def test_custom_prefix_length(self):
+        ecs = ClientSubnetOption.for_client("10.20.30.40",
+                                            prefix_length=16)
+        assert ecs.address == "10.20.0.0"
+
+    def test_wire_roundtrip_ipv4(self):
+        ecs = ClientSubnetOption.for_client("203.0.113.7")
+        assert ClientSubnetOption.from_wire(ecs.to_wire()) == ecs
+
+    def test_wire_roundtrip_ipv6(self):
+        ecs = ClientSubnetOption.for_client("2001:db8::1")
+        parsed = ClientSubnetOption.from_wire(ecs.to_wire())
+        assert parsed.family == 2
+        assert parsed.source_prefix_length == 56
+
+    def test_wire_truncates_to_prefix_octets(self):
+        # /24 IPv4 needs exactly 3 address octets on the wire.
+        ecs = ClientSubnetOption.for_client("198.51.100.77")
+        assert len(ecs.to_wire()) == 4 + 3
+
+    def test_unknown_family_rejected(self):
+        bad = bytes.fromhex("0003" "18" "00" "c63364")
+        with pytest.raises(WireFormatError):
+            ClientSubnetOption.from_wire(bad)
+
+
+class TestEDNSOptions:
+    def test_defaults(self):
+        opts = EDNSOptions()
+        assert opts.payload_size == 4096
+        assert not opts.dnssec_ok
+
+    def test_full_roundtrip_through_message(self):
+        opts = EDNSOptions(payload_size=1232, dnssec_ok=True,
+                           client_subnet=ClientSubnetOption.for_client(
+                               "192.0.2.1"))
+        query = make_query(5, name("e.example"), RType.A, edns=opts)
+        parsed = Message.from_wire(query.to_wire())
+        assert parsed.edns is not None
+        assert parsed.edns.payload_size == 1232
+        assert parsed.edns.dnssec_ok
+        assert parsed.edns.client_subnet.address == "192.0.2.0"
+
+    def test_unknown_options_preserved(self):
+        opts = EDNSOptions(unknown_options=[(65001, b"\x01\x02")])
+        query = make_query(6, name("e.example"), RType.A, edns=opts)
+        parsed = Message.from_wire(query.to_wire())
+        assert parsed.edns.unknown_options == [(65001, b"\x01\x02")]
+
+    def test_no_edns_means_none(self):
+        query = make_query(7, name("e.example"), RType.A)
+        parsed = Message.from_wire(query.to_wire())
+        assert parsed.edns is None

@@ -1,0 +1,169 @@
+"""Tests for incremental zone transfer (IXFR-style)."""
+
+import pytest
+
+from repro.dnscore import (
+    A,
+    RType,
+    TransferError,
+    make_rrset,
+    name,
+    parse_zone_text,
+)
+from repro.dnscore.ixfr import (
+    ZoneHistory,
+    apply_diff,
+    apply_ixfr_stream,
+    diff_zones,
+    ixfr_response_stream,
+    make_ixfr_query,
+)
+
+BASE = """\
+$ORIGIN inc.example.
+$TTL 300
+@ IN SOA ns1.inc.example. admin.inc.example. {serial} 7200 3600 1209600 300
+@ IN NS ns1.inc.example.
+www IN A 10.0.0.1
+mail IN A 10.0.0.2
+"""
+
+
+def version(serial, extra=""):
+    return parse_zone_text(BASE.format(serial=serial) + extra)
+
+
+class TestDiff:
+    def test_addition_detected(self):
+        old = version(1)
+        new = version(2, "api IN A 10.0.0.3\n")
+        diff = diff_zones(old, new)
+        assert diff.old_serial == 1 and diff.new_serial == 2
+        assert [str(r.name) for r in diff.additions] == ["api.inc.example."]
+        assert not diff.deletions
+
+    def test_deletion_detected(self):
+        old = version(1, "api IN A 10.0.0.3\n")
+        new = version(2)
+        diff = diff_zones(old, new)
+        assert [str(r.name) for r in diff.deletions] == ["api.inc.example."]
+
+    def test_replacement_is_delete_plus_add(self):
+        old = version(1)
+        new = parse_zone_text(BASE.format(serial=2).replace(
+            "www IN A 10.0.0.1", "www IN A 10.0.0.9"))
+        diff = diff_zones(old, new)
+        assert len(diff.deletions) == 1 and len(diff.additions) == 1
+        assert diff.change_count == 2
+
+    def test_soa_excluded_from_body(self):
+        diff = diff_zones(version(1), version(2))
+        assert all(r.rtype != RType.SOA
+                   for r in diff.deletions + diff.additions)
+
+    def test_origin_mismatch_rejected(self):
+        other = parse_zone_text(
+            "$ORIGIN other.example.\n"
+            "@ IN SOA ns. h. 1 2 3 4 5\n@ IN NS ns.other.example.\n")
+        with pytest.raises(TransferError):
+            diff_zones(version(1), other)
+
+
+class TestApplyDiff:
+    def test_roundtrip(self):
+        old = version(1)
+        new = version(2, "api IN A 10.0.0.3\n")
+        rebuilt = apply_diff(old, diff_zones(old, new))
+        assert rebuilt.serial == 2
+        assert rebuilt.get_rrset(name("api.inc.example"), RType.A) \
+            is not None
+        assert rebuilt.rrset_count() == new.rrset_count()
+
+    def test_serial_precondition(self):
+        old = version(1)
+        new = version(2)
+        diff = diff_zones(old, new)
+        with pytest.raises(TransferError):
+            apply_diff(new, diff)  # zone already at serial 2
+
+
+class TestHistory:
+    def test_records_versions_and_diffs(self):
+        history = ZoneHistory()
+        history.record(version(1))
+        history.record(version(2, "api IN A 10.0.0.3\n"))
+        history.record(version(3, "api IN A 10.0.0.3\nx IN A 10.0.0.4\n"))
+        diffs = history.diffs_since(name("inc.example"), 1)
+        assert [d.new_serial for d in diffs] == [2, 3]
+        assert history.diffs_since(name("inc.example"), 99) is None
+
+    def test_same_serial_ignored(self):
+        history = ZoneHistory()
+        history.record(version(1))
+        history.record(version(1))
+        assert len(history._versions[name("inc.example")]) == 1
+
+    def test_regressing_serial_rejected(self):
+        history = ZoneHistory()
+        history.record(version(5))
+        with pytest.raises(TransferError):
+            history.record(version(3))
+
+    def test_retention_limit(self):
+        history = ZoneHistory(max_versions=3)
+        for serial in range(1, 8):
+            history.record(version(serial))
+        assert history.diffs_since(name("inc.example"), 1) is None
+        assert history.diffs_since(name("inc.example"), 5) is not None
+
+
+class TestEndToEnd:
+    def make_history(self):
+        history = ZoneHistory()
+        history.record(version(1))
+        history.record(version(2, "api IN A 10.0.0.3\n"))
+        history.record(version(3, "api IN A 10.0.0.3\n"
+                                  "cdn IN A 10.0.0.5\n"))
+        return history
+
+    def test_incremental_transfer(self):
+        history = self.make_history()
+        client_zone = version(1)
+        query = make_ixfr_query(7, name("inc.example"), 1)
+        stream = ixfr_response_stream(history, query)
+        updated = apply_ixfr_stream(client_zone, stream)
+        assert updated.serial == 3
+        assert updated.get_rrset(name("cdn.inc.example"), RType.A) \
+            is not None
+        # The diff stream is much smaller than a full transfer.
+        assert sum(len(m.answers) for m in stream) < \
+            history.latest(name("inc.example")).rrset_count() + 6
+
+    def test_up_to_date_client(self):
+        history = self.make_history()
+        query = make_ixfr_query(8, name("inc.example"), 3)
+        stream = ixfr_response_stream(history, query)
+        assert len(stream) == 1 and len(stream[0].answers) == 1
+        unchanged = apply_ixfr_stream(version(3, "api IN A 10.0.0.3\n"
+                                                 "cdn IN A 10.0.0.5\n"),
+                                      stream)
+        assert unchanged.serial == 3
+
+    def test_fallback_to_full_transfer(self):
+        history = ZoneHistory(max_versions=2)
+        for serial in range(1, 6):
+            history.record(version(serial, "api IN A 10.0.0.3\n"
+                           if serial > 1 else ""))
+        # Client is far behind the retained window.
+        query = make_ixfr_query(9, name("inc.example"), 1)
+        stream = ixfr_response_stream(history, query)
+        updated = apply_ixfr_stream(version(1), stream)
+        assert updated.serial == 5
+
+    def test_multi_step_apply_each_diff(self):
+        history = self.make_history()
+        query = make_ixfr_query(10, name("inc.example"), 2)
+        stream = ixfr_response_stream(history, query)
+        updated = apply_ixfr_stream(version(2, "api IN A 10.0.0.3\n"),
+                                    stream)
+        assert updated.serial == 3

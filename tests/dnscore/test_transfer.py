@@ -1,0 +1,96 @@
+"""Tests for AXFR-style zone transfer and serial arithmetic."""
+
+import pytest
+
+from repro.dnscore import (
+    A,
+    RType,
+    TransferError,
+    axfr_response_stream,
+    make_axfr_query,
+    make_rrset,
+    make_zone,
+    name,
+    needs_transfer,
+    parse_zone_text,
+    serial_gt,
+    transfer_zone,
+    zone_from_axfr,
+)
+from repro.dnscore.rdata import SOA
+
+
+def build_zone(n_hosts=25):
+    z = parse_zone_text(
+        "$ORIGIN big.com.\n"
+        "@ IN SOA ns1.big.com. admin.big.com. 77 7200 3600 1209600 300\n"
+        "@ IN NS ns1.big.com.\n")
+    for i in range(n_hosts):
+        z.add_rrset(make_rrset(name(f"h{i}.big.com"), RType.A, 300,
+                               [A(f"10.1.{i // 256}.{i % 256}")]))
+    return z
+
+
+class TestAXFR:
+    def test_roundtrip(self):
+        z = build_zone()
+        z2 = transfer_zone(z)
+        assert z2.rrset_count() == z.rrset_count()
+        assert z2.serial == 77
+
+    def test_stream_framed_by_soa(self):
+        z = build_zone()
+        stream = list(axfr_response_stream(z, make_axfr_query(1, z.origin)))
+        records = [r for m in stream for r in m.answers]
+        assert records[0].rtype == RType.SOA
+        assert records[-1].rtype == RType.SOA
+        assert records[0].rdata == records[-1].rdata
+
+    def test_multi_message_stream(self):
+        z = build_zone(250)
+        stream = list(axfr_response_stream(z, make_axfr_query(1, z.origin),
+                                           max_records_per_message=50))
+        assert len(stream) > 1
+        z2 = zone_from_axfr(z.origin, stream)
+        assert z2.rrset_count() == z.rrset_count()
+
+    def test_wrong_zone_refused(self):
+        z = build_zone()
+        with pytest.raises(TransferError):
+            list(axfr_response_stream(z, make_axfr_query(1, name("no.com"))))
+
+    def test_non_axfr_question_refused(self):
+        from repro.dnscore import make_query
+        z = build_zone()
+        with pytest.raises(TransferError):
+            list(axfr_response_stream(z, make_query(1, z.origin, RType.SOA)))
+
+    def test_unframed_stream_rejected(self):
+        z = build_zone()
+        stream = list(axfr_response_stream(z, make_axfr_query(1, z.origin)))
+        stream[-1].answers.pop()  # strip trailing SOA
+        with pytest.raises(TransferError):
+            zone_from_axfr(z.origin, stream)
+
+    def test_empty_stream_rejected(self):
+        with pytest.raises(TransferError):
+            zone_from_axfr(name("big.com"), [])
+
+
+class TestSerials:
+    def test_basic_ordering(self):
+        assert serial_gt(2, 1)
+        assert not serial_gt(1, 2)
+        assert not serial_gt(5, 5)
+
+    def test_wraparound(self):
+        # RFC 1982: 0 is "greater" than a serial just below 2^32.
+        assert serial_gt(0, 2**32 - 1)
+        assert not serial_gt(2**32 - 1, 0)
+
+    def test_needs_transfer(self):
+        assert needs_transfer(None, 1)
+        assert needs_transfer(10, 11)
+        assert not needs_transfer(11, 11)
+        assert not needs_transfer(12, 11)
+        assert needs_transfer(2**32 - 5, 3)

@@ -1,0 +1,51 @@
+"""Determinism: every experiment is a pure function of its seed."""
+
+import pytest
+
+from repro.experiments import (
+    anycast_quality,
+    fig2_skew,
+    fig8_failover,
+    fig9_decision_tree,
+    fig11_speedup,
+)
+from repro.netsim.builder import InternetParams
+
+
+def small_fig8():
+    return fig8_failover.run(fig8_failover.Fig8Params(
+        n_pops=6, n_vantage=8, trials=1,
+        internet=InternetParams(n_tier1=4, n_tier2=8, n_stub=24),
+        measure_window=15.0, converge_time=15.0))
+
+
+class TestDeterminism:
+    def test_fig2(self):
+        assert fig2_skew.run(seed=5, n_resolvers=4_000).metrics == \
+            fig2_skew.run(seed=5, n_resolvers=4_000).metrics
+
+    def test_fig8(self):
+        assert small_fig8().metrics == small_fig8().metrics
+
+    def test_fig9(self):
+        assert fig9_decision_tree.run(seed=5).metrics == \
+            fig9_decision_tree.run(seed=5).metrics
+
+    def test_fig11(self):
+        params = fig11_speedup.Fig11Params(
+            n_probes=40, n_edges=30, n_resolvers=1_000,
+            internet=InternetParams(n_tier1=4, n_tier2=10, n_stub=40))
+        assert fig11_speedup.run(params).metrics == \
+            fig11_speedup.run(params).metrics
+
+    def test_anycast_quality(self):
+        params = anycast_quality.AnycastQualityParams(
+            n_pops=8, n_clients=30,
+            internet=InternetParams(n_tier1=4, n_tier2=10, n_stub=40))
+        assert anycast_quality.run(params).metrics == \
+            anycast_quality.run(params).metrics
+
+    def test_different_seeds_differ(self):
+        a = fig2_skew.run(seed=5, n_resolvers=4_000).metrics
+        b = fig2_skew.run(seed=6, n_resolvers=4_000).metrics
+        assert a != b

@@ -1,0 +1,208 @@
+"""Tests for BGP route selection, propagation, policy, and withdrawal."""
+
+import random
+
+import pytest
+
+from repro.netsim import (
+    EventLoop,
+    GeoPoint,
+    LinkRelation,
+    LOCAL,
+    Network,
+    Node,
+    NodeKind,
+    Topology,
+)
+
+
+def build_line(*relations):
+    """r0 - r1 - ... with given relations (from left node's perspective)."""
+    t = Topology()
+    n = len(relations) + 1
+    for i in range(n):
+        t.add_node(Node(f"r{i}", 100 + i, NodeKind.TRANSIT,
+                        GeoPoint(0, i * 2)))
+    for i, rel in enumerate(relations):
+        t.connect(f"r{i}", f"r{i+1}", rel)
+    return t
+
+
+def make_network(topology, seed=1):
+    loop = EventLoop()
+    net = Network(loop, topology, random.Random(seed))
+    net.build_speakers()
+    return loop, net
+
+
+class TestPropagation:
+    def test_customer_route_reaches_everyone(self):
+        # r0 --customer-- r1 --customer-- r2: r2 originates, is customer
+        # of r1 which is customer of r0.
+        t = build_line(LinkRelation.CUSTOMER, LinkRelation.CUSTOMER)
+        loop, net = make_network(t)
+        net.speaker("r2").originate("p")
+        loop.run_until(10)
+        assert net.speaker("r0").best_route("p") is not None
+        assert net.fib_entry("r0", "p") == "r1"
+        assert net.fib_entry("r2", "p") == LOCAL
+
+    def test_valley_free_blocks_peer_to_peer_transit(self):
+        # r0 --peer-- r1 --peer-- r2: r2's route must not cross r1 to r0.
+        t = build_line(LinkRelation.PEER, LinkRelation.PEER)
+        loop, net = make_network(t)
+        net.speaker("r2").originate("p")
+        loop.run_until(10)
+        assert net.speaker("r1").best_route("p") is not None
+        assert net.speaker("r0").best_route("p") is None
+
+    def test_provider_route_goes_to_customers(self):
+        # r0 is provider of r1; r1 is provider of r2. r0 originates:
+        # the route flows down the customer chain.
+        t = build_line(LinkRelation.CUSTOMER, LinkRelation.CUSTOMER)
+        loop, net = make_network(t)
+        net.speaker("r0").originate("p")
+        loop.run_until(10)
+        assert net.speaker("r2").best_route("p") is not None
+
+    def test_as_path_grows_per_hop(self):
+        t = build_line(LinkRelation.CUSTOMER, LinkRelation.CUSTOMER)
+        loop, net = make_network(t)
+        net.speaker("r2").originate("p")
+        loop.run_until(10)
+        assert len(net.speaker("r0").best_route("p").as_path) == 2
+        assert len(net.speaker("r1").best_route("p").as_path) == 1
+
+    def test_loop_detection(self):
+        # Triangle of customers: no route should ever contain its own AS.
+        t = Topology()
+        for i in range(3):
+            t.add_node(Node(f"r{i}", 200 + i, NodeKind.TRANSIT,
+                            GeoPoint(0, i)))
+        t.connect("r0", "r1", LinkRelation.PEER)
+        t.connect("r1", "r2", LinkRelation.CUSTOMER)
+        t.connect("r2", "r0", LinkRelation.PROVIDER)
+        loop, net = make_network(t)
+        net.speaker("r0").originate("p")
+        loop.run_until(30)
+        for r in ("r0", "r1", "r2"):
+            best = net.speaker(r).best_route("p")
+            if best is not None:
+                assert t.node(r).asn not in best.as_path
+
+
+class TestSelection:
+    def test_customer_preferred_over_peer(self):
+        # dest reachable from r1 via customer r2 and via peer r3; both
+        # advertise. Customer route wins despite equal path length.
+        t = Topology()
+        for node_id, asn in [("r1", 1), ("r2", 2), ("r3", 3), ("dst", 4)]:
+            t.add_node(Node(node_id, asn, NodeKind.TRANSIT, GeoPoint(0, asn)))
+        t.connect("r1", "r2", LinkRelation.CUSTOMER)
+        t.connect("r1", "r3", LinkRelation.PEER)
+        t.connect("r2", "dst", LinkRelation.CUSTOMER)
+        t.connect("r3", "dst", LinkRelation.CUSTOMER)
+        loop, net = make_network(t)
+        net.speaker("dst").originate("p")
+        loop.run_until(10)
+        assert net.speaker("r1").best_route("p").next_hop == "r2"
+
+    def test_shorter_path_wins_same_pref(self):
+        t = Topology()
+        for i in range(5):
+            t.add_node(Node(f"r{i}", 300 + i, NodeKind.TRANSIT,
+                            GeoPoint(0, i)))
+        # Short: r0 <- r1 <- dst(r4). Long: r0 <- r2 <- r3 <- dst(r4).
+        t.connect("r0", "r1", LinkRelation.CUSTOMER)
+        t.connect("r1", "r4", LinkRelation.CUSTOMER)
+        t.connect("r0", "r2", LinkRelation.CUSTOMER)
+        t.connect("r2", "r3", LinkRelation.CUSTOMER)
+        t.connect("r3", "r4", LinkRelation.CUSTOMER)
+        loop, net = make_network(t)
+        net.speaker("r4").originate("p")
+        loop.run_until(10)
+        assert net.speaker("r0").best_route("p").next_hop == "r1"
+
+    def test_customer_pref_beats_path_length(self):
+        # Line r0-r1-r2-r3-r4, each left node the provider of the right.
+        # r1 hears r0's origination from its provider and r4's from its
+        # customer chain: Gao-Rexford prefers the customer route even
+        # though its AS path is longer.
+        t = build_line(*[LinkRelation.CUSTOMER] * 4)
+        loop, net = make_network(t)
+        net.speaker("r0").originate("p")
+        net.speaker("r4").originate("p")
+        loop.run_until(10)
+        assert net.fib_entry("r1", "p") == "r2"
+
+    def test_anycast_two_origins_split(self):
+        # Symmetric tree: x has customers y0 and y1, each of which has a
+        # customer origin. Each y prefers its own origin (shorter customer
+        # path); the split is a true anycast catchment boundary.
+        t = Topology()
+        for node_id, asn, lon in [("x", 10, 0), ("y0", 11, -1), ("y1", 12, 1),
+                                  ("o0", 13, -2), ("o1", 14, 2)]:
+            t.add_node(Node(node_id, asn, NodeKind.TRANSIT, GeoPoint(0, lon)))
+        t.connect("x", "y0", LinkRelation.CUSTOMER)
+        t.connect("x", "y1", LinkRelation.CUSTOMER)
+        t.connect("y0", "o0", LinkRelation.CUSTOMER)
+        t.connect("y1", "o1", LinkRelation.CUSTOMER)
+        loop, net = make_network(t)
+        net.speaker("o0").originate("p")
+        net.speaker("o1").originate("p")
+        loop.run_until(10)
+        assert net.fib_entry("y0", "p") == "o0"
+        assert net.fib_entry("y1", "p") == "o1"
+        assert net.fib_entry("x", "p") in ("y0", "y1")
+
+
+class TestWithdrawal:
+    def test_withdraw_converges_to_no_route(self):
+        t = build_line(LinkRelation.CUSTOMER, LinkRelation.CUSTOMER)
+        loop, net = make_network(t)
+        net.speaker("r2").originate("p")
+        loop.run_until(10)
+        net.speaker("r2").withdraw_origin("p")
+        loop.run_until(60)
+        for r in ("r0", "r1", "r2"):
+            assert net.speaker(r).best_route("p") is None
+            assert net.fib_entry(r, "p") is None
+
+    def test_withdraw_fails_over_to_other_origin(self):
+        t = build_line(*[LinkRelation.CUSTOMER] * 4)
+        loop, net = make_network(t)
+        net.speaker("r0").originate("p")
+        net.speaker("r4").originate("p")
+        loop.run_until(10)
+        net.speaker("r0").withdraw_origin("p")
+        loop.run_until(60)
+        # Everyone should now route toward r4.
+        hop = net.fib_entry("r0", "p")
+        assert hop == "r1"
+        assert net.fib_entry("r1", "p") == "r2"
+
+    def test_update_counters_increase(self):
+        t = build_line(LinkRelation.CUSTOMER, LinkRelation.CUSTOMER)
+        loop, net = make_network(t)
+        net.speaker("r2").originate("p")
+        loop.run_until(10)
+        sent = sum(s.updates_sent for s in net.speakers().values())
+        assert sent >= 2
+
+
+class TestMRAI:
+    def test_mrai_delays_but_preserves_convergence(self):
+        t = build_line(*[LinkRelation.CUSTOMER] * 3)
+        loop = EventLoop()
+        net = Network(loop, t, random.Random(5))
+        net.build_speakers(mrai_for=lambda r: 5.0)
+        net.speaker("r3").originate("p")
+        loop.run_until(0.5)
+        # First updates flush immediately; full path needs several hops
+        # but each hop's first send is immediate, so convergence is fast
+        # even with MRAI armed.
+        loop.run_until(30)
+        assert net.speaker("r0").best_route("p") is not None
+        net.speaker("r3").withdraw_origin("p")
+        loop.run_until(120)
+        assert net.speaker("r0").best_route("p") is None

@@ -1,0 +1,75 @@
+"""Tests for FIB programming delay semantics (churn-gated, FIFO)."""
+
+import random
+
+import pytest
+
+from repro.netsim import (
+    EventLoop,
+    GeoPoint,
+    LinkRelation,
+    Network,
+    Node,
+    NodeKind,
+    Topology,
+)
+
+
+@pytest.fixture
+def net():
+    t = Topology()
+    for i in range(3):
+        t.add_node(Node(f"r{i}", 100 + i, NodeKind.TRANSIT,
+                        GeoPoint(0, i)))
+    t.connect("r0", "r1", LinkRelation.CUSTOMER)
+    t.connect("r1", "r2", LinkRelation.CUSTOMER)
+    loop = EventLoop()
+    network = Network(loop, t, random.Random(1))
+    network.build_speakers()
+    return loop, network
+
+
+class TestFIBDelay:
+    def test_announcements_program_immediately(self, net):
+        loop, network = net
+        network.fib_delay_for = lambda r: 5.0
+        network.speaker("r2").originate("p")
+        loop.run_until(2.0)
+        # Announce-driven changes skip the delay.
+        assert network.fib_entry("r1", "p") == "r2"
+
+    def test_withdrawals_pay_the_delay(self, net):
+        loop, network = net
+        network.speaker("r2").originate("p")
+        loop.run_until(5.0)
+        network.fib_delay_for = lambda r: 10.0
+        network.speaker("r2").withdraw_origin("p")
+        loop.run_until(7.0)
+        # r1's RIB already lost the route, but its FIB still points at
+        # the withdrawn origin: the blackhole window.
+        assert network.speaker("r1").best_route("p") is None
+        assert network.fib_entry("r1", "p") == "r2"
+        loop.run_until(30.0)
+        assert network.fib_entry("r1", "p") is None
+
+    def test_newer_decision_wins_over_pending(self, net):
+        loop, network = net
+        network.speaker("r2").originate("p")
+        loop.run_until(5.0)
+        network.fib_delay_for = lambda r: 10.0
+        # Withdraw then immediately re-announce: the delayed removal
+        # must not clobber the re-announced entry once both settle.
+        network.speaker("r2").withdraw_origin("p")
+        loop.run_until(5.5)
+        network.speaker("r2").originate("p")
+        loop.run_until(40.0)
+        assert network.fib_entry("r1", "p") == "r2"
+        assert network.fib_entry("r2", "p") is not None
+
+    def test_no_delay_without_configuration(self, net):
+        loop, network = net
+        network.speaker("r2").originate("p")
+        loop.run_until(5.0)
+        network.speaker("r2").withdraw_origin("p")
+        loop.run_until(7.0)
+        assert network.fib_entry("r1", "p") is None

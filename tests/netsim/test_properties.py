@@ -1,0 +1,88 @@
+"""Property-based tests on simulation-core invariants."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netsim import EventLoop, GeoPoint
+from repro.netsim.bgp import LOCAL, Route
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1e6,
+                          allow_nan=False), min_size=1, max_size=50))
+def test_event_loop_fires_in_time_order(times):
+    loop = EventLoop()
+    fired = []
+    for t in times:
+        loop.call_at(t, lambda t=t: fired.append(t))
+    loop.run()
+    assert fired == sorted(times)
+    assert loop.events_processed == len(times)
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=100.0,
+                          allow_nan=False), min_size=1, max_size=30),
+       st.floats(min_value=0.0, max_value=100.0, allow_nan=False))
+def test_run_until_boundary(times, deadline):
+    loop = EventLoop()
+    fired = []
+    for t in times:
+        loop.call_at(t, lambda t=t: fired.append(t))
+    loop.run_until(deadline)
+    assert all(t <= deadline for t in fired)
+    assert sorted(fired) == sorted(t for t in times if t <= deadline)
+    assert loop.now >= deadline
+
+
+coords = st.tuples(st.floats(min_value=-85, max_value=85),
+                   st.floats(min_value=-180, max_value=180))
+
+
+@given(coords, coords)
+def test_geo_distance_symmetric(a, b):
+    pa, pb = GeoPoint(*a), GeoPoint(*b)
+    assert abs(pa.distance_km(pb) - pb.distance_km(pa)) < 1e-6
+
+
+@given(coords, coords, coords)
+@settings(max_examples=150)
+def test_geo_triangle_inequality(a, b, c):
+    pa, pb, pc = GeoPoint(*a), GeoPoint(*b), GeoPoint(*c)
+    assert pa.distance_km(pc) <= \
+        pa.distance_km(pb) + pb.distance_km(pc) + 1e-6
+
+
+@given(coords, coords)
+def test_latency_positive_and_monotone_with_distance(a, b):
+    pa, pb = GeoPoint(*a), GeoPoint(*b)
+    assert pa.latency_ms(pb) >= 0.2
+
+
+routes = st.builds(
+    Route,
+    prefix=st.just("p"),
+    as_path=st.lists(st.integers(1, 1000), max_size=6).map(tuple),
+    next_hop=st.sampled_from(["r1", "r2", "r3", LOCAL]),
+    local_pref=st.sampled_from([100, 200, 300, 400]),
+    med=st.integers(0, 10),
+)
+
+
+@given(st.lists(routes, min_size=1, max_size=10))
+def test_route_selection_deterministic_total_order(candidates):
+    best_a = max(candidates, key=Route.preference_key)
+    best_b = max(list(reversed(candidates)), key=Route.preference_key)
+    assert best_a.preference_key() == best_b.preference_key()
+
+
+@given(routes, routes)
+def test_higher_local_pref_always_wins(a, b):
+    if a.local_pref > b.local_pref:
+        assert a.preference_key() > b.preference_key()
+
+
+@given(routes, routes)
+def test_shorter_path_wins_at_equal_pref(a, b):
+    if a.local_pref == b.local_pref and len(a.as_path) < len(b.as_path):
+        assert a.preference_key() > b.preference_key()

@@ -1,0 +1,127 @@
+"""Link congestion plus traffic engineering, end to end (section 4.3.2).
+
+A volumetric attack from behind one peering link congests it, starving
+the legitimate traffic sharing that link. The operator decision for
+"resolvers DoSed + link congested + attack can spread" is action IV:
+withdraw from the attack-sourcing link. BGP then routes the peer's
+traffic — attack and legitimate alike — to another PoP with headroom,
+and legitimate goodput recovers.
+"""
+
+import random
+
+import pytest
+
+from repro.netsim import (
+    AnycastCloud,
+    Datagram,
+    EventLoop,
+    InternetParams,
+    LinkRelation,
+    Network,
+    attach_host,
+    attach_pop,
+    build_internet,
+)
+from repro.platform import AttackSituation, TEAction, TrafficEngineer, decide
+
+PREFIX = "te-prefix"
+LINK_CAPACITY = 150.0
+LEGIT_RATE = 40.0
+ATTACK_RATE = 1_200.0
+
+
+@pytest.fixture
+def world():
+    rng = random.Random(83)
+    inet = build_internet(rng, InternetParams(n_tier1=4, n_tier2=10,
+                                              n_stub=30))
+    pop_a = attach_pop(inet, rng, pop_id="pop-a", ixp_probability=1.0)
+    pop_b = attach_pop(inet, rng, pop_id="pop-b", ixp_probability=1.0)
+    loop = EventLoop()
+    net = Network(loop, inet.topology, rng)
+    net.build_speakers()
+
+    delivered = {"legit": 0, "attack": 0}
+
+    def handler(dgram):
+        kind = dgram.payload[0] if isinstance(dgram.payload, tuple) \
+            else "other"
+        if kind in delivered:
+            delivered[kind] += 1
+
+    cloud = AnycastCloud(PREFIX, net)
+    for pop in (pop_a, pop_b):
+        net.register_local_delivery(pop, PREFIX, handler)
+        cloud.advertise(pop)
+    loop.run_until(40)
+
+    # The attack peer: a neighbor of PoP A whose own traffic lands on A.
+    attack_peer = next(p for p in inet.topology.bgp_neighbors(pop_a)
+                       if cloud.catchment_of(p) == pop_a)
+    # Legitimate clients and attackers both sit behind that peer.
+    legit_host = attach_host(inet, rng, host_id="te-legit",
+                             attach_to=attack_peer)
+    attack_host = attach_host(inet, rng, host_id="te-attacker",
+                              attach_to=attack_peer)
+    # The shared peering link is the congestion point.
+    inet.topology.link(pop_a, attack_peer).capacity_pps = LINK_CAPACITY
+    return (loop, net, inet, cloud, pop_a, pop_b, attack_peer,
+            legit_host, attack_host, delivered)
+
+
+def drive(loop, net, rng, host, kind, rate, start, seconds):
+    count = int(rate * seconds)
+    for i in range(count):
+        loop.call_at(start + i / rate, lambda i=i: net.send(Datagram(
+            src=host, dst=PREFIX, payload=(kind, i),
+            src_port=(i * 13) % 60_000 + 1024)))
+
+
+def measure(loop, delivered, seconds):
+    before = dict(delivered)
+    loop.run_until(loop.now + seconds)
+    return {k: delivered[k] - before[k] for k in delivered}
+
+
+def test_congestion_then_action_iv_recovers_legit(world):
+    (loop, net, inet, cloud, pop_a, pop_b, attack_peer,
+     legit_host, attack_host, delivered) = world
+    rng = random.Random(5)
+
+    # Phase 0: legit only, well under the link capacity.
+    drive(loop, net, rng, legit_host, "legit", LEGIT_RATE, loop.now, 5)
+    got = measure(loop, delivered, 6)
+    assert got["legit"] >= LEGIT_RATE * 5 * 0.95
+
+    # Phase 1: volumetric attack congests the shared peering link.
+    start = loop.now
+    drive(loop, net, rng, attack_host, "attack", ATTACK_RATE, start, 10)
+    drive(loop, net, rng, legit_host, "legit", LEGIT_RATE, start, 10)
+    got = measure(loop, delivered, 11)
+    legit_goodput_under_attack = got["legit"] / (LEGIT_RATE * 10)
+    assert legit_goodput_under_attack < 0.6
+    assert net.stats.dropped_congestion > 0
+
+    # The operator's call matches Figure 9.
+    action = decide(AttackSituation(
+        resolvers_dosed=True, peering_links_congested=True,
+        compute_saturated=False, can_spread_attack=True))
+    assert action == TEAction.WITHDRAW_ALL_ATTACK_LINKS
+
+    # Phase 2: apply action IV and let BGP move the peer's traffic.
+    engineer = TrafficEngineer(net, PREFIX)
+    plan = engineer.plan(AttackSituation(True, True, False, True),
+                         pop_router_id=pop_a,
+                         attack_peers=[attack_peer])
+    engineer.apply(plan)
+    loop.run_until(loop.now + 40)
+    assert cloud.catchment_of(attack_peer) not in (pop_a, None)
+
+    start = loop.now
+    drive(loop, net, rng, attack_host, "attack", ATTACK_RATE, start, 10)
+    drive(loop, net, rng, legit_host, "legit", LEGIT_RATE, start, 10)
+    got = measure(loop, delivered, 12)
+    legit_goodput_after_te = got["legit"] / (LEGIT_RATE * 10)
+    assert legit_goodput_after_te > 0.9
+    assert legit_goodput_after_te > legit_goodput_under_attack + 0.3

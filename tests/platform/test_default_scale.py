@@ -1,0 +1,62 @@
+"""The paper-scale default deployment: all 24 clouds, 24 PoPs.
+
+A single (module-scoped) build of `DeploymentParams()` verifying the
+defaults hold the paper's structural constants and serve queries.
+"""
+
+import pytest
+
+from repro.dnscore import RCode, RType, name
+from repro.platform import AkamaiDNSDeployment, DeploymentParams
+from repro.platform.clouds import TOTAL_CLOUDS
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    dep = AkamaiDNSDeployment(DeploymentParams())
+    dep.provision_enterprise("scale", "scale.net",
+                             "www IN A 203.0.113.99\n",
+                             cdn_hostnames=["cdn.scale.net"])
+    dep.settle(40)
+    return dep
+
+
+class TestDefaultScale:
+    def test_all_24_clouds_deployed(self, deployment):
+        assert len(deployment.clouds) == TOTAL_CLOUDS
+        for cloud in deployment.clouds:
+            assert len(deployment.cloud_pops[cloud.index]) == 2
+
+    def test_fleet_size(self, deployment):
+        # 24 PoPs x 2 machines + 24 input-delayed.
+        assert len(deployment.machines()) == 24 * 2 + 24
+        assert len(deployment.input_delayed_deployments()) == 24
+
+    def test_every_cloud_reachable(self, deployment):
+        for cloud in deployment.clouds:
+            pops = deployment.cloud_pops[cloud.index]
+            assert any(deployment.pops[p].advertises(cloud.prefix)
+                       for p in pops), cloud.prefix
+
+    def test_resolution_through_default_world(self, deployment):
+        resolver = deployment.add_resolver("scale-resolver")
+        results = []
+        resolver.resolve(name("www.scale.net"), RType.A, results.append)
+        deployment.settle(20)
+        assert results[0].rcode == RCode.NOERROR
+        assert results[0].addresses() == ["203.0.113.99"]
+
+    def test_cdn_resolution_through_default_world(self, deployment):
+        resolver = deployment.add_resolver("scale-resolver-2")
+        results = []
+        resolver.resolve(name("cdn.scale.net"), RType.A, results.append)
+        deployment.settle(25)
+        assert results[0].rcode == RCode.NOERROR
+        for address in results[0].addresses():
+            assert address in deployment.edge_addresses
+
+    def test_filters_installed_by_default(self, deployment):
+        pipeline = deployment.regular_deployments()[0].machine.pipeline
+        names = {f.name for f in pipeline.filters}
+        assert names == {"ratelimit", "allowlist", "nxdomain",
+                         "hopcount", "loyalty"}

@@ -1,0 +1,90 @@
+"""End-to-end tests for EDNS Client Subnet mapping (paper section 3.2).
+
+With ECS, the mapping system answers for the *end user's* subnet rather
+than the resolver's address — the end-user mapping of the paper's [11].
+Two clients behind the same centralized resolver but in different
+places should receive different edges.
+"""
+
+import pytest
+
+from repro.dnscore import RCode, RType, name
+from repro.netsim.builder import InternetParams
+from repro.netsim.geo import GeoPoint
+from repro.platform import AkamaiDNSDeployment, DeploymentParams
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    dep = AkamaiDNSDeployment(DeploymentParams(
+        seed=19, n_pops=8, deployed_clouds=8, machines_per_pop=1,
+        pops_per_cloud=2, n_edge_servers=10,
+        internet=InternetParams(n_tier1=4, n_tier2=10, n_stub=30),
+        filters_enabled=False))
+    dep.settle(30)
+    # Register the locations of two client subnets: one in North
+    # America, one in East Asia.
+    dep.client_locations["198.51.100.0/24"] = GeoPoint(40.7, -74.0)
+    dep.client_locations["203.0.113.0/24"] = GeoPoint(35.7, 139.7)
+    return dep
+
+
+def resolve_with_ecs(dep, resolver_id, client_ip):
+    resolver = dep.add_resolver(resolver_id)
+    resolver.send_ecs_for = client_ip
+    results = []
+    resolver.resolve(name("a1.w10.akamai.net"), RType.A, results.append)
+    dep.settle(20)
+    assert results and results[0].rcode == RCode.NOERROR
+    return results[0]
+
+
+class TestECSMapping:
+    def test_different_subnets_can_get_different_edges(self, deployment):
+        us = resolve_with_ecs(deployment, "ecs-res-us", "198.51.100.7")
+        jp = resolve_with_ecs(deployment, "ecs-res-jp", "203.0.113.9")
+        # Both get valid edge answers...
+        for result in (us, jp):
+            for addr in result.addresses():
+                assert addr in deployment.edge_addresses
+        # ...and the mapping keyed on the *client* subnet, so the two
+        # answer sets are tailored to different places.
+        us_best = us.addresses()[0]
+        jp_best = jp.addresses()[0]
+        topo = deployment.internet.topology
+        us_loc = deployment.client_locations["198.51.100.0/24"]
+        jp_loc = deployment.client_locations["203.0.113.0/24"]
+        # The US answer is nearer the US client than the JP answer is.
+        assert topo.node(us_best).location.distance_km(us_loc) <= \
+            topo.node(jp_best).location.distance_km(us_loc) + 1e-6 \
+            or us.addresses() != jp.addresses()
+
+    def test_ecs_flows_through_the_wire_format(self, deployment):
+        # The resolver attaches the option; verify it by intercepting
+        # the datagram the authoritative machine receives.
+        seen = []
+        machine = deployment.deployments[0].machine
+        original = machine.receive_query
+
+        def spy(dgram):
+            envelope = dgram.payload
+            if envelope.message.edns is not None \
+                    and envelope.message.edns.client_subnet is not None:
+                seen.append(envelope.message.edns.client_subnet)
+            original(dgram)
+
+        machine.receive_query = spy
+        resolve_with_ecs(deployment, "ecs-res-wire", "198.51.100.200")
+        machine.receive_query = original
+        if seen:  # this machine may not be in the resolution path
+            assert seen[0].address == "198.51.100.0"
+            assert seen[0].source_prefix_length == 24
+
+    def test_without_ecs_resolver_address_is_the_key(self, deployment):
+        resolver = deployment.add_resolver("ecs-res-none")
+        results = []
+        resolver.resolve(name("a1.w10.akamai.net"), RType.A,
+                         results.append)
+        deployment.settle(20)
+        assert results[0].rcode == RCode.NOERROR
+        assert results[0].addresses()

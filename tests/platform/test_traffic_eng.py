@@ -1,0 +1,130 @@
+"""Tests for the traffic-engineering decision tree and its application."""
+
+import random
+
+import pytest
+
+from repro.netsim import (
+    AnycastCloud,
+    EventLoop,
+    InternetParams,
+    Network,
+    attach_pop,
+    build_internet,
+)
+from repro.platform import (
+    AttackSituation,
+    TEAction,
+    TrafficEngineer,
+    decide,
+)
+
+
+def situation(dosed=True, congested=False, compute=False, spread=False):
+    return AttackSituation(resolvers_dosed=dosed,
+                           peering_links_congested=congested,
+                           compute_saturated=compute,
+                           can_spread_attack=spread)
+
+
+class TestDecisionTree:
+    def test_no_dos_means_do_nothing(self):
+        # "The preferred action is always do nothing."
+        for congested in (False, True):
+            for compute in (False, True):
+                assert decide(situation(dosed=False, congested=congested,
+                                        compute=compute)) == \
+                    TEAction.DO_NOTHING
+
+    def test_upstream_congestion_means_work_with_peers(self):
+        assert decide(situation(congested=False, compute=False)) == \
+            TEAction.WORK_WITH_PEERS
+
+    def test_compute_saturation_spreads_attack(self):
+        assert decide(situation(congested=False, compute=True)) == \
+            TEAction.WITHDRAW_FRACTION_OF_ATTACK_LINKS
+
+    def test_congested_and_spreadable(self):
+        assert decide(situation(congested=True, spread=True)) == \
+            TEAction.WITHDRAW_ALL_ATTACK_LINKS
+
+    def test_congested_not_spreadable(self):
+        assert decide(situation(congested=True, spread=False)) == \
+            TEAction.WITHDRAW_NON_ATTACK_LINKS
+
+
+@pytest.fixture
+def engineered_world():
+    rng = random.Random(13)
+    internet = build_internet(rng, InternetParams(n_tier1=4, n_tier2=10,
+                                                  n_stub=30))
+    pop = attach_pop(internet, rng, ixp_probability=1.0)
+    loop = EventLoop()
+    network = Network(loop, internet.topology, rng)
+    network.build_speakers()
+    prefix = "203.0.113.0"
+    network.register_local_delivery(pop, prefix, lambda d: None)
+    network.speaker(pop).originate(prefix)
+    loop.run_until(30)
+    return loop, network, pop, prefix
+
+
+class TestPlans:
+    def test_fraction_plan_takes_half(self, engineered_world):
+        loop, network, pop, prefix = engineered_world
+        engineer = TrafficEngineer(network, prefix)
+        peers = network.topology.bgp_neighbors(pop)
+        plan = engineer.plan(situation(congested=False, compute=True),
+                             pop_router_id=pop, attack_peers=peers,
+                             fraction=0.5)
+        assert plan.action == TEAction.WITHDRAW_FRACTION_OF_ATTACK_LINKS
+        assert len(plan.withdrawals) == max(1, len(peers) // 2)
+
+    def test_non_attack_plan_complements(self, engineered_world):
+        loop, network, pop, prefix = engineered_world
+        engineer = TrafficEngineer(network, prefix)
+        peers = network.topology.bgp_neighbors(pop)
+        attack = peers[:1]
+        plan = engineer.plan(situation(congested=True, spread=False),
+                             pop_router_id=pop, attack_peers=attack)
+        withdrawn_peers = {p for _, p in plan.withdrawals}
+        assert attack[0] not in withdrawn_peers
+        assert withdrawn_peers == set(peers) - set(attack)
+
+    def test_do_nothing_plan_is_empty(self, engineered_world):
+        loop, network, pop, prefix = engineered_world
+        engineer = TrafficEngineer(network, prefix)
+        plan = engineer.plan(situation(dosed=False), pop_router_id=pop,
+                             attack_peers=[])
+        assert plan.action == TEAction.DO_NOTHING
+        assert not plan.withdrawals
+
+    def test_apply_and_revert_roundtrip(self, engineered_world):
+        loop, network, pop, prefix = engineered_world
+        engineer = TrafficEngineer(network, prefix)
+        peers = network.topology.bgp_neighbors(pop)
+        plan = engineer.plan(situation(congested=True, spread=True),
+                             pop_router_id=pop, attack_peers=peers)
+        engineer.apply(plan)
+        speaker = network.speaker(pop)
+        for _, peer in plan.withdrawals:
+            assert speaker.export_blocked(peer, prefix)
+        engineer.revert(plan)
+        for _, peer in plan.withdrawals:
+            assert not speaker.export_blocked(peer, prefix)
+
+    def test_withdrawal_propagates_to_peer_rib(self, engineered_world):
+        loop, network, pop, prefix = engineered_world
+        engineer = TrafficEngineer(network, prefix)
+        peers = network.topology.bgp_neighbors(pop)
+        target = peers[0]
+        # Before: the peer heard the route directly from the PoP.
+        loop.run_until(loop.now + 5)
+        route_before = network.speaker(target).best_route(prefix)
+        assert route_before is not None
+        plan = engineer.plan(situation(congested=True, spread=True),
+                             pop_router_id=pop, attack_peers=peers)
+        engineer.apply(plan)
+        loop.run_until(loop.now + 40)
+        route_after = network.speaker(target).best_route(prefix)
+        assert route_after is None or route_after.next_hop != pop

@@ -1,0 +1,89 @@
+"""Full-platform resolution with real wire-format responses."""
+
+import pytest
+
+from repro.dnscore import RCode, RType, name
+from repro.netsim.builder import InternetParams
+from repro.platform import AkamaiDNSDeployment, DeploymentParams
+from repro.server.machine import MachineConfig
+
+
+@pytest.fixture(scope="module")
+def wire_deployment():
+    dep = AkamaiDNSDeployment(DeploymentParams(
+        seed=37, n_pops=8, deployed_clouds=8, machines_per_pop=1,
+        pops_per_cloud=2, n_edge_servers=8,
+        internet=InternetParams(n_tier1=4, n_tier2=10, n_stub=30),
+        filters_enabled=False,
+        machine_config=MachineConfig(wire_responses=True)))
+    dep.provision_enterprise("wired", "wired.net",
+                             "www IN A 203.0.113.70\n",
+                             cdn_hostnames=["cdn.wired.net"])
+    dep.settle(30)
+    return dep
+
+
+def resolve(dep, resolver, qname):
+    results = []
+    resolver.resolve(name(qname), RType.A, results.append)
+    dep.settle(20)
+    assert results
+    return results[0]
+
+
+class TestWireDeployment:
+    def test_full_descent_over_wire(self, wire_deployment):
+        r = wire_deployment.add_resolver("wire-dep-res")
+        result = resolve(wire_deployment, r, "www.wired.net")
+        assert result.rcode == RCode.NOERROR
+        assert result.addresses() == ["203.0.113.70"]
+        assert result.tcp_retries == 0  # everything fit in 512 octets
+
+    def test_cdn_chain_over_wire(self, wire_deployment):
+        r = wire_deployment.add_resolver("wire-dep-res2")
+        result = resolve(wire_deployment, r, "cdn.wired.net")
+        assert result.rcode == RCode.NOERROR
+        for addr in result.addresses():
+            assert addr in wire_deployment.edge_addresses
+
+    def test_every_machine_in_wire_mode(self, wire_deployment):
+        for deployment in wire_deployment.deployments:
+            assert deployment.machine.config.wire_responses
+        for host in wire_deployment.lowlevel_hosts.values():
+            assert host.machine.config.wire_responses
+
+
+class TestDualStack:
+    def test_cloud_hostnames_have_aaaa(self, wire_deployment):
+        from repro.dnscore import RType
+        akam = next(z for z in wire_deployment.akamai_zones
+                    if str(z.origin) == "akam.net.")
+        cloud = wire_deployment.clouds[0]
+        assert akam.get_rrset(cloud.ns_hostname, RType.AAAA) is not None
+
+    def test_pops_advertise_both_families(self, wire_deployment):
+        cloud = wire_deployment.clouds[0]
+        pop_id = wire_deployment.cloud_pops[cloud.index][0]
+        pop = wire_deployment.pops[pop_id]
+        assert pop.advertises(cloud.prefix)
+        assert pop.advertises(cloud.prefix6)
+
+    def test_resolution_over_ipv6_prefix(self, wire_deployment):
+        # Force the resolver to use only the IPv6 anycast address of one
+        # cloud as its authority for the enterprise zone.
+        cloud = wire_deployment.clouds[0]
+        from repro.resolver import RecursiveResolver
+        from repro.netsim.builder import attach_host
+        import random as _random
+        attach_host(wire_deployment.internet, wire_deployment.rng,
+                    host_id="v6-resolver")
+        resolver = RecursiveResolver(
+            wire_deployment.loop, wire_deployment.network, "v6-resolver",
+            {wire_deployment.tld_zone.origin: [cloud.prefix6]},
+            rng=_random.Random(2))
+        results = []
+        from repro.dnscore import name, RType, RCode
+        resolver.resolve(name("www.wired.net"), RType.A, results.append)
+        wire_deployment.settle(20)
+        assert results[0].rcode == RCode.NOERROR
+        assert cloud.prefix6 in results[0].servers

@@ -1,0 +1,102 @@
+"""Tests for the resolver cache."""
+
+from repro.dnscore import A, NS, RCode, RType, make_rrset, name
+from repro.resolver import DNSCache
+
+
+def a_rrset(owner, ttl=60, addr="10.0.0.1"):
+    return make_rrset(name(owner), RType.A, ttl, [A(addr)])
+
+
+class TestPositiveCache:
+    def test_hit_within_ttl(self):
+        cache = DNSCache()
+        cache.put(a_rrset("x.com", ttl=60), now=0.0)
+        hit = cache.get(name("x.com"), RType.A, now=30.0)
+        assert hit is not None
+        assert cache.hits == 1
+
+    def test_ttl_ages(self):
+        cache = DNSCache()
+        cache.put(a_rrset("x.com", ttl=60), now=0.0)
+        hit = cache.get(name("x.com"), RType.A, now=45.0)
+        assert hit.ttl == 15
+
+    def test_expiry(self):
+        cache = DNSCache()
+        cache.put(a_rrset("x.com", ttl=60), now=0.0)
+        assert cache.get(name("x.com"), RType.A, now=60.0) is None
+        assert cache.misses == 1
+
+    def test_longer_ttl_replaces(self):
+        cache = DNSCache()
+        cache.put(a_rrset("x.com", ttl=10), now=0.0)
+        cache.put(a_rrset("x.com", ttl=100, addr="10.0.0.2"), now=0.0)
+        hit = cache.get(name("x.com"), RType.A, now=50.0)
+        assert hit is not None
+        assert hit.rdatas() == [A("10.0.0.2")]
+
+    def test_shorter_ttl_does_not_replace(self):
+        cache = DNSCache()
+        cache.put(a_rrset("x.com", ttl=100), now=0.0)
+        cache.put(a_rrset("x.com", ttl=5, addr="10.0.0.9"), now=0.0)
+        hit = cache.get(name("x.com"), RType.A, now=50.0)
+        assert hit.rdatas() == [A("10.0.0.1")]
+
+    def test_eviction_caps_size(self):
+        cache = DNSCache(max_entries=10)
+        for i in range(50):
+            cache.put(a_rrset(f"h{i}.com", ttl=1000), now=float(i))
+        assert len(cache) <= 10
+
+    def test_flush(self):
+        cache = DNSCache()
+        cache.put(a_rrset("x.com"), now=0.0)
+        cache.flush()
+        assert len(cache) == 0
+
+
+class TestNegativeCache:
+    def test_negative_hit(self):
+        cache = DNSCache()
+        cache.put_negative(name("gone.com"), RType.A, RCode.NXDOMAIN,
+                           ttl=300, now=0.0)
+        assert cache.get_negative(name("gone.com"), RType.A, 100.0) == \
+            RCode.NXDOMAIN
+
+    def test_negative_expiry(self):
+        cache = DNSCache()
+        cache.put_negative(name("gone.com"), RType.A, RCode.NXDOMAIN,
+                           ttl=300, now=0.0)
+        assert cache.get_negative(name("gone.com"), RType.A, 301.0) is None
+
+    def test_positive_overrides_negative(self):
+        cache = DNSCache()
+        cache.put_negative(name("x.com"), RType.A, RCode.NXDOMAIN,
+                           ttl=300, now=0.0)
+        cache.put(a_rrset("x.com"), now=1.0)
+        assert cache.get_negative(name("x.com"), RType.A, 2.0) is None
+        assert cache.get(name("x.com"), RType.A, 2.0) is not None
+
+
+class TestDelegationLookup:
+    def test_deepest_ns_wins(self):
+        cache = DNSCache()
+        cache.put(make_rrset(name("com"), RType.NS, 1000,
+                             [NS(name("a.gtld.net"))]), now=0.0)
+        cache.put(make_rrset(name("ex.com"), RType.NS, 1000,
+                             [NS(name("ns1.ex.com"))]), now=0.0)
+        cut, rrset = cache.best_delegation(name("www.ex.com"), 10.0)
+        assert cut == name("ex.com")
+
+    def test_falls_back_to_shallower(self):
+        cache = DNSCache()
+        cache.put(make_rrset(name("com"), RType.NS, 1000,
+                             [NS(name("a.gtld.net"))]), now=0.0)
+        cache.put(make_rrset(name("ex.com"), RType.NS, 10,
+                             [NS(name("ns1.ex.com"))]), now=0.0)
+        cut, _ = cache.best_delegation(name("www.ex.com"), 500.0)
+        assert cut == name("com")
+
+    def test_none_when_empty(self):
+        assert DNSCache().best_delegation(name("a.b.c"), 0.0) is None

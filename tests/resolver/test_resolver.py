@@ -1,0 +1,272 @@
+"""Integration tests for the iterative resolver over a real hierarchy."""
+
+import random
+
+import pytest
+
+from repro.dnscore import RCode, RType, name, parse_zone_text
+from repro.filters import QueuePolicy, ScoringPipeline
+from repro.netsim import (
+    Datagram,
+    EventLoop,
+    InternetParams,
+    Network,
+    attach_host,
+    attach_pop,
+    build_internet,
+)
+from repro.resolver import (
+    FixedSelection,
+    RecursiveResolver,
+    RTTWeightedSelection,
+    UniformSelection,
+)
+from repro.server import (
+    AuthoritativeEngine,
+    HostNameserver,
+    MachineBGPSpeaker,
+    MachineConfig,
+    NameserverMachine,
+    PoP,
+    ZoneStore,
+)
+
+ROOT_ZONE = """\
+$ORIGIN .
+$TTL 86400
+@ IN SOA a.root. admin.root. 1 2 3 4 300
+@ IN NS a.root.
+a.root. IN A 198.41.0.4
+net. IN NS a.gtld.net.
+a.gtld.net. IN A 192.5.6.30
+"""
+
+TLD_ZONE = """\
+$ORIGIN net.
+$TTL 86400
+@ IN SOA a.gtld.net. admin.net. 1 2 3 4 300
+@ IN NS a.gtld.net.
+a.gtld.net. IN A 192.5.6.30
+ex.net. IN NS use1.akam.net.
+use1.akam.net. IN A 23.61.199.1
+glueless.net. IN NS ns.helper.net.
+helper.net. IN NS a.gtld.net.
+"""
+
+EX_ZONE = """\
+$ORIGIN ex.net.
+$TTL 300
+@ IN SOA use1.akam.net. admin.ex.net. 1 2 3 4 60
+@ IN NS use1.akam.net.
+www IN A 93.184.216.34
+alias IN CNAME www
+nodata IN TXT "x"
+"""
+
+HELPER_ZONE = """\
+$ORIGIN helper.net.
+$TTL 3600
+@ IN SOA a.gtld.net. admin.helper.net. 1 2 3 4 300
+@ IN NS a.gtld.net.
+ns IN A 10.44.0.1
+"""
+
+GLUELESS_ZONE = """\
+$ORIGIN glueless.net.
+$TTL 300
+@ IN SOA ns.helper.net. admin.glueless.net. 1 2 3 4 60
+@ IN NS ns.helper.net.
+www IN A 10.44.0.99
+"""
+
+
+def mk_machine(loop, zone_texts, mid):
+    store = ZoneStore()
+    for t in zone_texts:
+        store.add(parse_zone_text(t))
+    return NameserverMachine(
+        loop, mid, AuthoritativeEngine(store), ScoringPipeline([]),
+        QueuePolicy(), MachineConfig(staleness_threshold=float("inf")))
+
+
+@pytest.fixture
+def world():
+    rng = random.Random(17)
+    inet = build_internet(rng, InternetParams(n_tier1=4, n_tier2=8,
+                                              n_stub=24))
+    pop_id = attach_pop(inet, rng)
+    for host in ("198.41.0.4", "192.5.6.30", "10.44.0.1", "resolver-0"):
+        attach_host(inet, rng, host_id=host)
+    loop = EventLoop()
+    net = Network(loop, inet.topology, rng)
+    net.build_speakers()
+    HostNameserver(loop, net, "198.41.0.4", mk_machine(loop, [ROOT_ZONE],
+                                                       "root-m"))
+    HostNameserver(loop, net, "192.5.6.30",
+                   mk_machine(loop, [TLD_ZONE, HELPER_ZONE], "tld-m"))
+    HostNameserver(loop, net, "10.44.0.1",
+                   mk_machine(loop, [GLUELESS_ZONE], "helper-m"))
+    pop = PoP(loop, net, pop_id)
+    machine = mk_machine(loop, [EX_ZONE], "akam-m0")
+    pop.add_machine(machine)
+    speaker = MachineBGPSpeaker(pop, "akam-m0", ["23.61.199.1"])
+    speaker.advertise_all()
+    loop.run_until(25)
+    return loop, net, machine, speaker
+
+
+def make_resolver(loop, net, **kwargs):
+    return RecursiveResolver(loop, net, "resolver-0",
+                             {name("."): ["198.41.0.4"]},
+                             rng=random.Random(5), **kwargs)
+
+
+def resolve(loop, resolver, qname, qtype=RType.A, wait=20.0):
+    results = []
+    resolver.resolve(name(qname), qtype, results.append)
+    loop.run_until(loop.now + wait)
+    assert results, "resolution never completed"
+    return results[0]
+
+
+class TestIterativeResolution:
+    def test_full_descent(self, world):
+        loop, net, _, _ = world
+        r = make_resolver(loop, net)
+        result = resolve(loop, r, "www.ex.net")
+        assert result.rcode == RCode.NOERROR
+        assert result.addresses() == ["93.184.216.34"]
+        assert result.servers[:2] == ["198.41.0.4", "192.5.6.30"]
+        assert result.duration > 0
+
+    def test_caching_avoids_requery(self, world):
+        loop, net, _, _ = world
+        r = make_resolver(loop, net)
+        resolve(loop, r, "www.ex.net")
+        second = resolve(loop, r, "www.ex.net")
+        assert second.from_cache
+        assert second.queries_sent == 0
+        assert second.duration == 0
+
+    def test_delegation_reused_for_sibling_names(self, world):
+        loop, net, _, _ = world
+        r = make_resolver(loop, net)
+        resolve(loop, r, "www.ex.net")
+        sibling = resolve(loop, r, "nodata.ex.net", RType.TXT)
+        # Only the authoritative server needed; root/TLD cached.
+        assert sibling.servers == ["23.61.199.1"]
+
+    def test_nxdomain_negative_cached(self, world):
+        loop, net, _, _ = world
+        r = make_resolver(loop, net)
+        first = resolve(loop, r, "missing.ex.net")
+        assert first.rcode == RCode.NXDOMAIN
+        second = resolve(loop, r, "missing.ex.net")
+        assert second.queries_sent == 0
+
+    def test_nodata(self, world):
+        loop, net, _, _ = world
+        r = make_resolver(loop, net)
+        result = resolve(loop, r, "nodata.ex.net", RType.A)
+        assert result.rcode == RCode.NOERROR
+        assert not result.addresses()
+
+    def test_cname_chase(self, world):
+        loop, net, _, _ = world
+        r = make_resolver(loop, net)
+        result = resolve(loop, r, "alias.ex.net")
+        assert result.addresses() == ["93.184.216.34"]
+        assert result.answers[0].rtype == RType.CNAME
+
+    def test_glueless_referral_chased(self, world):
+        loop, net, _, _ = world
+        r = make_resolver(loop, net)
+        result = resolve(loop, r, "www.glueless.net")
+        assert result.rcode == RCode.NOERROR
+        assert result.addresses() == ["10.44.0.99"]
+        # The NS target's address was resolved as a sub-query.
+        assert "10.44.0.1" in result.servers
+
+
+class TestFailureHandling:
+    def test_timeout_then_servfail(self, world):
+        loop, net, machine, speaker = world
+        machine.fault = "unresponsive"
+        r = make_resolver(loop, net, timeout=0.5)
+        result = resolve(loop, r, "www.ex.net", wait=40.0)
+        assert result.rcode == RCode.SERVFAIL
+        assert result.timeouts > 0
+
+    def test_servfail_retries_other_server(self, world):
+        loop, net, machine, speaker = world
+        machine.fault = "wrong_answer"  # SERVFAIL from the only auth
+        r = make_resolver(loop, net, timeout=0.5)
+        result = resolve(loop, r, "www.ex.net", wait=30.0)
+        assert result.failed
+        assert result.queries_sent >= 2  # tried, retried
+
+    def test_unreachable_authoritative(self, world):
+        loop, net, machine, speaker = world
+        speaker.withdraw_all()
+        loop.run_until(loop.now + 30)
+        r = make_resolver(loop, net, timeout=0.5)
+        result = resolve(loop, r, "www.ex.net", wait=40.0)
+        assert result.rcode == RCode.SERVFAIL
+
+
+class TestSelectionStrategies:
+    def test_uniform_spreads(self):
+        rng = random.Random(1)
+        s = UniformSelection()
+        picks = [s.choose(["a", "b", "c"], rng) for _ in range(300)]
+        assert all(picks.count(x) > 50 for x in "abc")
+
+    def test_rtt_weighted_prefers_fast(self):
+        rng = random.Random(1)
+        s = RTTWeightedSelection()
+        s.observe_rtt("fast", 0.005)
+        s.observe_rtt("slow", 0.200)
+        picks = [s.choose(["fast", "slow"], rng) for _ in range(300)]
+        assert picks.count("fast") > 220
+
+    def test_rtt_smoothing(self):
+        s = RTTWeightedSelection(alpha=0.5, initial_rtt=0.1)
+        s.observe_rtt("x", 0.2)
+        s.observe_rtt("x", 0.1)
+        assert s.srtt("x") == pytest.approx(0.15)
+
+    def test_fixed_selection(self):
+        s = FixedSelection()
+        assert s.choose(["a", "b"], random.Random(0)) == "a"
+
+
+class TestSourcePorts:
+    def test_random_ports_by_default(self, world):
+        loop, net, _, _ = world
+        ports = []
+        original_send = net.send
+
+        def spy(dgram):
+            if isinstance(dgram, Datagram) and dgram.dst != "resolver-0":
+                ports.append(dgram.src_port)
+            original_send(dgram)
+
+        net.send = spy
+        r = make_resolver(loop, net)
+        resolve(loop, r, "www.ex.net")
+        assert len(set(ports)) > 1
+
+    def test_fixed_port_honored(self, world):
+        loop, net, _, _ = world
+        ports = []
+        original_send = net.send
+
+        def spy(dgram):
+            if isinstance(dgram, Datagram) and dgram.dst != "resolver-0":
+                ports.append(dgram.src_port)
+            original_send(dgram)
+
+        net.send = spy
+        r = make_resolver(loop, net, fixed_source_port=5353)
+        resolve(loop, r, "www.ex.net")
+        assert set(ports) == {5353}

@@ -1,0 +1,107 @@
+"""Tests for penalty queues and the QoD firewall."""
+
+import pytest
+
+from repro.dnscore import RType, name
+from repro.filters import QueuePolicy
+from repro.server import PenaltyQueueRuntime, QoDFirewall, QoDSignature
+
+
+class TestPenaltyQueues:
+    def make(self, depth=3):
+        return PenaltyQueueRuntime(
+            QueuePolicy(max_scores=(0.0, 10.0, 50.0), s_max=100.0),
+            max_depth_per_queue=depth)
+
+    def test_priority_order(self):
+        q = self.make()
+        q.enqueue("suspicious", 5.0)
+        q.enqueue("clean", 0.0)
+        q.enqueue("worst", 60.0)
+        assert q.pop_next() == (0, "clean")
+        assert q.pop_next() == (1, "suspicious")
+        assert q.pop_next() == (2, "worst")
+        assert q.pop_next() is None
+
+    def test_fifo_within_queue(self):
+        q = self.make()
+        q.enqueue("first", 0.0)
+        q.enqueue("second", 0.0)
+        assert q.pop_next()[1] == "first"
+        assert q.pop_next()[1] == "second"
+
+    def test_s_max_discard(self):
+        q = self.make()
+        assert not q.enqueue("evil", 150.0)
+        assert q.stats.discarded_s_max == 1
+        assert not q
+
+    def test_depth_limit(self):
+        q = self.make(depth=2)
+        assert q.enqueue("a", 0.0)
+        assert q.enqueue("b", 0.0)
+        assert not q.enqueue("c", 0.0)
+        assert q.stats.dropped_full == 1
+        # Other queues unaffected.
+        assert q.enqueue("d", 20.0)
+
+    def test_work_conserving(self):
+        # Higher-penalty items are served when lower queues are empty.
+        q = self.make()
+        q.enqueue("bad", 60.0)
+        assert q.pop_next() == (2, "bad")
+
+    def test_clear_counts_losses(self):
+        q = self.make()
+        q.enqueue("a", 0.0)
+        q.enqueue("b", 20.0)
+        assert q.clear() == 2
+        assert q.total_depth() == 0
+
+    def test_stats_per_queue(self):
+        q = self.make()
+        q.enqueue("a", 0.0)
+        q.enqueue("b", 5.0)
+        q.pop_next()
+        assert q.stats.enqueued_per_queue == [1, 1, 0]
+        assert q.stats.served_per_queue == [1, 0, 0]
+
+
+class TestQoDFirewall:
+    def test_rule_matches_similar_queries(self):
+        fw = QoDFirewall(t_qod=60.0)
+        fw.record_crash(name("bad.zone.example"), RType.TXT, now=0.0)
+        # Same parent domain + type: dropped.
+        assert fw.should_drop(name("bad.zone.example"), RType.TXT, 1.0)
+        assert fw.should_drop(name("other.zone.example"), RType.TXT, 1.0)
+
+    def test_dissimilar_queries_pass(self):
+        fw = QoDFirewall(t_qod=60.0)
+        fw.record_crash(name("bad.zone.example"), RType.TXT, now=0.0)
+        assert not fw.should_drop(name("bad.zone.example"), RType.A, 1.0)
+        assert not fw.should_drop(name("x.other.example"), RType.TXT, 1.0)
+
+    def test_rule_expires_after_t_qod(self):
+        fw = QoDFirewall(t_qod=60.0)
+        fw.record_crash(name("bad.zone.example"), RType.TXT, now=0.0)
+        assert fw.should_drop(name("bad.zone.example"), RType.TXT, 59.0)
+        assert not fw.should_drop(name("bad.zone.example"), RType.TXT,
+                                  61.0)
+        assert fw.active_rules(61.0) == 0
+
+    def test_crash_dump_recorded(self):
+        fw = QoDFirewall()
+        fw.record_crash(name("a.b.c"), RType.A, now=5.0)
+        assert len(fw.crash_dumps) == 1
+        assert fw.crash_dumps[0][0] == 5.0
+
+    def test_signature_for_root(self):
+        sig = QoDSignature.for_query(name("."), RType.ANY)
+        assert sig.matches(name("."), RType.ANY)
+
+    def test_drop_counter(self):
+        fw = QoDFirewall(t_qod=60.0)
+        fw.record_crash(name("q.z.example"), RType.TXT, now=0.0)
+        fw.should_drop(name("q.z.example"), RType.TXT, 1.0)
+        fw.should_drop(name("r.z.example"), RType.TXT, 2.0)
+        assert fw.dropped == 2
