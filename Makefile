@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test bench report report-fast examples clean
+.PHONY: install test bench chaos report report-fast examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -12,6 +12,9 @@ test:
 
 bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only
+
+chaos:
+	$(PY) -m repro.experiments.resilience_scorecard --fast
 
 report:
 	$(PY) -m repro.experiments.runner
@@ -25,6 +28,7 @@ examples:
 	$(PY) examples/failover_drill.py
 	$(PY) examples/gtm_loadbalancing.py
 	$(PY) examples/ddos_mitigation.py
+	$(PY) examples/chaos_campaign.py
 
 clean:
 	rm -rf .pytest_cache .benchmarks src/*.egg-info

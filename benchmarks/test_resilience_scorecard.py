@@ -1,0 +1,30 @@
+"""Benchmark: the platform resilience scorecard (chaos campaign suite).
+
+Runs every standard campaign against the paper-scale 24-cloud platform
+and asserts the full pass/fail scorecard, plus a determinism check —
+the whole point of seeded chaos is that a resilience regression shows
+up as a diff, so two same-seed runs must agree digit-for-digit.
+"""
+
+import pytest
+from conftest import report
+
+from repro.experiments import resilience_scorecard
+
+
+@pytest.mark.chaos
+def test_resilience_scorecard(benchmark):
+    result = benchmark.pedantic(
+        lambda: resilience_scorecard.run(),
+        rounds=1, iterations=1)
+    report(result)
+
+
+@pytest.mark.chaos
+def test_scorecard_is_deterministic():
+    params = resilience_scorecard.ScorecardParams.fast(seed=7)
+    first = resilience_scorecard.run(params)
+    second = resilience_scorecard.run(
+        resilience_scorecard.ScorecardParams.fast(seed=7))
+    assert first.render() == second.render()
+    assert first.metrics == second.metrics

@@ -1,0 +1,38 @@
+"""Seedable chaos-injection for the assembled platform.
+
+Declarative failure campaigns (:mod:`~repro.chaos.faults`) drive typed
+fault kinds through per-layer injector adapters
+(:mod:`~repro.chaos.injectors`) while an SLO probe
+(:mod:`~repro.chaos.probe`) measures the legitimate-user experience.
+The :class:`ChaosEngine` ties them together off the shared event loop;
+every run is a pure function of the campaign seed.
+"""
+
+from .engine import ChaosEngine, FaultEvent
+from .faults import Campaign, FaultKind, FaultSpec, Schedule
+from .injectors import (
+    ControlInjector,
+    FaultInjector,
+    NetsimInjector,
+    ServerInjector,
+    default_injectors,
+)
+from .probe import ProbeOutcome, ProbeWindow, SLOProbe, SLOReport
+
+__all__ = [
+    "Campaign",
+    "ChaosEngine",
+    "ControlInjector",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultKind",
+    "FaultSpec",
+    "NetsimInjector",
+    "ProbeOutcome",
+    "ProbeWindow",
+    "SLOProbe",
+    "SLOReport",
+    "Schedule",
+    "ServerInjector",
+    "default_injectors",
+]

@@ -1,0 +1,110 @@
+"""The chaos engine: arms a campaign's timeline on the event loop.
+
+The engine is deliberately thin — all policy lives in the campaign
+(what breaks when) and the injectors (how each layer breaks). The
+engine's jobs are ordering and bookkeeping: expand the campaign into
+time-sorted edges, schedule each on the shared :class:`EventLoop`, route
+it to the injector that owns the fault kind, and keep an event log the
+scorecard uses to attribute probe failures and recovery times to
+specific faults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..netsim.clock import EventHandle, EventLoop
+from ..platform.deployment import AkamaiDNSDeployment
+from .faults import Campaign, FaultKind, FaultSpec
+from .injectors import FaultInjector, default_injectors
+
+
+@dataclass(slots=True)
+class FaultEvent:
+    """One executed fault edge, as it actually happened."""
+
+    time: float
+    action: str           # "inject" | "clear"
+    spec: FaultSpec
+    error: str = ""       # non-empty if the injector raised
+
+    def describe(self) -> str:
+        status = f" [FAILED: {self.error}]" if self.error else ""
+        return (f"t={self.time:8.2f}s {self.action:>6} "
+                f"{self.spec.describe()}{status}")
+
+
+@dataclass(slots=True)
+class ChaosEngine:
+    """Runs one campaign against one deployment."""
+
+    deployment: AkamaiDNSDeployment
+    injectors: dict[FaultKind, FaultInjector] = field(default_factory=dict)
+    events: list[FaultEvent] = field(default_factory=list)
+    strict: bool = True   # re-raise injector errors (tests want loud)
+    _armed: list[EventHandle] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.injectors:
+            self.injectors = default_injectors(self.deployment)
+
+    @property
+    def loop(self) -> EventLoop:
+        return self.deployment.loop
+
+    def arm(self, campaign: Campaign) -> None:
+        """Schedule every fault edge relative to the current sim time.
+
+        Each spec is validated against the dispatch table up front so a
+        typo'd fault kind fails at arm time, not mid-run.
+        """
+        base = self.loop.now
+        for spec in campaign.faults:
+            if spec.kind not in self.injectors:
+                raise ValueError(f"no injector handles {spec.kind}")
+        for time, action, spec in campaign.timeline():
+            self._armed.append(self.loop.call_at(
+                base + time,
+                lambda a=action, s=spec: self._dispatch(a, s)))
+
+    def disarm(self) -> None:
+        """Cancel every not-yet-fired fault edge."""
+        for handle in self._armed:
+            handle.cancel()
+        self._armed.clear()
+
+    def run(self, campaign: Campaign) -> list[FaultEvent]:
+        """Arm the campaign and advance the loop through its duration."""
+        base = self.loop.now
+        self.arm(campaign)
+        self.loop.run_until(base + campaign.duration)
+        return self.events
+
+    def _dispatch(self, action: str, spec: FaultSpec) -> None:
+        injector = self.injectors[spec.kind]
+        event = FaultEvent(time=self.loop.now, action=action, spec=spec)
+        try:
+            if action == "inject":
+                injector.inject(spec)
+            else:
+                injector.clear(spec)
+        except Exception as exc:  # noqa: BLE001 — logged, optionally re-raised
+            event.error = f"{type(exc).__name__}: {exc}"
+            self.events.append(event)
+            if self.strict:
+                # The campaign is aborting: cancel its remaining edges
+                # so they cannot detonate inside later, unrelated
+                # run_until calls on the shared loop.
+                self.disarm()
+                raise
+            return
+        self.events.append(event)
+
+    # -- log helpers ---------------------------------------------------------
+
+    def clears(self) -> list[FaultEvent]:
+        return [e for e in self.events
+                if e.action == "clear" and not e.error]
+
+    def describe_log(self) -> str:
+        return "\n".join(e.describe() for e in self.events)

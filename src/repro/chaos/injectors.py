@@ -1,0 +1,276 @@
+"""Per-layer fault injector adapters.
+
+Each injector translates a :class:`~repro.chaos.faults.FaultSpec` into
+calls on the *public* failure seams of one layer of the assembled
+platform — links and BGP sessions (``netsim``), machines (``server``),
+metadata and zone delivery (``control``). No injector reaches into
+private state or monkey-patches: if a fault cannot be expressed through
+a public seam, the seam is the thing to build, not the injector.
+
+Targets:
+
+* ``"a|b"`` — a specific link between two nodes;
+* a PoP router id (``"pop-3"``) — the PoP's machines, its transit
+  links, or its primary upstream link depending on fault kind;
+* a machine id (``"pop-3-m7"``) — that machine;
+* a zone origin (``"ex.net"``) — that zone's delivery path;
+* ``"platform"`` — platform-wide faults (metadata freeze).
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from ..dnscore.name import name
+from ..dnscore.rrtypes import RType
+from ..dnscore.zone import Zone
+from ..netsim.clock import PeriodicTask
+from ..platform.deployment import AkamaiDNSDeployment, MachineDeployment
+from ..server.machine import MachineState
+from .faults import FaultKind, FaultSpec
+
+
+class FaultInjector(Protocol):
+    """One layer's adapter between fault specs and platform seams."""
+
+    kinds: frozenset[FaultKind]
+
+    def inject(self, spec: FaultSpec) -> None:
+        """Apply the fault."""
+
+    def clear(self, spec: FaultSpec) -> None:
+        """Remove the fault (restore the seam to healthy state)."""
+
+
+def _parse_link(deployment: AkamaiDNSDeployment,
+                target: str) -> tuple[str, str]:
+    """Resolve a link target: explicit ``a|b`` or a PoP's primary uplink."""
+    if "|" in target:
+        a, b = target.split("|", 1)
+        deployment.internet.topology.link(a, b)  # raises KeyError if absent
+        return a, b
+    neighbors = deployment.internet.topology.bgp_neighbors(target)
+    if not neighbors:
+        raise ValueError(f"{target!r} has no links to fail")
+    return target, neighbors[0]
+
+
+def _target_deployments(deployment: AkamaiDNSDeployment,
+                        target: str) -> list[MachineDeployment]:
+    """Machines named by a target: one machine id, a PoP, or the fleet."""
+    if target == "platform":
+        return deployment.regular_deployments()
+    exact = [d for d in deployment.deployments
+             if d.machine.machine_id == target]
+    if exact:
+        return exact
+    if target in deployment.pops:
+        at_pop = [d for d in deployment.deployments_at(target)
+                  if not d.input_delayed]
+        if at_pop:
+            return at_pop
+    raise ValueError(f"no machines match chaos target {target!r}")
+
+
+class NetsimInjector:
+    """Faults in the Internet layer: links and BGP sessions."""
+
+    kinds = frozenset({FaultKind.LINK_FLAP, FaultKind.LINK_DEGRADE,
+                       FaultKind.PARTITION, FaultKind.BGP_RESET})
+
+    def __init__(self, deployment: AkamaiDNSDeployment) -> None:
+        self.deployment = deployment
+
+    def inject(self, spec: FaultSpec) -> None:
+        self._apply(spec, healthy=False)
+
+    def clear(self, spec: FaultSpec) -> None:
+        self._apply(spec, healthy=True)
+
+    def _apply(self, spec: FaultSpec, *, healthy: bool) -> None:
+        network = self.deployment.network
+        if spec.kind == FaultKind.LINK_FLAP:
+            a, b = _parse_link(self.deployment, spec.target)
+            network.set_link_up(a, b, healthy)
+        elif spec.kind == FaultKind.LINK_DEGRADE:
+            a, b = _parse_link(self.deployment, spec.target)
+            if healthy:
+                network.set_link_degraded(a, b)
+            else:
+                network.set_link_degraded(
+                    a, b, loss=min(1.0, spec.severity),
+                    extra_latency_ms=max(0.0, spec.severity) * 100.0)
+        elif spec.kind == FaultKind.PARTITION:
+            # Every BGP link of the target router goes down: the PoP is
+            # cut off from the routed Internet entirely.
+            for peer in self.deployment.internet.topology.bgp_neighbors(
+                    spec.target):
+                network.set_link_up(spec.target, peer, healthy)
+        elif spec.kind == FaultKind.BGP_RESET:
+            # Sessions drop while the links stay up: the control plane
+            # fails independently of the data plane.
+            speaker = network.speaker(spec.target)
+            for peer in self.deployment.internet.topology.bgp_neighbors(
+                    spec.target):
+                peer_speaker = network.speaker(peer)
+                if healthy:
+                    speaker.session_up(peer)
+                    peer_speaker.session_up(spec.target)
+                else:
+                    speaker.session_down(peer)
+                    peer_speaker.session_down(spec.target)
+        else:
+            raise ValueError(f"{spec.kind} is not a netsim fault")
+
+
+class ServerInjector:
+    """Faults in the nameserver layer: crashes, crash loops, slow I/O."""
+
+    kinds = frozenset({FaultKind.MACHINE_CRASH, FaultKind.CRASH_LOOP,
+                       FaultKind.SLOW_IO})
+
+    def __init__(self, deployment: AkamaiDNSDeployment) -> None:
+        self.deployment = deployment
+        self._crash_loops: dict[tuple[str, str], PeriodicTask] = {}
+        self._saved_capacity: dict[str, tuple[float, float]] = {}
+
+    def inject(self, spec: FaultSpec) -> None:
+        targets = _target_deployments(self.deployment, spec.target)
+        if spec.kind == FaultKind.MACHINE_CRASH:
+            for dep in targets:
+                if dep.machine.state != MachineState.CRASHED:
+                    dep.machine.crash()
+        elif spec.kind == FaultKind.CRASH_LOOP:
+            for dep in targets:
+                self._start_crash_loop(spec, dep)
+        elif spec.kind == FaultKind.SLOW_IO:
+            factor = spec.severity
+            if not 0.0 < factor <= 1.0:
+                raise ValueError("SLOW_IO severity is a capacity multiple "
+                                 f"in (0, 1], got {factor}")
+            for dep in targets:
+                config = dep.machine.config
+                self._saved_capacity.setdefault(
+                    dep.machine.machine_id,
+                    (config.io_capacity_qps, config.compute_capacity_qps))
+                config.io_capacity_qps *= factor
+                config.compute_capacity_qps *= factor
+        else:
+            raise ValueError(f"{spec.kind} is not a server fault")
+
+    def clear(self, spec: FaultSpec) -> None:
+        targets = _target_deployments(self.deployment, spec.target)
+        if spec.kind == FaultKind.MACHINE_CRASH:
+            pass  # the machine's own restart timer recovers it
+        elif spec.kind == FaultKind.CRASH_LOOP:
+            for dep in targets:
+                task = self._crash_loops.pop(
+                    (spec.target, dep.machine.machine_id), None)
+                if task is not None:
+                    task.stop()
+        elif spec.kind == FaultKind.SLOW_IO:
+            for dep in targets:
+                saved = self._saved_capacity.pop(dep.machine.machine_id,
+                                                 None)
+                if saved is not None:
+                    dep.machine.config.io_capacity_qps = saved[0]
+                    dep.machine.config.compute_capacity_qps = saved[1]
+        else:
+            raise ValueError(f"{spec.kind} is not a server fault")
+
+    def _start_crash_loop(self, spec: FaultSpec,
+                          dep: MachineDeployment) -> None:
+        """Crash now and again right after every restart completes."""
+        machine = dep.machine
+        key = (spec.target, machine.machine_id)
+        if key in self._crash_loops:
+            return
+
+        def crash_again() -> None:
+            if machine.state != MachineState.CRASHED:
+                machine.crash()
+
+        crash_again()
+        # Re-crash one monitoring period after each restart lands, so the
+        # machine oscillates crashed -> briefly running -> crashed.
+        period = machine.config.restart_delay \
+            + self.deployment.params.monitoring_period
+        self._crash_loops[key] = PeriodicTask(
+            self.deployment.loop, period, crash_again, start_delay=period)
+
+
+class ControlInjector:
+    """Faults in the control plane: metadata delivery and zone contents."""
+
+    kinds = frozenset({FaultKind.PUBSUB_PARTITION,
+                       FaultKind.METADATA_FREEZE,
+                       FaultKind.ZONE_CORRUPTION})
+
+    def __init__(self, deployment: AkamaiDNSDeployment) -> None:
+        self.deployment = deployment
+
+    def inject(self, spec: FaultSpec) -> None:
+        self._apply(spec, healthy=False)
+
+    def clear(self, spec: FaultSpec) -> None:
+        self._apply(spec, healthy=True)
+
+    def _apply(self, spec: FaultSpec, *, healthy: bool) -> None:
+        deployment = self.deployment
+        if spec.kind == FaultKind.PUBSUB_PARTITION:
+            for dep in _target_deployments(deployment, spec.target):
+                deployment.bus.set_partitioned(dep.machine, not healthy)
+            if healthy:
+                # Connectivity is back: next heartbeat refreshes staleness
+                # clocks; publish now so recovery is prompt, not lucky.
+                deployment.mapping.publish()
+        elif spec.kind == FaultKind.METADATA_FREEZE:
+            if healthy:
+                deployment.resume_metadata_heartbeat()
+            else:
+                deployment.pause_metadata_heartbeat()
+        elif spec.kind == FaultKind.ZONE_CORRUPTION:
+            origin = name(spec.target)
+            good = deployment.enterprise_zones.get(origin)
+            if good is None:
+                good = next((z for z in deployment.akamai_zones
+                             if z.origin == origin), None)
+            if good is None:
+                raise ValueError(f"no zone with origin {spec.target!r}")
+            payload = good if healthy else _corrupted_copy(good)
+            from ..control.pubsub import CDN_CHANNEL
+            deployment.bus.publish(CDN_CHANNEL, "zone", str(origin),
+                                   payload)
+        else:
+            raise ValueError(f"{spec.kind} is not a control fault")
+
+
+def _corrupted_copy(zone: Zone) -> Zone:
+    """A truncated transfer: only the apex survives, contents are lost.
+
+    The copy still passes zone validation (SOA and apex NS intact), so
+    machines install it — and then answer NXDOMAIN for every name the
+    zone used to hold. That is the insidious form of corruption: the
+    per-zone SOA health probe stays green while clients see wrong
+    answers, so recovery comes from republication, and the scorecard
+    measures the client-visible window.
+    """
+    corrupt = Zone(zone.origin)
+    soa = zone.soa
+    apex_ns = zone.get_rrset(zone.origin, RType.NS)
+    if soa is None or apex_ns is None:
+        raise ValueError(f"zone {zone.origin} is not servable to begin with")
+    corrupt.add_rrset(soa)
+    corrupt.add_rrset(apex_ns)
+    return corrupt
+
+
+def default_injectors(deployment: AkamaiDNSDeployment
+                      ) -> dict[FaultKind, FaultInjector]:
+    """The standard kind -> injector dispatch table."""
+    table: dict[FaultKind, FaultInjector] = {}
+    for injector in (NetsimInjector(deployment), ServerInjector(deployment),
+                     ControlInjector(deployment)):
+        for kind in injector.kinds:
+            table[kind] = injector
+    return table

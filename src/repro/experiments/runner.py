@@ -26,6 +26,7 @@ from . import (
     fig10_nxdomain,
     fig11_speedup,
     fig12_restime,
+    resilience_scorecard,
     taxonomy,
     text_stats,
 )
@@ -59,6 +60,9 @@ def run_all(fast: bool = False,
             phase_seconds=4.0 if fast else 12.0)),
         ("anycast-quality", lambda: anycast_quality.run()),
         ("enduser", lambda: enduser_latency.run()),
+        ("resilience", lambda: resilience_scorecard.run(
+            resilience_scorecard.ScorecardParams.fast() if fast
+            else None)),
         ("text", lambda: text_stats.run()),
     ]
     results = []

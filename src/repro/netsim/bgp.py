@@ -77,6 +77,10 @@ class PeerChannel:
         self._pending: set[str] = set()
         self._timer_running = False
 
+    def reset(self) -> None:
+        """Drop queued updates (session teardown)."""
+        self._pending.clear()
+
     def schedule(self, prefix: str) -> None:
         """Queue an update for ``prefix``; flush per the batching policy."""
         self._pending.add(prefix)
@@ -138,6 +142,8 @@ class BGPSpeaker:
         #: traffic engineering turns to withdraw from individual peering
         #: links (paper section 4.3.2).
         self._export_blocked: set[tuple[str, str]] = set()
+        #: Peers whose session is down (link failure or session reset).
+        self._sessions_down: set[str] = set()
         self._best_change_listeners: list[Callable[[str, Route | None], None]] = []
         for peer_id in network.topology.bgp_neighbors(node_id):
             self._channels[peer_id] = PeerChannel(self, peer_id, mrai)
@@ -183,10 +189,44 @@ class BGPSpeaker:
         """Register a callback fired when the best route for a prefix moves."""
         self._best_change_listeners.append(listener)
 
+    # -- session lifecycle --------------------------------------------------
+
+    def session_is_up(self, peer_id: str) -> bool:
+        return peer_id not in self._sessions_down
+
+    def session_down(self, peer_id: str) -> None:
+        """The session to ``peer_id`` dropped (link cut or reset).
+
+        Every route learned over the session becomes invalid at once —
+        the withdrawal burst and path hunting that follow are the real
+        cost of a session failure, and the adj-RIB-out toward the peer
+        is forgotten so re-establishment re-advertises from scratch.
+        """
+        if peer_id not in self._channels or peer_id in self._sessions_down:
+            return
+        self._sessions_down.add(peer_id)
+        self._channels[peer_id].reset()
+        self._rib_out[peer_id] = set()
+        for prefix in list(self._rib_in):
+            if self._rib_in[prefix].pop(peer_id, None) is not None:
+                self._reselect(prefix, churn=True)
+
+    def session_up(self, peer_id: str) -> None:
+        """The session to ``peer_id`` re-established: re-advertise."""
+        if peer_id not in self._channels \
+                or peer_id not in self._sessions_down:
+            return
+        self._sessions_down.discard(peer_id)
+        channel = self._channels[peer_id]
+        for prefix in self._best:
+            channel.schedule(prefix)
+
     # -- update plumbing ----------------------------------------------------
 
     def send_update(self, peer_id: str, prefix: str) -> None:
         """Evaluate export policy for (peer, prefix) and transmit."""
+        if peer_id in self._sessions_down:
+            return
         best = self._best.get(prefix)
         advertise = best is not None and self._exportable(best, peer_id)
         previously = prefix in self._rib_out[peer_id]
@@ -214,6 +254,9 @@ class BGPSpeaker:
     def receive_update(self, from_peer: str, prefix: str,
                        path: tuple[int, ...] | None, med: int) -> None:
         """Handle an announce (path) or withdraw (path is None)."""
+        if from_peer in self._sessions_down:
+            # In-flight update from a session that dropped meanwhile.
+            return
         self.updates_received += 1
         rib = self._rib_in.setdefault(prefix, {})
         if path is None or self.asn in path:

@@ -47,20 +47,26 @@ class NetworkStats:
     dropped_ttl_expired: int = 0
     dropped_unreachable: int = 0
     dropped_congestion: int = 0
+    dropped_loss: int = 0
     hops_total: int = 0
 
     def dropped(self) -> int:
         return (self.dropped_no_route + self.dropped_ttl_expired
-                + self.dropped_unreachable + self.dropped_congestion)
+                + self.dropped_unreachable + self.dropped_congestion
+                + self.dropped_loss)
 
 
 @dataclass(slots=True)
 class _LinkState:
-    """Mutable per-link state: admin status plus congestion bucket."""
+    """Mutable per-link state: admin status, degradation, congestion."""
 
     up: bool = True
     tokens: float = 0.0
     last_refill: float = 0.0
+    #: Probability a datagram crossing the link is lost (soft failure).
+    loss: float = 0.0
+    #: Added one-way latency over the degraded link, milliseconds.
+    extra_latency_ms: float = 0.0
 
 
 class Network:
@@ -161,15 +167,77 @@ class Network:
     # -- failure injection ----------------------------------------------------
 
     def set_link_up(self, a: str, b: str, up: bool) -> None:
-        """Administratively fail or restore a link (connectivity faults)."""
+        """Administratively fail or restore a link (connectivity faults).
+
+        A BGP session riding the link fails with it: both speakers drop
+        the routes learned over the session (triggering withdrawal and
+        reconvergence) and re-advertise their tables on restore, so a
+        downed link behaves like a real fiber cut rather than a silent
+        packet sink.
+        """
         key = frozenset((a, b))
         self.topology.link(a, b)  # raises KeyError if absent
-        self._link_state.setdefault(key, _LinkState()).up = up
+        state = self._link_state.setdefault(key, _LinkState())
+        if state.up == up:
+            return
+        state.up = up
         self._unicast_cache.clear()
+        speaker_a = self._speakers.get(a)
+        speaker_b = self._speakers.get(b)
+        if speaker_a is not None and speaker_b is not None:
+            if up:
+                speaker_a.session_up(b)
+                speaker_b.session_up(a)
+            else:
+                speaker_a.session_down(b)
+                speaker_b.session_down(a)
 
     def link_is_up(self, a: str, b: str) -> bool:
         state = self._link_state.get(frozenset((a, b)))
         return state.up if state else True
+
+    def set_link_degraded(self, a: str, b: str, *, loss: float = 0.0,
+                          extra_latency_ms: float = 0.0) -> None:
+        """Soft-fail a link: probabilistic loss and/or added latency.
+
+        Unlike :meth:`set_link_up`, the BGP session survives — this is
+        the gray-failure regime (lossy optics, overloaded line cards)
+        where routing looks healthy while the data plane degrades.
+
+        Loss applies per hop to FIB-forwarded (anycast) traffic and at
+        either endpoint's access link for unicast delivery; unicast
+        transit hops are latency-aggregated, so only added latency (not
+        loss) on a transit link is visible to unicast flows.
+        """
+        if not 0.0 <= loss <= 1.0:
+            raise ValueError(f"loss must be in [0, 1], got {loss}")
+        if extra_latency_ms < 0.0:
+            raise ValueError("extra_latency_ms must be >= 0")
+        key = frozenset((a, b))
+        self.topology.link(a, b)  # raises KeyError if absent
+        state = self._link_state.setdefault(key, _LinkState())
+        state.loss = loss
+        state.extra_latency_ms = extra_latency_ms
+        # Added latency changes shortest paths.
+        self._unicast_cache.clear()
+
+    def link_degradation(self, a: str, b: str) -> tuple[float, float]:
+        """(loss probability, extra latency ms) currently on a link."""
+        state = self._link_state.get(frozenset((a, b)))
+        return (state.loss, state.extra_latency_ms) if state else (0.0, 0.0)
+
+    def _link_lossy_drop(self, a: str, b: str) -> bool:
+        """Whether a degraded link eats this datagram."""
+        state = self._link_state.get(frozenset((a, b)))
+        if state is None or state.loss <= 0.0:
+            return False
+        return self.rng.random() < state.loss
+
+    def _link_extra_delay(self, a: str, b: str) -> float:
+        state = self._link_state.get(frozenset((a, b)))
+        if state is None:
+            return 0.0
+        return state.extra_latency_ms / 1000.0
 
     def link_drops(self, a: str, b: str) -> int:
         """Congestion drops recorded on one link."""
@@ -212,7 +280,11 @@ class Network:
             if not self.link_is_up(dgram.src, first_router):
                 self.stats.dropped_unreachable += 1
                 return
-            delay = access.latency_ms / 1000.0
+            if self._link_lossy_drop(dgram.src, first_router):
+                self.stats.dropped_loss += 1
+                return
+            delay = (access.latency_ms / 1000.0
+                     + self._link_extra_delay(dgram.src, first_router))
         else:
             first_router = dgram.src
             delay = 0.0
@@ -244,7 +316,11 @@ class Network:
         if not self._link_admit(link):
             self.stats.dropped_congestion += 1
             return
-        delay = link.latency_ms / 1000.0 + HOP_COST_S
+        if self._link_lossy_drop(router_id, next_hop):
+            self.stats.dropped_loss += 1
+            return
+        delay = (link.latency_ms / 1000.0 + HOP_COST_S
+                 + self._link_extra_delay(router_id, next_hop))
         moved = dgram.decremented(router_id)
         self.loop.call_later(
             delay, lambda: self._forward(next_hop, moved))
@@ -254,6 +330,12 @@ class Network:
         if latency is None:
             self.stats.dropped_unreachable += 1
             return
+        if self.topology.node(dgram.dst).kind == NodeKind.HOST:
+            # A degraded access link loses packets in both directions.
+            last_router = self.topology.attachment_router(dgram.dst)
+            if self._link_lossy_drop(dgram.dst, last_router):
+                self.stats.dropped_loss += 1
+                return
         endpoint = self._endpoints[dgram.dst]
         self.stats.delivered += 1
         self.loop.call_later(latency,
@@ -291,7 +373,8 @@ class Network:
                 if not self.link_is_up(node, neighbor):
                     continue
                 link = self.topology.link(node, neighbor)
-                candidate = dist + link.latency_ms / 1000.0 + HOP_COST_S
+                candidate = (dist + link.latency_ms / 1000.0 + HOP_COST_S
+                             + self._link_extra_delay(node, neighbor))
                 if candidate < distances.get(neighbor, float("inf")):
                     distances[neighbor] = candidate
                     heapq.heappush(frontier, (candidate, neighbor))

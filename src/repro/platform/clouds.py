@@ -12,6 +12,7 @@ fixed 13-cloud set, matching the root-server model.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from ipaddress import ip_address
 from itertools import combinations
 from math import comb
 
@@ -45,9 +46,15 @@ class AnycastCloudSpec:
     def build(cls, index: int) -> "AnycastCloudSpec":
         if not 0 <= index < TOTAL_CLOUDS:
             raise ValueError(f"cloud index {index} out of range")
+        # RFC 5952 canonical text form, matching what AAAA rdata emits —
+        # routing tables key on address strings, so the advertised form
+        # and the form resolvers learn from glue must be identical
+        # (index 0 would otherwise advertise "2600:1480:0::40" while
+        # answers carry "2600:1480::40", blackholing the v6 prefix).
+        prefix6 = str(ip_address(f"2600:1480:{index:x}::40"))
         return cls(index=index,
                    prefix=f"23.{192 + index}.61.64",
-                   prefix6=f"2600:1480:{index:x}::40",
+                   prefix6=prefix6,
                    ns_hostname=name(f"a{index}-64.akam.net"))
 
 

@@ -581,6 +581,32 @@ class AkamaiDNSDeployment:
     def machines(self) -> list[NameserverMachine]:
         return [d.machine for d in self.deployments]
 
+    def deployments_at(self, pop_id: str) -> list[MachineDeployment]:
+        """The machine deployments resident at one PoP."""
+        return [d for d in self.deployments
+                if d.machine.machine_id.startswith(pop_id + "-")]
+
+    # -- failure injection seams --------------------------------------------
+
+    def pause_metadata_heartbeat(self) -> None:
+        """Stop the platform-wide metadata heartbeat (publisher freeze).
+
+        Models the control-plane side of a stale-metadata incident: no
+        new mapping inputs are published at all, so every machine's
+        staleness clock starts running (section 4.2.2's failure mode at
+        the source rather than the subscriber).
+        """
+        self._heartbeat.stop()
+
+    def resume_metadata_heartbeat(self) -> None:
+        """Restart the heartbeat and publish immediately to catch up."""
+        if self._heartbeat.stopped:
+            self._heartbeat = PeriodicTask(
+                self.loop, self.params.metadata_heartbeat,
+                lambda: self.mapping.publish(),
+                start_delay=self.params.metadata_heartbeat)
+            self.mapping.publish()
+
     def regular_deployments(self) -> list[MachineDeployment]:
         return [d for d in self.deployments if not d.input_delayed]
 

@@ -7,7 +7,10 @@ Implements the client-side behaviour the paper's design leans on:
   spread traffic across machines, section 3.1);
 * timeout-and-retry against the *other* delegations of a zone — the
   behaviour that makes unique 6-cloud delegation sets an effective DDoS
-  compartmentalization (section 4.3.1);
+  compartmentalization (section 4.3.1) — with exponential backoff and
+  deterministic per-resolver jitter so a platform-wide fault does not
+  produce synchronized retry storms, under an overall resolution
+  deadline;
 * positive and negative caching with TTL aging, which drives the
   toplevel/lowlevel query ratio rT in the Two-Tier analysis (section 5.2).
 """
@@ -15,6 +18,7 @@ Implements the client-side behaviour the paper's design leans on:
 from __future__ import annotations
 
 import random
+import zlib
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -35,6 +39,17 @@ DEFAULT_TIMEOUT = 2.0
 MAX_ATTEMPTS = 9
 MAX_REFERRALS = 24
 DEFAULT_NEGATIVE_TTL = 300
+#: Per-attempt timeout growth and its cap (as a multiple of the base
+#: timeout). The first attempt always waits exactly the base timeout.
+BACKOFF_FACTOR = 1.5
+MAX_BACKOFF_MULTIPLE = 4.0
+#: Magnitude of the deterministic retry jitter: each retry's timeout is
+#: scaled by a factor in [1 - JITTER, 1 + JITTER] derived from a hash of
+#: (resolver host, attempt number) — no RNG stream is consumed, so runs
+#: stay bit-for-bit reproducible while retries desynchronize.
+JITTER = 0.15
+#: Overall wall-clock budget for one resolution, seconds.
+DEFAULT_RESOLUTION_DEADLINE = 30.0
 
 
 @dataclass(slots=True)
@@ -108,6 +123,7 @@ class RecursiveResolver:
                  *, selection: SelectionStrategy | None = None,
                  rng: random.Random | None = None,
                  timeout: float = DEFAULT_TIMEOUT,
+                 resolution_deadline: float = DEFAULT_RESOLUTION_DEADLINE,
                  send_ecs_for: str | None = None,
                  edns_payload: int | None = 1232,
                  fixed_source_port: int | None = None) -> None:
@@ -119,6 +135,7 @@ class RecursiveResolver:
         self.selection = selection or UniformSelection()
         self.rng = rng or random.Random(0)
         self.timeout = timeout
+        self.resolution_deadline = resolution_deadline
         self.send_ecs_for = send_ecs_for
         #: Advertised EDNS UDP payload size (None disables EDNS unless
         #: ECS is configured). Modern resolvers advertise ~1232.
@@ -203,6 +220,13 @@ class RecursiveResolver:
         return [], []
 
     def _query_authority(self, resolution: _Resolution) -> None:
+        # Overall resolution deadline: clients will not wait forever, and
+        # bounding the retry ladder keeps chaos campaigns from piling up
+        # ancient in-flight resolutions.
+        if (self.loop.now - resolution.result.started_at
+                >= self.resolution_deadline):
+            self._finish(resolution, RCode.SERVFAIL)
+            return
         candidates, glueless = self._authority_candidates(resolution)
         untried = [a for a in candidates if a not in resolution.tried]
         pool = untried or candidates
@@ -288,7 +312,29 @@ class RecursiveResolver:
             self.queries_by_server.get(address, 0) + 1
         self.network.send(dgram)
         resolution.timeout_handle = self.loop.call_later(
-            self.timeout, lambda: self._on_timeout(resolution, msg_id))
+            self._attempt_timeout(resolution),
+            lambda: self._on_timeout(resolution, msg_id))
+
+    def _attempt_timeout(self, resolution: _Resolution) -> float:
+        """Per-attempt timeout: exponential backoff with deterministic
+        jitter, clamped to the remaining resolution budget.
+
+        The first attempt waits exactly the base timeout (so success
+        paths and single-failure failovers are unchanged); retries back
+        off geometrically and are jittered per (resolver, attempt) so
+        the fleet's retry edges never align during a platform fault.
+        """
+        attempt = max(1, resolution.attempts)
+        timeout = self.timeout
+        if attempt > 1:
+            scale = min(BACKOFF_FACTOR ** (attempt - 1),
+                        MAX_BACKOFF_MULTIPLE)
+            digest = zlib.crc32(f"{self.host_id}|{attempt}".encode())
+            jitter = 1.0 + JITTER * ((digest % 2001) / 1000.0 - 1.0)
+            timeout = self.timeout * scale * jitter
+        remaining = (resolution.result.started_at
+                     + self.resolution_deadline - self.loop.now)
+        return min(timeout, max(remaining, 0.05))
 
     def _allocate_id(self) -> int:
         for _ in range(0x10000):

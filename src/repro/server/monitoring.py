@@ -90,6 +90,15 @@ class MonitoringAgent:
         """Immediate reaction to a detected crash: withdraw advertisements."""
         self.speaker.withdraw_all()
         self._withdrew_for_crash = True
+        if self._suspended_by_agent:
+            # A machine that crashes while self-suspended must not keep
+            # renewing its lease: the platform-wide suspension budget
+            # would leak a slot per crash-looping machine until healthy
+            # machines that *need* to suspend are denied. The crash
+            # withdrawal already protects clients, so free the slot.
+            self._suspended_by_agent = False
+            if self.coordinator is not None:
+                self.coordinator.release_suspension(machine.machine_id)
 
     # -- periodic test suite -------------------------------------------------------
 

@@ -1,0 +1,147 @@
+"""MetadataBus partition lifecycle against live nameserver machines.
+
+Section 4.2.2: a partitioned machine's metadata deliveries queue up and
+flush on healing; while partitioned its staleness clock stops advancing
+and the staleness check fires. These tests drive that lifecycle
+end-to-end through a machine subscribed to the bus, not a bare recorder.
+"""
+
+import random
+
+import pytest
+
+from repro.control import MULTICAST_CHANNEL, MetadataBus
+from repro.dnscore import parse_zone_text
+from repro.filters import QueuePolicy, ScoringPipeline
+from repro.netsim import EventLoop, PeriodicTask
+from repro.server import (
+    AuthoritativeEngine,
+    MachineConfig,
+    NameserverMachine,
+    ZoneStore,
+)
+
+ZONE = """\
+$ORIGIN pl.example.
+$TTL 300
+@ IN SOA ns1.pl.example. admin.pl.example. 1 2 3 4 300
+@ IN NS ns1.pl.example.
+"""
+
+
+def make_machine(loop, machine_id="m0", *, staleness_threshold=30.0,
+                 input_delayed=False):
+    store = ZoneStore()
+    store.add(parse_zone_text(ZONE))
+    return NameserverMachine(
+        loop, machine_id, AuthoritativeEngine(store), ScoringPipeline([]),
+        QueuePolicy(),
+        MachineConfig(staleness_threshold=staleness_threshold,
+                      input_delayed=input_delayed))
+
+
+@pytest.fixture
+def world():
+    loop = EventLoop()
+    bus = MetadataBus(loop, random.Random(3))
+    machine = make_machine(loop)
+    bus.subscribe(MULTICAST_CHANNEL, machine)
+    # Steady control-plane heartbeat, like the deployment publishes.
+    heartbeat = PeriodicTask(
+        loop, 10.0,
+        lambda: bus.publish(MULTICAST_CHANNEL, "heartbeat", "global", None),
+        start_delay=1.0)
+    return loop, bus, machine, heartbeat
+
+
+class TestPartitionLifecycle:
+    def test_messages_during_partition_are_held(self, world):
+        loop, bus, machine, _ = world
+        loop.run_until(15.0)
+        delivered = bus.delivered_count(machine)
+        assert delivered >= 1
+
+        bus.set_partitioned(machine, True)
+        loop.run_until(60.0)
+        assert bus.delivered_count(machine) == delivered
+        assert bus.published > delivered
+
+    def test_healing_flushes_in_publication_order(self, world):
+        loop, bus, machine, _ = world
+        received = []
+        machine.metadata_handlers["heartbeat"] = \
+            lambda m: received.append(m.sequence)
+        bus.set_partitioned(machine, True)
+        loop.run_until(45.0)
+        assert received == []
+
+        bus.set_partitioned(machine, False)
+        assert received == sorted(received)
+        assert len(received) >= 4
+        assert bus.delivered_count(machine) == len(received)
+
+    def test_staleness_clock_stops_then_recovers(self, world):
+        loop, bus, machine, _ = world
+        loop.run_until(15.0)
+        assert not machine.is_stale(loop.now)
+
+        bus.set_partitioned(machine, True)
+        frozen_at = machine.last_input_time
+        loop.run_until(60.0)
+        assert machine.last_input_time == frozen_at
+        assert machine.is_stale(loop.now)
+
+        bus.set_partitioned(machine, False)
+        assert machine.last_input_time > frozen_at
+        assert not machine.is_stale(loop.now)
+
+    def test_stale_flush_does_not_mask_staleness(self, world):
+        # Held messages carry their original publication time: healing
+        # long after the last publish must not make the machine look
+        # fresh. Stop the heartbeat mid-partition and heal much later.
+        loop, bus, machine, heartbeat = world
+        bus.set_partitioned(machine, True)
+        loop.run_until(25.0)
+        heartbeat.stop()
+        loop.run_until(120.0)
+
+        bus.set_partitioned(machine, False)
+        # The newest flushed input was published before t=25: still stale.
+        assert machine.last_input_time < 25.0
+        assert machine.is_stale(loop.now)
+
+    def test_partition_is_per_subscriber(self, world):
+        loop, bus, machine, _ = world
+        other = make_machine(loop, "m1")
+        bus.subscribe(MULTICAST_CHANNEL, other)
+        bus.set_partitioned(machine, True)
+        loop.run_until(60.0)
+        assert bus.delivered_count(machine) == 0
+        assert bus.delivered_count(other) >= 5
+        assert machine.is_stale(loop.now)
+        assert not other.is_stale(loop.now)
+
+    def test_heal_without_held_messages_is_a_noop(self, world):
+        loop, bus, machine, _ = world
+        loop.run_until(15.0)
+        delivered = bus.delivered_count(machine)
+        frozen_at = machine.last_input_time
+        bus.set_partitioned(machine, True)
+        bus.set_partitioned(machine, False)
+        assert bus.delivered_count(machine) == delivered
+        assert machine.last_input_time == frozen_at
+
+    def test_partition_of_unknown_subscriber_is_ignored(self, world):
+        loop, bus, machine, _ = world
+        stranger = make_machine(loop, "stranger")
+        bus.set_partitioned(stranger, True)   # never subscribed: no-op
+        loop.run_until(15.0)
+        assert bus.delivered_count(machine) >= 1
+
+    def test_input_delayed_machine_never_reports_stale(self, world):
+        loop, bus, _, _ = world
+        delayed = make_machine(loop, "m-delayed", input_delayed=True)
+        bus.subscribe(MULTICAST_CHANNEL, delayed, extra_delay=3600.0)
+        bus.set_partitioned(delayed, True)
+        loop.run_until(90.0)
+        assert not delayed.is_stale(loop.now)
