@@ -1,14 +1,32 @@
 # Convenience targets for the Akamai DNS reproduction.
 
 PY ?= python
+LINT_PYTHONPATH = src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test bench chaos report report-fast examples clean
+.PHONY: install test bench chaos report report-fast examples lint clean
 
 install:
 	pip install -e . --no-build-isolation
 
 test:
 	$(PY) -m pytest tests/
+
+# reprolint (the in-tree determinism/event-loop/seed-hygiene checker)
+# always runs; ruff and mypy run when installed (pip install -e .[lint])
+# and are skipped with a notice otherwise, so `make lint` works in
+# minimal containers.
+lint:
+	PYTHONPATH=$(LINT_PYTHONPATH) $(PY) -m repro.lint src tests benchmarks
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks examples; \
+	else \
+		echo "ruff not installed; skipping (pip install -e .[lint])"; \
+	fi
+	@if command -v mypy >/dev/null 2>&1; then \
+		mypy src/repro; \
+	else \
+		echo "mypy not installed; skipping (pip install -e .[lint])"; \
+	fi
 
 bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only

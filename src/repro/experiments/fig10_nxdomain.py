@@ -127,7 +127,6 @@ def _run_point(params: Fig10Params, attack_rate: float,
 
     loop.run_until(measure_start)
     legit_answered_at_start = machine.metrics.legit_answered
-    legit_sent_total = counters["legit_sent"]
     loop.run_until(measure_end + 2.0)
     answered = machine.metrics.legit_answered - legit_answered_at_start
     sent = counters["legit_sent"]

@@ -105,7 +105,6 @@ def build_dataset(params: Fig11Params | None = None) -> TwoTierDataset:
         clouds.append(cloud)
     loop.run_until(120)
 
-    topo = internet.topology
     avg_T: list[float] = []
     wgt_T: list[float] = []
     low_L: list[float] = []

@@ -1,0 +1,44 @@
+"""reprolint — AST-based invariant checker for the simulator codebase.
+
+The platform's headline claim is that every experiment and chaos
+campaign is byte-identical under a fixed seed. ``repro.lint`` makes that
+contract machine-checked: a small rule engine walks every module's AST
+and flags constructs that silently break reproducibility (wall-clock
+reads, global-RNG calls, entropy sources, hash-based ordering), violate
+event-loop discipline (blocking sleeps, thread/async scheduling that
+bypasses the shared :class:`~repro.netsim.clock.EventLoop`), or break
+API discipline (experiment entry points without an explicit seed).
+
+Usage::
+
+    python -m repro.lint src tests            # human-readable output
+    python -m repro.lint src --json           # machine-readable output
+    python -m repro.lint --list-rules         # rule catalogue
+
+Findings can be suppressed inline with ``# reprolint: disable=CODE``
+(same line), ``# reprolint: disable-next=CODE`` (next line), or
+``# reprolint: disable-file=CODE`` (whole file), and grandfathered via a
+checked-in baseline file (``reprolint.baseline.json``). The shipped
+baseline is empty: the tree is clean.
+"""
+
+from __future__ import annotations
+
+from .baseline import Baseline, fingerprint
+from .core import Finding, ModuleContext, Rule, Severity
+from .engine import LintResult, lint_paths, lint_source
+from .rules import ALL_RULES, rule_by_code
+
+__all__ = [
+    "ALL_RULES",
+    "Baseline",
+    "Finding",
+    "LintResult",
+    "ModuleContext",
+    "Rule",
+    "Severity",
+    "fingerprint",
+    "lint_paths",
+    "lint_source",
+    "rule_by_code",
+]

@@ -1,0 +1,104 @@
+"""Grandfathered-finding baseline.
+
+A baseline lets the linter land with hard-failing CI even when the tree
+still has known violations: existing findings are recorded once, new
+code is held to the full bar, and the recorded debt burns down
+monotonically (stale entries are reported so the file shrinks as fixes
+land). The shipped baseline is empty — kept checked in so the
+workflow (``--update-baseline``) is exercised and documented.
+
+Entries match on a fingerprint of ``(path, code, stripped source
+line)`` rather than on line numbers, so unrelated edits above a
+grandfathered finding do not invalidate it. Identical findings are
+counted: if a baselined line is duplicated, the new copy is reported.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .core import Finding
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE_NAME = "reprolint.baseline.json"
+
+
+def fingerprint(finding: Finding) -> str:
+    """Stable identity for a finding, independent of line numbers."""
+    key = f"{finding.path}::{finding.code}::{finding.source}"
+    return hashlib.sha256(key.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass(slots=True)
+class Baseline:
+    """Multiset of grandfathered finding fingerprints."""
+
+    counts: Counter = field(default_factory=Counter)
+    #: Human-readable context per fingerprint, persisted for reviewers.
+    details: dict[str, dict[str, object]] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        raw = json.loads(Path(path).read_text(encoding="utf-8"))
+        version = raw.get("version")
+        if version != BASELINE_VERSION:
+            raise ValueError(
+                f"unsupported baseline version {version!r} in {path}")
+        baseline = cls()
+        for entry in raw.get("findings", []):
+            fp = entry["fingerprint"]
+            baseline.counts[fp] += int(entry.get("count", 1))
+            baseline.details[fp] = entry
+        return baseline
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding]) -> "Baseline":
+        baseline = cls()
+        for finding in findings:
+            fp = fingerprint(finding)
+            baseline.counts[fp] += 1
+            baseline.details[fp] = {
+                "fingerprint": fp,
+                "path": finding.path,
+                "code": finding.code,
+                "line": finding.line,
+                "message": finding.message,
+                "source": finding.source,
+            }
+        return baseline
+
+    def save(self, path: str | Path) -> None:
+        findings = []
+        for fp in sorted(self.counts):
+            entry = dict(self.details.get(fp, {"fingerprint": fp}))
+            entry["fingerprint"] = fp
+            entry["count"] = self.counts[fp]
+            findings.append(entry)
+        payload = {"version": BASELINE_VERSION, "findings": findings}
+        Path(path).write_text(json.dumps(payload, indent=2) + "\n",
+                              encoding="utf-8")
+
+    def filter(self, findings: list[Finding]
+               ) -> tuple[list[Finding], list[Finding]]:
+        """Split findings into (new, grandfathered)."""
+        budget = Counter(self.counts)
+        new: list[Finding] = []
+        matched: list[Finding] = []
+        for finding in findings:
+            fp = fingerprint(finding)
+            if budget[fp] > 0:
+                budget[fp] -= 1
+                matched.append(finding)
+            else:
+                new.append(finding)
+        return new, matched
+
+    def stale_entries(self, findings: list[Finding]) -> list[str]:
+        """Fingerprints recorded in the baseline but no longer found."""
+        seen = Counter(fingerprint(f) for f in findings)
+        return sorted(fp for fp, count in self.counts.items()
+                      if seen[fp] < count)

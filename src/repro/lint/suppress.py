@@ -1,0 +1,60 @@
+"""Inline suppression comments.
+
+Three forms, mirroring common linter conventions:
+
+* ``# reprolint: disable=DET001`` — suppress on this line;
+* ``# reprolint: disable-next=DET001,LOOP001`` — suppress on the next
+  non-blank line (for lines too long to carry a trailing comment);
+* ``# reprolint: disable-file=DET001`` — suppress everywhere in the
+  file (reserve for generated or vendored modules).
+
+``disable=all`` suppresses every rule. Suppressions are deliberately
+line-scoped rather than block-scoped: each exemption must sit next to
+the code it excuses, which keeps them reviewable.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+_DIRECTIVE = re.compile(
+    r"#\s*reprolint:\s*(disable(?:-next|-file)?)\s*=\s*"
+    r"([A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)")
+
+ALL = "all"
+
+
+@dataclass(slots=True)
+class SuppressionMap:
+    """Which rule codes are suppressed on which lines."""
+
+    by_line: dict[int, set[str]] = field(default_factory=dict)
+    file_wide: set[str] = field(default_factory=set)
+
+    def is_suppressed(self, code: str, line: int) -> bool:
+        if ALL in self.file_wide or code in self.file_wide:
+            return True
+        codes = self.by_line.get(line)
+        return bool(codes) and (ALL in codes or code in codes)
+
+
+def parse_suppressions(source_lines: list[str]) -> SuppressionMap:
+    smap = SuppressionMap()
+    pending_next: set[str] = set()
+    for lineno, text in enumerate(source_lines, start=1):
+        stripped = text.strip()
+        if pending_next and stripped:
+            smap.by_line.setdefault(lineno, set()).update(pending_next)
+            pending_next = set()
+        for match in _DIRECTIVE.finditer(text):
+            kind = match.group(1)
+            codes = {c.strip() for c in match.group(2).split(",")
+                     if c.strip()}
+            if kind == "disable":
+                smap.by_line.setdefault(lineno, set()).update(codes)
+            elif kind == "disable-next":
+                pending_next |= codes
+            else:  # disable-file
+                smap.file_wide |= codes
+    return smap

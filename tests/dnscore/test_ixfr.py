@@ -6,7 +6,6 @@ from repro.dnscore import (
     A,
     RType,
     TransferError,
-    make_rrset,
     name,
     parse_zone_text,
 )

@@ -9,7 +9,6 @@ from repro.dnscore import (
     axfr_response_stream,
     make_axfr_query,
     make_rrset,
-    make_zone,
     name,
     needs_transfer,
     parse_zone_text,

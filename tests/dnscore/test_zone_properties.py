@@ -7,7 +7,6 @@ from hypothesis import strategies as st
 
 from repro.dnscore import (
     A,
-    NS,
     RType,
     SOA,
     TXT,

@@ -1,0 +1,87 @@
+"""Baseline round-trip, matching, and staleness detection."""
+
+import json
+
+import pytest
+
+from repro.lint import Baseline, fingerprint, lint_source
+from repro.lint.baseline import BASELINE_VERSION
+
+VIOLATING = "import time\nt = time.time()\n"
+
+
+def make_findings():
+    return lint_source(VIOLATING)
+
+
+class TestRoundTrip:
+    def test_save_load(self, tmp_path):
+        findings = make_findings()
+        baseline = Baseline.from_findings(findings)
+        path = tmp_path / "baseline.json"
+        baseline.save(path)
+        loaded = Baseline.load(path)
+        assert loaded.counts == baseline.counts
+        new, matched = loaded.filter(findings)
+        assert new == []
+        assert matched == findings
+
+    def test_serialized_shape(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        Baseline.from_findings(make_findings()).save(path)
+        raw = json.loads(path.read_text())
+        assert raw["version"] == BASELINE_VERSION
+        entry = raw["findings"][0]
+        assert set(entry) >= {"fingerprint", "path", "code", "count"}
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 99, "findings": []}))
+        with pytest.raises(ValueError):
+            Baseline.load(path)
+
+
+class TestMatching:
+    def test_line_drift_does_not_invalidate(self):
+        baseline = Baseline.from_findings(make_findings())
+        drifted = lint_source("import time\n\n\nt = time.time()\n")
+        assert drifted[0].line != make_findings()[0].line
+        new, matched = baseline.filter(drifted)
+        assert new == []
+        assert len(matched) == 1
+
+    def test_duplicate_beyond_count_is_new(self):
+        # Baseline records ONE occurrence of `t = time.time()`; a copy
+        # of the identical line shares its fingerprint but exceeds the
+        # recorded count, so exactly one of the two is new.
+        baseline = Baseline.from_findings(make_findings())
+        doubled = lint_source(
+            "import time\nt = time.time()\nt = time.time()\n")
+        new, matched = baseline.filter(doubled)
+        assert len(matched) == 1
+        assert len(new) == 1
+
+    def test_empty_baseline_passes_everything_through(self):
+        baseline = Baseline()
+        findings = make_findings()
+        new, matched = baseline.filter(findings)
+        assert new == findings
+        assert matched == []
+
+    def test_stale_entries(self):
+        baseline = Baseline.from_findings(make_findings())
+        clean = lint_source("x = 1\n")
+        assert baseline.stale_entries(clean) == \
+            sorted(baseline.counts)
+        assert baseline.stale_entries(make_findings()) == []
+
+
+class TestFingerprint:
+    def test_stable_across_runs(self):
+        a, b = make_findings(), make_findings()
+        assert fingerprint(a[0]) == fingerprint(b[0])
+
+    def test_distinguishes_code_and_path(self):
+        finding = make_findings()[0]
+        other = lint_source(VIOLATING, path="src/repro/other.py")[0]
+        assert fingerprint(finding) != fingerprint(other)

@@ -1,0 +1,96 @@
+"""CLI behavior: exit codes, JSON schema, baseline workflow."""
+
+import json
+
+import pytest
+
+from repro.lint.cli import JSON_SCHEMA_VERSION, main
+
+CLEAN = "x = 1\n"
+DIRTY = "import time\nt = time.time()\n"
+
+
+@pytest.fixture
+def tree(tmp_path, monkeypatch):
+    """A miniature repo layout; cwd is moved into it."""
+    pkg = tmp_path / "src" / "repro" / "demo"
+    pkg.mkdir(parents=True)
+    (pkg / "clean.py").write_text(CLEAN)
+    (pkg / "dirty.py").write_text(DIRTY)
+    monkeypatch.chdir(tmp_path)
+    return tmp_path
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, tree, capsys):
+        (tree / "src/repro/demo/dirty.py").write_text(CLEAN)
+        assert main(["src"]) == 0
+
+    def test_findings_exit_one(self, tree, capsys):
+        assert main(["src"]) == 1
+
+    def test_unknown_rule_code_exits_two(self, tree, capsys):
+        assert main(["src", "--select", "NOPE999"]) == 2
+
+    def test_missing_baseline_exits_two(self, tree, capsys):
+        assert main(["src", "--baseline", "nope.json"]) == 2
+
+    def test_select_subset(self, tree, capsys):
+        # Only LOOP001 selected: the wall-clock finding is invisible.
+        assert main(["src", "--select", "LOOP001"]) == 0
+
+
+class TestJsonOutput:
+    def test_schema(self, tree, capsys):
+        assert main(["src", "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == JSON_SCHEMA_VERSION
+        assert payload["files_checked"] == 2
+        assert set(payload["counts"]) == {
+            "error", "warning", "grandfathered", "stale_baseline"}
+        assert payload["counts"]["error"] == 1
+        finding = payload["findings"][0]
+        assert set(finding) == {"path", "line", "col", "code",
+                                "severity", "message", "source"}
+        assert finding["code"] == "DET001"
+        assert finding["path"].endswith("dirty.py")
+        assert finding["severity"] in ("error", "warning")
+
+    def test_clean_json(self, tree, capsys):
+        (tree / "src/repro/demo/dirty.py").write_text(CLEAN)
+        assert main(["src", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["findings"] == []
+
+
+class TestBaselineWorkflow:
+    def test_update_then_clean(self, tree, capsys):
+        assert main(["src", "--update-baseline"]) == 0
+        assert (tree / "reprolint.baseline.json").exists()
+        # Grandfathered finding no longer fails the run...
+        assert main(["src"]) == 0
+        # ...but a fresh violation still does.
+        (tree / "src/repro/demo/clean.py").write_text(
+            "import random\nrandom.seed(1)\n")
+        assert main(["src"]) == 1
+
+    def test_stale_entry_reported(self, tree, capsys):
+        assert main(["src", "--update-baseline"]) == 0
+        (tree / "src/repro/demo/dirty.py").write_text(CLEAN)
+        assert main(["src"]) == 0
+        out = capsys.readouterr().out
+        assert "stale" in out
+        assert main(["src", "--strict-baseline"]) == 1
+
+    def test_no_baseline_flag_ignores_file(self, tree, capsys):
+        assert main(["src", "--update-baseline"]) == 0
+        assert main(["src", "--no-baseline"]) == 1
+
+
+class TestListRules:
+    def test_catalogue_lists_every_code(self, tree, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("DET001", "DET002", "DET003", "DET004", "DET005",
+                     "DET006", "LOOP001", "LOOP002", "API001"):
+            assert code in out

@@ -1,0 +1,246 @@
+"""Per-rule fixtures: positive, negative, and suppressed variants.
+
+Every rule code must (a) fire on a deliberately seeded violation,
+(b) stay silent on the idiomatic fix, and (c) honor an inline
+suppression — the acceptance contract for the rule set.
+"""
+
+import pytest
+
+from repro.lint import ALL_RULES, lint_source, rule_by_code
+from repro.lint.core import Severity
+
+SIM_PATH = "src/repro/netsim/fake.py"
+EXPERIMENT_PATH = "src/repro/experiments/fake.py"
+
+
+def codes(source, path="src/repro/fake.py"):
+    return [f.code for f in lint_source(source, path=path)]
+
+
+class TestWallClock:
+    def test_time_time(self):
+        assert codes("import time\nt = time.time()\n") == ["DET001"]
+
+    def test_perf_counter_from_import(self):
+        src = "from time import perf_counter\nt = perf_counter()\n"
+        assert codes(src) == ["DET001"]
+
+    def test_datetime_now(self):
+        src = "from datetime import datetime\nd = datetime.now()\n"
+        assert codes(src) == ["DET001"]
+
+    def test_datetime_module_spelling(self):
+        src = "import datetime\nd = datetime.datetime.utcnow()\n"
+        assert codes(src) == ["DET001"]
+
+    def test_aliased_import(self):
+        assert codes("import time as t\nx = t.monotonic()\n") == \
+            ["DET001"]
+
+    def test_simulated_clock_is_fine(self):
+        src = ("from repro.netsim.clock import EventLoop\n"
+               "loop = EventLoop()\n"
+               "t = loop.now\n")
+        assert codes(src) == []
+
+    def test_local_variable_named_time_is_fine(self):
+        # `time` here is a float, not the module: must not resolve.
+        assert codes("def f(time):\n    return time\n") == []
+
+
+class TestGlobalRandom:
+    def test_module_level_call(self):
+        assert codes("import random\nx = random.random()\n") == \
+            ["DET002"]
+
+    def test_from_import(self):
+        src = "from random import shuffle\nshuffle([1, 2])\n"
+        assert codes(src) == ["DET002"]
+
+    def test_global_seed_is_flagged(self):
+        assert codes("import random\nrandom.seed(7)\n") == ["DET002"]
+
+    def test_numpy_legacy_global(self):
+        assert codes("import numpy as np\nnp.random.seed(1)\n") == \
+            ["DET002"]
+        assert codes("import numpy as np\nx = np.random.rand(3)\n") == \
+            ["DET002"]
+
+    def test_seeded_instances_are_fine(self):
+        src = ("import random\n"
+               "import numpy as np\n"
+               "rng = random.Random(42)\n"
+               "x = rng.random()\n"
+               "gen = np.random.default_rng(42)\n"
+               "y = gen.normal()\n")
+        assert codes(src) == []
+
+    def test_instance_method_not_confused_with_module(self):
+        src = ("import random\n"
+               "class C:\n"
+               "    def __init__(self, seed):\n"
+               "        self.rng = random.Random(seed)\n"
+               "    def draw(self):\n"
+               "        return self.rng.choice([1, 2])\n")
+        assert codes(src) == []
+
+    def test_applies_in_tests_tree(self):
+        src = "import random\nx = random.randint(0, 9)\n"
+        assert codes(src, path="tests/test_fake.py") == ["DET002"]
+
+
+class TestEntropy:
+    @pytest.mark.parametrize("src", [
+        "import os\nb = os.urandom(16)\n",
+        "import uuid\nu = uuid.uuid4()\n",
+        "import uuid\nu = uuid.uuid1()\n",
+        "import secrets\nt = secrets.token_hex(8)\n",
+        "import random\nr = random.SystemRandom()\n",
+    ])
+    def test_entropy_sources_flagged(self, src):
+        assert codes(src) == ["DET003"]
+
+    def test_uuid5_is_deterministic_and_fine(self):
+        src = ("import uuid\n"
+               "u = uuid.uuid5(uuid.NAMESPACE_DNS, 'example.com')\n")
+        assert codes(src) == []
+
+
+class TestHashOrdering:
+    def test_hash_as_sort_key(self):
+        src = "order = sorted(names, key=lambda n: hash(n))\n"
+        assert codes(src) == ["DET004"]
+
+    def test_hash_for_partitioning(self):
+        src = "def shard(name, n):\n    return hash(name) % n\n"
+        assert codes(src) == ["DET004"]
+
+    def test_allowed_inside_hash_defining_class(self):
+        src = ("class Name:\n"
+               "    def __init__(self, labels):\n"
+               "        self._hash = hash(labels)\n"
+               "    def __hash__(self):\n"
+               "        return self._hash\n")
+        assert codes(src) == []
+
+    def test_class_without_dunder_hash_still_flagged(self):
+        src = ("class Router:\n"
+               "    def shard(self, name):\n"
+               "        return hash(name) % 4\n")
+        assert codes(src) == ["DET004"]
+
+
+class TestSetIteration:
+    def test_for_over_set_call(self):
+        src = "def f(xs):\n    for x in set(xs):\n        print(x)\n"
+        assert codes(src) == ["DET005"]
+
+    def test_comprehension_over_frozenset(self):
+        src = "def f(xs):\n    return [x for x in frozenset(xs)]\n"
+        assert codes(src) == ["DET005"]
+
+    def test_set_literal(self):
+        src = "for x in {1, 2, 3}:\n    print(x)\n"
+        assert codes(src) == ["DET005"]
+
+    def test_sorted_wrapper_is_fine(self):
+        src = "def f(xs):\n    return [x for x in sorted(set(xs))]\n"
+        assert codes(src) == []
+
+    def test_severity_is_warning(self):
+        findings = lint_source("for x in set(ys):\n    pass\n")
+        assert findings[0].severity is Severity.WARNING
+
+
+class TestUnseededRng:
+    def test_unseeded_random(self):
+        assert codes("import random\nr = random.Random()\n") == \
+            ["DET006"]
+
+    def test_unseeded_default_rng(self):
+        src = "import numpy as np\ng = np.random.default_rng()\n"
+        assert codes(src) == ["DET006"]
+
+    def test_seeded_constructors_are_fine(self):
+        src = ("import random\n"
+               "import numpy as np\n"
+               "a = random.Random(1)\n"
+               "b = np.random.default_rng(seed=2)\n")
+        assert codes(src) == []
+
+
+class TestSleep:
+    def test_time_sleep(self):
+        assert codes("import time\ntime.sleep(0.5)\n") == ["LOOP001"]
+
+    def test_event_loop_delay_is_fine(self):
+        src = ("def retry(loop, action):\n"
+               "    loop.call_later(0.5, action)\n")
+        assert codes(src) == []
+
+
+class TestLoopBypass:
+    @pytest.mark.parametrize("src", [
+        "import threading\n",
+        "import asyncio\n",
+        "import socket\n",
+        "import subprocess\n",
+        "from concurrent.futures import ThreadPoolExecutor\n",
+        "import sched\n",
+    ])
+    def test_bypass_imports_flagged_in_sim_code(self, src):
+        assert codes(src, path=SIM_PATH) == ["LOOP002"]
+
+    def test_not_applied_outside_sim_packages(self):
+        # Offline analysis/tools may talk to the real world.
+        assert codes("import subprocess\n",
+                     path="src/repro/tools/fake.py") == []
+
+    def test_heapq_is_fine(self):
+        assert codes("import heapq\n", path=SIM_PATH) == []
+
+
+class TestSeedParam:
+    def test_run_without_seed(self):
+        src = "def run(n_resolvers=100):\n    return n_resolvers\n"
+        assert codes(src, path=EXPERIMENT_PATH) == ["API001"]
+
+    def test_run_with_seed(self):
+        src = "def run(seed=42):\n    return seed\n"
+        assert codes(src, path=EXPERIMENT_PATH) == []
+
+    def test_run_with_params_object(self):
+        src = "def run(params=None):\n    return params\n"
+        assert codes(src, path=EXPERIMENT_PATH) == []
+
+    def test_only_applies_to_experiments(self):
+        src = "def run():\n    pass\n"
+        assert codes(src, path="src/repro/server/fake.py") == []
+
+    def test_nested_run_not_an_entry_point(self):
+        src = ("def run(seed=42):\n"
+               "    def run():\n"
+               "        pass\n"
+               "    return run\n")
+        assert codes(src, path=EXPERIMENT_PATH) == []
+
+
+class TestRuleCatalogue:
+    def test_codes_unique(self):
+        all_codes = [r.code for r in ALL_RULES]
+        assert len(all_codes) == len(set(all_codes))
+
+    def test_every_rule_documented(self):
+        for rule in ALL_RULES:
+            assert rule.code and rule.name and rule.description
+            assert rule.scopes
+
+    def test_rule_by_code(self):
+        assert rule_by_code("DET001").name == "wall-clock-read"
+        with pytest.raises(KeyError):
+            rule_by_code("NOPE999")
+
+    def test_syntax_error_reported_not_raised(self):
+        findings = lint_source("def broken(:\n")
+        assert [f.code for f in findings] == ["E999"]

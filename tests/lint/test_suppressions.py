@@ -1,0 +1,91 @@
+"""Inline suppression semantics: same-line, next-line, file-wide."""
+
+from repro.lint import lint_source
+from repro.lint.suppress import parse_suppressions
+
+VIOLATION = "import time\nt = time.time()\n"
+
+
+def codes(source):
+    return [f.code for f in lint_source(source)]
+
+
+class TestInlineDisable:
+    def test_same_line(self):
+        src = "import time\nt = time.time()  # reprolint: disable=DET001\n"
+        assert codes(src) == []
+
+    def test_wrong_code_does_not_suppress(self):
+        src = "import time\nt = time.time()  # reprolint: disable=LOOP001\n"
+        assert codes(src) == ["DET001"]
+
+    def test_multiple_codes(self):
+        src = ("import time\n"
+               "t = time.time()  # reprolint: disable=LOOP001,DET001\n")
+        assert codes(src) == []
+
+    def test_all_keyword(self):
+        src = "import time\nt = time.time()  # reprolint: disable=all\n"
+        assert codes(src) == []
+
+    def test_only_that_line(self):
+        src = ("import time\n"
+               "a = time.time()  # reprolint: disable=DET001\n"
+               "b = time.time()\n")
+        findings = lint_source(src)
+        assert [f.code for f in findings] == ["DET001"]
+        assert findings[0].line == 3
+
+
+class TestDisableNext:
+    def test_next_line(self):
+        src = ("import time\n"
+               "# reprolint: disable-next=DET001\n"
+               "t = time.time()\n")
+        assert codes(src) == []
+
+    def test_skips_blank_lines(self):
+        src = ("import time\n"
+               "# reprolint: disable-next=DET001\n"
+               "\n"
+               "t = time.time()\n")
+        assert codes(src) == []
+
+    def test_does_not_leak_past_target(self):
+        src = ("import time\n"
+               "# reprolint: disable-next=DET001\n"
+               "a = time.time()\n"
+               "b = time.time()\n")
+        assert codes(src) == ["DET001"]
+
+
+class TestDisableFile:
+    def test_file_wide(self):
+        src = ("# reprolint: disable-file=DET001\n"
+               "import time\n"
+               "a = time.time()\n"
+               "b = time.time()\n")
+        assert codes(src) == []
+
+    def test_file_wide_other_rules_still_fire(self):
+        src = ("# reprolint: disable-file=DET001\n"
+               "import time\n"
+               "import random\n"
+               "a = time.time()\n"
+               "b = random.random()\n")
+        assert codes(src) == ["DET002"]
+
+
+class TestParser:
+    def test_parse_map(self):
+        lines = ["x = 1  # reprolint: disable=DET001, DET002",
+                 "# reprolint: disable-file=LOOP001"]
+        smap = parse_suppressions(lines)
+        assert smap.is_suppressed("DET001", 1)
+        assert smap.is_suppressed("DET002", 1)
+        assert not smap.is_suppressed("DET001", 2)
+        assert smap.is_suppressed("LOOP001", 99)
+
+    def test_non_directive_comments_ignored(self):
+        smap = parse_suppressions(["x = 1  # normal comment"])
+        assert not smap.is_suppressed("DET001", 1)

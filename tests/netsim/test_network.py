@@ -8,12 +8,7 @@ from repro.netsim import (
     AnycastCloud,
     Datagram,
     EventLoop,
-    GeoPoint,
-    LinkRelation,
     Network,
-    Node,
-    NodeKind,
-    Topology,
     attach_host,
     attach_pop,
     build_internet,

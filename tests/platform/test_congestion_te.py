@@ -17,7 +17,6 @@ from repro.netsim import (
     Datagram,
     EventLoop,
     InternetParams,
-    LinkRelation,
     Network,
     attach_host,
     attach_pop,

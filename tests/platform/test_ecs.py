@@ -53,7 +53,6 @@ class TestECSMapping:
         jp_best = jp.addresses()[0]
         topo = deployment.internet.topology
         us_loc = deployment.client_locations["198.51.100.0/24"]
-        jp_loc = deployment.client_locations["203.0.113.0/24"]
         # The US answer is nearer the US client than the JP answer is.
         assert topo.node(us_best).location.distance_km(us_loc) <= \
             topo.node(jp_best).location.distance_km(us_loc) + 1e-6 \

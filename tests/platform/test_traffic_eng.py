@@ -5,7 +5,6 @@ import random
 import pytest
 
 from repro.netsim import (
-    AnycastCloud,
     EventLoop,
     InternetParams,
     Network,

@@ -4,7 +4,7 @@ import random
 
 import pytest
 
-from repro.dnscore import RCode, RType, name, parse_zone_text
+from repro.dnscore import RCode, name, parse_zone_text
 from repro.filters import QueuePolicy, ScoringPipeline
 from repro.netsim import (
     EventLoop,

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.dnscore import RCode, RType, make_query, name, parse_zone_text
-from repro.filters import QueryContext, QueuePolicy, ScoringPipeline
+from repro.filters import QueuePolicy, ScoringPipeline
 from repro.netsim import Datagram, EventLoop
 from repro.server import (
     AuthoritativeEngine,

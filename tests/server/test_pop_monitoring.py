@@ -4,10 +4,9 @@ import random
 
 import pytest
 
-from repro.dnscore import RCode, RType, make_query, name, parse_zone_text
+from repro.dnscore import RType, make_query, name, parse_zone_text
 from repro.filters import QueuePolicy, ScoringPipeline
 from repro.netsim import (
-    AnycastCloud,
     Datagram,
     EventLoop,
     InternetParams,
@@ -224,7 +223,7 @@ class TestMonitoringAgent:
         loop, net, pop = world
         machine, speaker = add_machine(loop, pop, "m1")
         failures = {"fail": False}
-        agent = MonitoringAgent(
+        MonitoringAgent(
             loop, machine, speaker, period=1.0,
             regression_tests=[lambda m: not failures["fail"]])
         speaker.advertise_all()

@@ -174,9 +174,9 @@ class TestQueryTrain:
         from repro.workload import QueryTrain
         loop = EventLoop()
         sent = []
-        train = QueryTrain(loop, _random.Random(3), rate_qps=100.0,
-                           send=lambda: sent.append(loop.now),
-                           duration=10.0)
+        QueryTrain(loop, _random.Random(3), rate_qps=100.0,
+                   send=lambda: sent.append(loop.now),
+                   duration=10.0)
         loop.run_until(30.0)
         # ~100 qps for 10 s of eligibility.
         assert 700 <= len(sent) <= 1300
