@@ -3,7 +3,8 @@
 PY ?= python
 LINT_PYTHONPATH = src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test bench chaos report report-fast examples lint clean
+.PHONY: install test bench bench-check bench-pytest chaos report \
+        report-fast examples lint clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -28,7 +29,17 @@ lint:
 		echo "mypy not installed; skipping (pip install -e .[lint])"; \
 	fi
 
+# Refresh the committed performance baseline (BENCH_micro.json and
+# BENCH_experiments.json at the repo root).
 bench:
+	PYTHONPATH=$(LINT_PYTHONPATH) $(PY) -m repro.tools.bench
+
+# Re-run the microbenchmarks and fail on >30% regression against the
+# committed BENCH_micro.json (CI's bench-smoke job).
+bench-check:
+	PYTHONPATH=$(LINT_PYTHONPATH) $(PY) -m repro.tools.bench --check
+
+bench-pytest:
 	$(PY) -m pytest benchmarks/ --benchmark-only
 
 chaos:

@@ -101,8 +101,7 @@ class MetadataBus:
         for sub in self._subs.get(channel, []):
             delay = (self.rng.uniform(profile.min_delay, profile.max_delay)
                      + sub.extra_delay)
-            self.loop.call_later(delay,
-                                 lambda s=sub, m=message: self._deliver(s, m))
+            self.loop.call_later(delay, self._deliver, sub, message)
         return message
 
     def _deliver(self, sub: _Subscription, message: MetadataMessage) -> None:

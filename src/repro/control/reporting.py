@@ -57,21 +57,24 @@ class ZoneCounter:
         self.machine = machine
         self._queries: dict[Name, int] = {}
         self._nxdomains: dict[Name, int] = {}
+        #: Bound once: this observer runs on every response the engine
+        #: assembles, so the attribute chain is hoisted out of the call.
+        self._find = machine.engine.store.find
         machine.engine.response_observers.append(self._observe)
 
     def _observe(self, query: Message, response: Message) -> None:
-        try:
-            qname = query.question.qname
-        except Exception:
+        questions = query.questions
+        if len(questions) != 1:
             return
-        zone = self.machine.engine.store.find(qname)
+        zone = self._find(questions[0].qname)
         if zone is None:
             return
-        self._queries[zone.origin] = \
-            self._queries.get(zone.origin, 0) + 1
-        if response.rcode == RCode.NXDOMAIN:
-            self._nxdomains[zone.origin] = \
-                self._nxdomains.get(zone.origin, 0) + 1
+        origin = zone.origin
+        queries = self._queries
+        queries[origin] = queries.get(origin, 0) + 1
+        if response.flags.rcode == RCode.NXDOMAIN:
+            nxdomains = self._nxdomains
+            nxdomains[origin] = nxdomains.get(origin, 0) + 1
 
     def drain(self, window_start: float,
               window_end: float) -> list[ZoneTrafficSample]:

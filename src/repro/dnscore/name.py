@@ -53,6 +53,21 @@ class Name:
         raise AttributeError("Name is immutable")
 
     @classmethod
+    def _from_validated(cls, labels: tuple[bytes, ...]) -> "Name":
+        """Construct from labels already validated and case-folded.
+
+        Internal fast path for derivations (parent walks, wildcard
+        siblings, prepends) that would otherwise re-validate every
+        label of an already-valid name; callers must guarantee the
+        labels came out of an existing :class:`Name` and that the
+        total wire length stays legal.
+        """
+        obj = object.__new__(cls)
+        object.__setattr__(obj, "_labels", labels)
+        object.__setattr__(obj, "_hash", hash(labels))
+        return obj
+
+    @classmethod
     def from_text(cls, text: str) -> "Name":
         """Parse presentation format, e.g. ``"www.example.com."``.
 
@@ -124,7 +139,7 @@ class Name:
         """
         if self.is_root:
             raise NameError_("the root name has no parent")
-        return Name(self._labels[1:])
+        return Name._from_validated(self._labels[1:])
 
     def ancestors(self) -> Iterator["Name"]:
         """Yield ``self``, its parent, ..., down to the root name."""
@@ -151,18 +166,23 @@ class Name:
 
     def concatenate(self, suffix: "Name") -> "Name":
         """Join ``self`` (as a prefix) onto ``suffix``."""
-        return Name(self._labels + suffix._labels)
+        if self.wire_length() + suffix.wire_length() - 1 > MAX_NAME_LENGTH:
+            raise NameError_(f"name exceeds {MAX_NAME_LENGTH} octets")
+        return Name._from_validated(self._labels + suffix._labels)
 
     def prepend(self, label: str | bytes) -> "Name":
         """Return a new name with one more label on the left."""
         raw = label.encode("ascii") if isinstance(label, str) else label
-        return Name((raw,) + self._labels)
+        validated = _validate_label(raw)
+        if self.wire_length() + len(validated) + 1 > MAX_NAME_LENGTH:
+            raise NameError_(f"name exceeds {MAX_NAME_LENGTH} octets")
+        return Name._from_validated((validated,) + self._labels)
 
     def wildcard_sibling(self) -> "Name":
         """The ``*.parent`` name used for wildcard lookups (RFC 4592)."""
         if self.is_root:
             raise NameError_("the root name has no wildcard sibling")
-        return Name((b"*",) + self._labels[1:])
+        return Name._from_validated((b"*",) + self._labels[1:])
 
     def canonical_key(self) -> tuple[bytes, ...]:
         """Sort key for RFC 4034 canonical ordering (reversed label order)."""
@@ -206,7 +226,20 @@ class Name:
 
 ROOT = Name(())
 
+#: Parse memo for :func:`name`. Experiments resolve the same handful of
+#: presentation-format strings millions of times; Name is immutable, so
+#: sharing instances is safe. Bounded so adversarial inputs (random
+#: attack labels built via text) cannot grow it without limit.
+_PARSE_CACHE: dict[str, Name] = {}
+_PARSE_CACHE_MAX = 8192
+
 
 def name(text: str) -> Name:
-    """Shorthand for :meth:`Name.from_text`."""
-    return Name.from_text(text)
+    """Shorthand for :meth:`Name.from_text` (memoized)."""
+    cached = _PARSE_CACHE.get(text)
+    if cached is None:
+        cached = Name.from_text(text)
+        if len(_PARSE_CACHE) >= _PARSE_CACHE_MAX:
+            _PARSE_CACHE.clear()
+        _PARSE_CACHE[text] = cached
+    return cached

@@ -52,12 +52,28 @@ class Zone:
     glue addresses.
     """
 
+    #: Bound on the per-zone answer cache; random-subdomain floods
+    #: would otherwise grow it without limit.
+    _CACHE_MAX = 4096
+
     def __init__(self, origin: Name) -> None:
         self.origin = origin
         self._rrsets: dict[tuple[Name, RType], RRset] = {}
         self._names: set[Name] = set()
         self._cuts: set[Name] = set()
         self.serial_history: list[int] = []
+        #: Bumped on every content mutation; callers that memoize
+        #: derived answers (e.g. the engine's probe-response cache) use
+        #: it to detect staleness without subscribing to the zone.
+        self.version = 0
+        #: Memoized cname_chain results, flushed on any zone mutation.
+        #: Lookups against static zone data are pure, and the query
+        #: streams the experiments generate repeat the same (qname,
+        #: qtype) pairs heavily (health probes every second, workload
+        #: hot names), so the authoritative path answers most queries
+        #: from one dict hit.
+        self._answer_cache: dict[tuple[Name, RType],
+                                 tuple[list[RRset], LookupResult]] = {}
 
     # -- authoring -----------------------------------------------------
 
@@ -75,6 +91,8 @@ class Zone:
         if rrset.rtype == RType.SOA and rrset.name != self.origin:
             raise ZoneError("SOA must live at the zone apex")
         self._rrsets[(rrset.name, rrset.rtype)] = rrset
+        self.version += 1
+        self._answer_cache.clear()
         if rrset.rtype == RType.NS and rrset.name != self.origin:
             self._cuts.add(rrset.name)
         self._index_names(rrset.name)
@@ -93,11 +111,15 @@ class Zone:
             self.add_rrset(rrset)
         else:
             existing.add(record)
+            self.version += 1
+            self._answer_cache.clear()
 
     def remove_rrset(self, name: Name, rtype: RType) -> bool:
         """Delete an RRset; returns whether it existed."""
         removed = self._rrsets.pop((name, rtype), None) is not None
         if removed:
+            self.version += 1
+            self._answer_cache.clear()
             if rtype == RType.NS:
                 self._cuts.discard(name)
             if not any(n == name for (n, _) in self._rrsets):
@@ -236,7 +258,18 @@ class Zone:
 
     def cname_chain(self, qname: Name, qtype: RType,
                     max_depth: int = 16) -> tuple[list[RRset], LookupResult]:
-        """Follow in-zone CNAMEs, returning the chain and final result."""
+        """Follow in-zone CNAMEs, returning the chain and final result.
+
+        Results for the default depth are memoized until the next zone
+        mutation; callers must treat the returned chain and result as
+        read-only (the engine only copies records out of them, which is
+        the same aliasing the uncached path produced).
+        """
+        cacheable = max_depth == 16
+        if cacheable:
+            cached = self._answer_cache.get((qname, qtype))
+            if cached is not None:
+                return cached
         chain: list[RRset] = []
         current = qname
         result = self.lookup(current, qtype)
@@ -247,6 +280,10 @@ class Zone:
             assert isinstance(target_rdata, CNAME)
             current = target_rdata.target
             result = self.lookup(current, qtype)
+        if cacheable:
+            if len(self._answer_cache) >= self._CACHE_MAX:
+                self._answer_cache.clear()
+            self._answer_cache[(qname, qtype)] = (chain, result)
         return chain, result
 
     def __repr__(self) -> str:

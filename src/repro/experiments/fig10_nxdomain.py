@@ -18,12 +18,14 @@ Shape targets (three regions):
 
 from __future__ import annotations
 
+import math
 import random
 from dataclasses import dataclass
 
 from ..analysis.report import ExperimentResult
-from ..dnscore.message import make_query
+from ..dnscore.message import Flags, Message
 from ..dnscore.name import name
+from ..dnscore.records import Question
 from ..dnscore.rrtypes import RType
 from ..dnscore.zonefile import parse_zone_text
 from ..filters.base import ScoringPipeline
@@ -96,29 +98,39 @@ def _run_point(params: Fig10Params, attack_rate: float,
     measure_end = params.warmup_seconds + params.measure_seconds
     counters = {"legit_sent": 0}
 
-    def send(is_attack: bool) -> None:
-        msg_id[0] = (msg_id[0] + 1) & 0xFFFF
+    # This closure runs hundreds of thousands of times per point, so the
+    # stdlib RNG conveniences are replaced with the exact primitives they
+    # wrap (choice -> seq[_randbelow(n)], randint(a, b) ->
+    # a + _randbelow(b - a + 1)) — identical bit consumption, no wrapper
+    # frames — and hot globals are bound as defaults.
+    def send(is_attack: bool, *, randbelow=rng._randbelow,
+             n_valid=len(valid), n_sources=len(sources),
+             receive=machine.receive_query) -> None:
+        mid = msg_id[0] = (msg_id[0] + 1) & 0xFFFF
         if is_attack:
             qname = victim.prepend(random_label(rng))
         else:
-            qname = rng.choice(valid)
-        query = make_query(msg_id[0], qname, RType.A)
+            qname = valid[randbelow(n_valid)]
+        query = Message(msg_id=mid, flags=Flags())
+        query.questions.append(Question(qname, RType.A))
         if not is_attack and measure_start <= loop.now < measure_end:
             counters["legit_sent"] += 1
-        machine.receive_query(Datagram(
-            src=rng.choice(sources), dst="testbed",
+        receive(Datagram(
+            src=sources[randbelow(n_sources)], dst="testbed",
             payload=QueryEnvelope(query, is_attack=is_attack),
-            src_port=rng.randint(1024, 65535)))
+            src_port=1024 + randbelow(64512)))
 
     def schedule_stream(rate: float, is_attack: bool) -> None:
         if rate <= 0:
             return
 
-        def fire() -> None:
+        # expovariate inlined: -log(1 - random()) / rate, same draw.
+        def fire(*, random=rng.random, log=math.log,
+                 call_later=loop.call_later) -> None:
             if loop.now >= measure_end:
                 return
             send(is_attack)
-            loop.call_later(rng.expovariate(rate), fire)
+            call_later(-log(1.0 - random()) / rate, fire)
 
         loop.call_later(rng.expovariate(rate), fire)
 

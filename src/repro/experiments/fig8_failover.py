@@ -316,15 +316,31 @@ def _run_case(params: Fig8Params, cloud_size: int
     return advertise, withdraw
 
 
-def run(params: Fig8Params | None = None) -> ExperimentResult:
-    """Regenerate the four Figure 8 CDFs."""
-    params = params or Fig8Params()
-    result = ExperimentResult("fig8", "Anycast failover time CDFs")
+def case_sizes(params: Fig8Params) -> tuple[int, int]:
+    """The two cloud sizes one run compares (small, large)."""
+    return max(2, min(2, params.n_pops)), min(21, params.n_pops - 1)
 
-    small = max(2, min(2, params.n_pops))
-    large = min(21, params.n_pops - 1)
-    adv2, wd2 = _run_case(params, small)
-    adv21, wd21 = _run_case(params, large)
+
+def run_case(params: Fig8Params, index: int) -> tuple[FailoverSamples,
+                                                      FailoverSamples]:
+    """One independent work unit: the small (0) or large (1) cloud case.
+
+    Each case builds its own world from the same seed, so the two may
+    run in separate processes; :func:`assemble` merges them in fixed
+    order and yields the same result as a serial :func:`run`.
+    """
+    return _run_case(params, case_sizes(params)[index])
+
+
+def assemble(params: Fig8Params,
+             case_small: tuple[FailoverSamples, FailoverSamples],
+             case_large: tuple[FailoverSamples, FailoverSamples],
+             ) -> ExperimentResult:
+    """Build the figure's result from the two cases' samples."""
+    result = ExperimentResult("fig8", "Anycast failover time CDFs")
+    _, large = case_sizes(params)
+    adv2, wd2 = case_small
+    adv21, wd21 = case_large
 
     for label, samples in (("advertise 2 PoPs", adv2),
                            ("withdraw 2 PoPs", wd2),
@@ -364,3 +380,9 @@ def run(params: Fig8Params | None = None) -> ExperimentResult:
     result.compare("advertise timeouts are rare", "3%",
                    f"{timeout_frac:.1%}", timeout_frac <= 0.10)
     return result
+
+
+def run(params: Fig8Params | None = None) -> ExperimentResult:
+    """Regenerate the four Figure 8 CDFs."""
+    params = params or Fig8Params()
+    return assemble(params, run_case(params, 0), run_case(params, 1))

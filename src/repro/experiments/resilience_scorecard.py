@@ -245,70 +245,98 @@ def run_campaign(params: ScorecardParams,
                            fault_log=engine.describe_log())
 
 
+_TITLE = "Platform resilience scorecard (section 4.2 failure modes)"
+
+
+def unit_count(params: ScorecardParams) -> int:
+    """Number of independent campaign work units in the standard suite."""
+    return len(standard_campaigns(build_deployment(params), params.seed))
+
+
+def run_unit(params: ScorecardParams, index: int,
+             verbose: bool = False) -> ExperimentResult:
+    """Score one standard campaign on its own fresh deployment.
+
+    Campaigns share nothing (each builds a new deployment from the same
+    seed), so units may run in separate processes; :func:`assemble`
+    concatenates the fragments in suite order to reproduce the serial
+    result exactly.
+    """
+    suite = standard_campaigns(build_deployment(params), params.seed)
+    campaign, slo = suite[index]
+    result = ExperimentResult("resilience", _TITLE)
+    outcome = run_campaign(params, campaign)
+    report = outcome.report
+    if verbose:
+        print(f"-- {campaign.name}: {campaign.description}",
+              file=sys.stderr)
+        print(outcome.fault_log, file=sys.stderr)
+
+    prefix = campaign.name
+    result.metrics[f"{prefix}.availability"] = \
+        report.overall_availability
+    result.metrics[f"{prefix}.worst_window"] = \
+        report.worst_window_availability
+    result.metrics[f"{prefix}.servfails"] = float(
+        report.total_servfails)
+    result.metrics[f"{prefix}.timeouts"] = float(report.total_timeouts)
+    worst_ttr = outcome.worst_recovery
+    if worst_ttr is not None:
+        result.metrics[f"{prefix}.worst_ttr_s"] = worst_ttr
+
+    baseline = report.availability_between(0.0, WARMUP)
+    final_clear = max((t for _, t, _ in outcome.recoveries),
+                      default=0.0)
+    recovered = report.availability_between(
+        final_clear + (worst_ttr or 0.0) + 1.0, float("inf"))
+
+    availability_holds = (
+        report.overall_availability >= slo.min_overall
+        and report.worst_window_availability >= slo.min_worst_window
+        and baseline == 1.0)
+    if slo.expect_dip:
+        # The probe must actually *see* the degradation: a perfect
+        # score here would mean the measurement is blind, not that
+        # the platform is invincible.
+        availability_holds = (availability_holds
+                              and report.worst_window_availability
+                              < 1.0)
+        target = (f">= {slo.min_overall:.0%}, with a visible dip")
+    else:
+        target = f">= {slo.min_overall:.0%}"
+    result.compare(
+        f"{prefix}: availability through the campaign",
+        target,
+        f"{report.overall_availability:.1%} "
+        f"(worst window {report.worst_window_availability:.0%})",
+        availability_holds)
+    result.compare(
+        f"{prefix}: full recovery after faults clear",
+        f"100% within {params.max_recovery_seconds:.0f}s",
+        ("never recovered" if worst_ttr is None else
+         f"TTR {worst_ttr:.1f}s, then {recovered:.0%}"),
+        worst_ttr is not None
+        and worst_ttr <= params.max_recovery_seconds
+        and recovered == 1.0)
+    return result
+
+
+def assemble(fragments: list[ExperimentResult]) -> ExperimentResult:
+    """Merge per-campaign fragments (in suite order) into one result."""
+    result = ExperimentResult("resilience", _TITLE)
+    for fragment in fragments:
+        result.series.update(fragment.series)
+        result.metrics.update(fragment.metrics)
+        result.comparisons.extend(fragment.comparisons)
+    return result
+
+
 def run(params: ScorecardParams | None = None,
         verbose: bool = False) -> ExperimentResult:
     """Run the standard suite and emit the pass/fail scorecard."""
     params = params or ScorecardParams()
-    suite = standard_campaigns(build_deployment(params), params.seed)
-
-    result = ExperimentResult(
-        "resilience",
-        "Platform resilience scorecard (section 4.2 failure modes)")
-    for campaign, slo in suite:
-        outcome = run_campaign(params, campaign)
-        report = outcome.report
-        if verbose:
-            print(f"-- {campaign.name}: {campaign.description}",
-                  file=sys.stderr)
-            print(outcome.fault_log, file=sys.stderr)
-
-        prefix = campaign.name
-        result.metrics[f"{prefix}.availability"] = \
-            report.overall_availability
-        result.metrics[f"{prefix}.worst_window"] = \
-            report.worst_window_availability
-        result.metrics[f"{prefix}.servfails"] = float(
-            report.total_servfails)
-        result.metrics[f"{prefix}.timeouts"] = float(report.total_timeouts)
-        worst_ttr = outcome.worst_recovery
-        if worst_ttr is not None:
-            result.metrics[f"{prefix}.worst_ttr_s"] = worst_ttr
-
-        baseline = report.availability_between(0.0, WARMUP)
-        final_clear = max((t for _, t, _ in outcome.recoveries),
-                          default=0.0)
-        recovered = report.availability_between(
-            final_clear + (worst_ttr or 0.0) + 1.0, float("inf"))
-
-        availability_holds = (
-            report.overall_availability >= slo.min_overall
-            and report.worst_window_availability >= slo.min_worst_window
-            and baseline == 1.0)
-        if slo.expect_dip:
-            # The probe must actually *see* the degradation: a perfect
-            # score here would mean the measurement is blind, not that
-            # the platform is invincible.
-            availability_holds = (availability_holds
-                                  and report.worst_window_availability
-                                  < 1.0)
-            target = (f">= {slo.min_overall:.0%}, with a visible dip")
-        else:
-            target = f">= {slo.min_overall:.0%}"
-        result.compare(
-            f"{prefix}: availability through the campaign",
-            target,
-            f"{report.overall_availability:.1%} "
-            f"(worst window {report.worst_window_availability:.0%})",
-            availability_holds)
-        result.compare(
-            f"{prefix}: full recovery after faults clear",
-            f"100% within {params.max_recovery_seconds:.0f}s",
-            ("never recovered" if worst_ttr is None else
-             f"TTR {worst_ttr:.1f}s, then {recovered:.0%}"),
-            worst_ttr is not None
-            and worst_ttr <= params.max_recovery_seconds
-            and recovered == 1.0)
-    return result
+    return assemble([run_unit(params, index, verbose)
+                     for index in range(unit_count(params))])
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -13,70 +13,37 @@ import sys
 import time
 
 from ..analysis.report import ExperimentResult, render_results
-from ..netsim.builder import InternetParams
-from . import (
-    anycast_quality,
-    enduser_latency,
-    fig1_qps,
-    fig2_skew,
-    fig3_per_resolver,
-    fig4_stability,
-    fig8_failover,
-    fig9_decision_tree,
-    fig10_nxdomain,
-    fig11_speedup,
-    fig12_restime,
-    resilience_scorecard,
-    taxonomy,
-    text_stats,
-)
+from . import parallel
 
 
-def run_all(fast: bool = False,
-            verbose: bool = True) -> list[ExperimentResult]:
-    """Execute each experiment in figure order."""
-    jobs = [
-        ("fig1", lambda: fig1_qps.run()),
-        ("fig2", lambda: fig2_skew.run()),
-        ("fig3", lambda: fig3_per_resolver.run(
-            n_resolvers=6_000 if fast else 20_000)),
-        ("fig4", lambda: fig4_stability.run(
-            n_resolvers=6_000 if fast else 20_000)),
-        ("fig8", lambda: fig8_failover.run(
-            fig8_failover.Fig8Params(
-                n_pops=10, n_vantage=12, trials=3,
-                internet=InternetParams(n_tier1=4, n_tier2=12, n_stub=40),
-                measure_window=25.0, converge_time=25.0)
-            if fast else None)),
-        ("fig9", lambda: fig9_decision_tree.run()),
-        ("fig10", lambda: fig10_nxdomain.run(
-            fig10_nxdomain.Fig10Params(
-                attack_rates=(0.0, 400.0, 1_500.0, 3_600.0, 6_000.0),
-                measure_seconds=8.0, warmup_seconds=3.0)
-            if fast else None)),
-        ("fig11", lambda: fig11_speedup.run()),
-        ("fig12", lambda: fig12_restime.run()),
-        ("taxonomy", lambda: taxonomy.run(
-            phase_seconds=4.0 if fast else 12.0)),
-        ("anycast-quality", lambda: anycast_quality.run()),
-        ("enduser", lambda: enduser_latency.run()),
-        ("resilience", lambda: resilience_scorecard.run(
-            resilience_scorecard.ScorecardParams.fast() if fast
-            else None)),
-        ("text", lambda: text_stats.run()),
-    ]
-    results = []
-    for label, job in jobs:
-        # Operator-facing progress timing only: never reaches results.
-        started = time.time()  # reprolint: disable=DET001
-        result = job()
-        if verbose:
-            elapsed = time.time() - started  # reprolint: disable=DET001
-            status = "ok" if result.all_hold else "MISS"
-            print(f"[{status}] {label} done in {elapsed:.1f}s",
-                  file=sys.stderr)
-        results.append(result)
-    return results
+def run_all(fast: bool = False, verbose: bool = True,
+            jobs: int = 1) -> list[ExperimentResult]:
+    """Execute each experiment in figure order.
+
+    ``jobs > 1`` fans the suite's independent work units out across a
+    process pool (see :mod:`repro.experiments.parallel`); the results —
+    and any JSON serialization of them — are identical to a serial run.
+    Both paths go through the same unit split and merge, so serial
+    execution exercises the exact code the pool does.
+    """
+    # Operator-facing progress timing only: never reaches results. With
+    # jobs > 1 figures complete concurrently, so per-figure walls are
+    # only meaningful for serial runs; parallel runs report the deltas
+    # between merges.
+    last = time.time()  # reprolint: disable=DET001
+
+    def progress(label: str, result: ExperimentResult) -> None:
+        nonlocal last
+        if not verbose:
+            return
+        now = time.time()  # reprolint: disable=DET001
+        elapsed, last = now - last, now
+        status = "ok" if result.all_hold else "MISS"
+        print(f"[{status}] {label} done in {elapsed:.1f}s", file=sys.stderr)
+
+    if jobs > 1:
+        return parallel.run_parallel(fast, jobs, progress)
+    return parallel.run_serial(fast, progress)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -87,8 +54,12 @@ def main(argv: list[str] | None = None) -> int:
                         help="render each figure's series as ASCII plots")
     parser.add_argument("--json", metavar="PATH",
                         help="also write results as JSON to PATH")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for independent experiment "
+                             "units (default 1 = serial; output is "
+                             "identical either way)")
     args = parser.parse_args(argv)
-    results = run_all(fast=args.fast)
+    results = run_all(fast=args.fast, jobs=args.jobs)
     print(render_results(results))
     if args.json:
         import json

@@ -34,21 +34,32 @@ class ActivationPolicy:
     def __init__(self, config: AllowlistConfig) -> None:
         self._config = config
         self._arrivals: deque[tuple[float, str]] = deque()
+        #: Arrival count per source within the window, maintained
+        #: incrementally so source diversity is O(1) per query instead
+        #: of a full set comprehension over the window.
+        self._source_counts: dict[str, int] = {}
         self.active = False
 
     def observe(self, now: float, source: str) -> bool:
         """Record an arrival; returns whether the filter is active."""
         config = self._config
-        self._arrivals.append((now, source))
+        arrivals = self._arrivals
+        counts = self._source_counts
+        arrivals.append((now, source))
+        counts[source] = counts.get(source, 0) + 1
         cutoff = now - config.window_seconds
-        while self._arrivals and self._arrivals[0][0] < cutoff:
-            self._arrivals.popleft()
-        qps = len(self._arrivals) / config.window_seconds
+        while arrivals and arrivals[0][0] < cutoff:
+            _, expired = arrivals.popleft()
+            remaining = counts[expired] - 1
+            if remaining:
+                counts[expired] = remaining
+            else:
+                del counts[expired]
+        qps = len(arrivals) / config.window_seconds
         if not self.active:
-            if qps >= config.activate_qps:
-                uniques = len({s for _, s in self._arrivals})
-                if uniques >= config.activate_unique_sources:
-                    self.active = True
+            if qps >= config.activate_qps \
+                    and len(counts) >= config.activate_unique_sources:
+                self.active = True
         elif qps <= config.deactivate_qps:
             self.active = False
         return self.active

@@ -15,6 +15,7 @@ paper section 4.3.4 describes; the ablation benchmark quantifies it.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 
 from ..dnscore.message import Message
@@ -34,12 +35,17 @@ class ZoneNameTree:
 
     def __init__(self, zone: Zone) -> None:
         self.origin = zone.origin
-        self._names: set[Name] = zone.names()
-        self._wildcard_parents: set[Name] = {
-            n.parent() for n in self._names if n.is_wildcard
+        # The tree is consulted for every scored query during an attack,
+        # and attack names are unique, so membership runs on raw label
+        # tuples: climbing to an ancestor is a tuple slice instead of a
+        # Name construction per level.
+        names = zone.names()
+        self._names: set[tuple[bytes, ...]] = {n.labels for n in names}
+        self._wildcard_parents: set[tuple[bytes, ...]] = {
+            n.labels[1:] for n in names if n.is_wildcard
         }
-        self._cuts: set[Name] = {
-            rrset.name for rrset in zone.iter_rrsets()
+        self._cuts: set[tuple[bytes, ...]] = {
+            rrset.name.labels for rrset in zone.iter_rrsets()
             if rrset.rtype.name == "NS" and rrset.name != zone.origin
         }
         #: Approximate construction cost, used by the ablation benchmark.
@@ -47,22 +53,27 @@ class ZoneNameTree:
 
     def covers(self, qname: Name) -> bool:
         """Whether ``qname`` would get a non-NXDOMAIN response."""
-        if qname in self._names:
+        labels = qname.labels
+        names = self._names
+        if labels in names:
             return True
-        for ancestor in qname.ancestors():
-            if ancestor == self.origin:
+        cuts = self._cuts
+        origin = self.origin.labels
+        for i in range(len(labels) + 1):
+            ancestor = labels[i:]
+            if ancestor == origin:
                 break
-            if ancestor in self._cuts:
+            if ancestor in cuts:
                 return True
-            if not ancestor.is_root:
-                parent = ancestor.parent()
+            if ancestor:
+                parent = ancestor[1:]
                 if parent in self._wildcard_parents:
                     return True
                 # Stop climbing once we hit an existing interior name:
                 # anything below it that wasn't matched above is NXDOMAIN —
                 # unless that name is a zone cut (referral territory).
-                if parent in self._names and parent != ancestor:
-                    return ancestor in self._names or parent in self._cuts
+                if parent in names:
+                    return ancestor in names or parent in cuts
         return False
 
 
@@ -86,7 +97,7 @@ class NXDomainFilter:
         """``zone_provider`` maps a query name to its Zone (the ZoneStore)."""
         self.config = config or NXDomainConfig()
         self._zone_provider = zone_provider
-        self._nxd_counts: dict[Name, list[float]] = {}
+        self._nxd_counts: dict[Name, deque[float]] = {}
         self._trees: dict[Name, ZoneNameTree] = {}
         self.penalized = 0
         self.trees_built = 0
@@ -106,11 +117,13 @@ class NXDomainFilter:
         zone = self._zone_provider.find(qname)
         if zone is None:
             return
-        stamps = self._nxd_counts.setdefault(zone.origin, [])
+        stamps = self._nxd_counts.get(zone.origin)
+        if stamps is None:
+            stamps = self._nxd_counts[zone.origin] = deque()
         stamps.append(now)
         cutoff = now - self.config.window_seconds
-        if stamps and stamps[0] < cutoff:
-            stamps[:] = [s for s in stamps if s >= cutoff]
+        while stamps[0] < cutoff:
+            stamps.popleft()
         if (len(stamps) >= self.config.trigger_count
                 and zone.origin not in self._trees):
             self._build_tree(zone)

@@ -246,10 +246,8 @@ class BGPSpeaker:
         delay = (link.latency_ms / 1000.0
                  + self._rng.uniform(self._proc_lo, self._proc_hi))
         peer_speaker = self.network.speaker(peer_id)
-        sender = self.node_id
-        self.loop.call_later(
-            delay,
-            lambda: peer_speaker.receive_update(sender, prefix, path, med))
+        self.loop.call_later(delay, peer_speaker.receive_update,
+                             self.node_id, prefix, path, med)
 
     def receive_update(self, from_peer: str, prefix: str,
                        path: tuple[int, ...] | None, med: int) -> None:

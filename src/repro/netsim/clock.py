@@ -4,43 +4,65 @@ A single :class:`EventLoop` is the source of time for every simulated
 component (routers, nameservers, resolvers, monitoring agents). Events at
 equal timestamps fire in scheduling order, which keeps runs bit-for-bit
 reproducible given the same seed.
+
+The heap stores plain list entries ``[time, seq, action, args, status]``
+rather than objects: entry comparison never goes past ``seq`` (which is
+unique), actions are bound methods or callables invoked with pre-bound
+``args`` so hot callers schedule without allocating a closure, and
+cancellation just flips ``status`` in place. Cancelled entries are
+dropped lazily — on pop, or in bulk once they outnumber the live ones —
+while a live counter keeps :attr:`EventLoop.pending` O(1).
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
-from dataclasses import dataclass, field
 from typing import Callable
 
+#: ``status`` slot values for a heap entry.
+_PENDING = 0
+_CANCELLED = 1
+_FIRED = 2
 
-@dataclass(order=True)
-class _Event:
-    time: float
-    seq: int
-    action: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
+_TIME = 0
+_SEQ = 1
+_ACTION = 2
+_ARGS = 3
+_STATUS = 4
+
+#: Compact the heap when at least this many cancelled entries linger
+#: *and* they outnumber the live ones (amortized O(1) per cancellation).
+_COMPACT_MIN = 64
 
 
 class EventHandle:
     """Handle returned by :meth:`EventLoop.call_at`; supports cancellation."""
 
-    __slots__ = ("_event",)
+    __slots__ = ("_entry", "_loop")
 
-    def __init__(self, event: _Event) -> None:
-        self._event = event
+    def __init__(self, entry: list, loop: "EventLoop") -> None:
+        self._entry = entry
+        self._loop = loop
 
     def cancel(self) -> None:
         """Prevent the event from firing; safe to call more than once."""
-        self._event.cancelled = True
+        entry = self._entry
+        if entry[_STATUS] == _PENDING:
+            entry[_STATUS] = _CANCELLED
+            entry[_ACTION] = entry[_ARGS] = None
+            self._loop._cancelled(entry)
+        elif entry[_STATUS] == _FIRED:
+            # Matches the historical semantics: cancelling after the
+            # event fired is a no-op but the handle reads as cancelled.
+            entry[_STATUS] = _CANCELLED
 
     @property
     def cancelled(self) -> bool:
-        return self._event.cancelled
+        return self._entry[_STATUS] == _CANCELLED
 
     @property
     def time(self) -> float:
-        return self._event.time
+        return self._entry[_TIME]
 
 
 class EventLoop:
@@ -48,9 +70,11 @@ class EventLoop:
 
     def __init__(self) -> None:
         self._now = 0.0
-        self._queue: list[_Event] = []
-        self._seq = itertools.count()
+        self._queue: list[list] = []
+        self._seq = 0
         self._processed = 0
+        self._alive = 0
+        self._dead = 0
 
     @property
     def now(self) -> float:
@@ -63,45 +87,85 @@ class EventLoop:
 
     @property
     def pending(self) -> int:
-        return sum(1 for e in self._queue if not e.cancelled)
+        """Live (uncancelled) scheduled events — O(1)."""
+        return self._alive
 
-    def call_at(self, when: float, action: Callable[[], None]) -> EventHandle:
-        """Schedule ``action`` at absolute time ``when`` (>= now)."""
+    def call_at(self, when: float, action: Callable[..., None],
+                *args) -> EventHandle:
+        """Schedule ``action(*args)`` at absolute time ``when`` (>= now).
+
+        Passing ``args`` here instead of closing over them keeps hot
+        schedulers (per-hop forwarding, BGP update delivery) free of
+        per-call closure allocation.
+        """
         if when < self._now:
             raise ValueError(f"cannot schedule at {when} < now {self._now}")
-        event = _Event(when, next(self._seq), action)
-        heapq.heappush(self._queue, event)
-        return EventHandle(event)
+        self._seq = seq = self._seq + 1
+        entry = [when, seq, action, args, _PENDING]
+        heapq.heappush(self._queue, entry)
+        self._alive += 1
+        return EventHandle(entry, self)
 
-    def call_later(self, delay: float, action: Callable[[], None]) -> EventHandle:
-        """Schedule ``action`` after ``delay`` seconds."""
+    def call_later(self, delay: float, action: Callable[..., None],
+                   *args) -> EventHandle:
+        """Schedule ``action(*args)`` after ``delay`` seconds."""
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        return self.call_at(self._now + delay, action)
+        return self.call_at(self._now + delay, action, *args)
+
+    def _cancelled(self, entry: list) -> None:
+        """Bookkeeping for a cancellation; compacts the heap lazily."""
+        self._alive -= 1
+        self._dead += 1
+        if self._dead >= _COMPACT_MIN and self._dead > self._alive:
+            self._queue = [e for e in self._queue
+                           if e[_STATUS] == _PENDING]
+            heapq.heapify(self._queue)
+            self._dead = 0
 
     def run_until(self, deadline: float) -> None:
         """Process events with time <= deadline, then advance to deadline."""
-        while self._queue and self._queue[0].time <= deadline:
-            event = heapq.heappop(self._queue)
-            if event.cancelled:
+        queue = self._queue
+        pop = heapq.heappop
+        while queue and queue[0][_TIME] <= deadline:
+            entry = pop(queue)
+            if entry[_STATUS]:
+                self._dead -= 1
                 continue
-            self._now = event.time
+            entry[_STATUS] = _FIRED
+            self._alive -= 1
+            self._now = entry[_TIME]
             self._processed += 1
-            event.action()
-        self._now = max(self._now, deadline)
+            action = entry[_ACTION]
+            args = entry[_ARGS]
+            entry[_ACTION] = entry[_ARGS] = None
+            action(*args)
+            # Compaction replaces the queue list; re-bind.
+            queue = self._queue
+        if deadline > self._now:
+            self._now = deadline
 
     def run(self, max_events: int | None = None) -> None:
         """Process events until the queue drains (or ``max_events``)."""
+        queue = self._queue
+        pop = heapq.heappop
         count = 0
-        while self._queue:
+        while queue:
             if max_events is not None and count >= max_events:
                 return
-            event = heapq.heappop(self._queue)
-            if event.cancelled:
+            entry = pop(queue)
+            if entry[_STATUS]:
+                self._dead -= 1
                 continue
-            self._now = event.time
+            entry[_STATUS] = _FIRED
+            self._alive -= 1
+            self._now = entry[_TIME]
             self._processed += 1
-            event.action()
+            action = entry[_ACTION]
+            args = entry[_ARGS]
+            entry[_ACTION] = entry[_ARGS] = None
+            action(*args)
+            queue = self._queue
             count += 1
 
 

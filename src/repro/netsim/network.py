@@ -10,22 +10,41 @@ Two delivery modes mirror what matters in the experiments:
   ride precomputed shortest paths: the reverse path is stable in the
   paper's experiments, so simulating it hop-by-hop would add cost without
   adding fidelity.
+
+A third mode accelerates the first without changing its semantics: when
+every FIB along a datagram's path is quiescent and no link on it is
+lossy, capacity-limited, or degraded, the **route cache** resolves the
+full path once per (ingress router, prefix) and schedules a single
+delivery event instead of one event per hop. Any FIB or link-state
+change bumps a global epoch, flushes the cache, and re-materializes
+in-flight fast-path datagrams back onto exact hop-by-hop forwarding at
+the next router they would have reached — so drop semantics, RNG draw
+order, and :class:`NetworkStats` stay bit-for-bit identical to the pure
+hop-by-hop execution (see docs/ARCHITECTURE.md, "Performance model").
 """
 
 from __future__ import annotations
 
 import heapq
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, Protocol
 
 from .bgp import LOCAL, BGPSpeaker
-from .clock import EventLoop
+from .clock import EventHandle, EventLoop
 from .packet import Datagram
-from .topology import NodeKind, Topology
+from .topology import NodeKind, Topology, link_key
 
 #: Per-hop forwarding/serialization cost in seconds.
 HOP_COST_S = 0.00005
+
+#: Shared empty FIB table so per-hop misses never allocate.
+_EMPTY_FIB: dict[str, str] = {}
+
+#: Route-cache paths longer than this are assumed to loop (no sane
+#: converged FIB path approaches it) and fall back to hop-by-hop
+#: forwarding, which owns the TTL-expiry semantics.
+_MAX_CACHED_HOPS = 64
 
 
 class Endpoint(Protocol):
@@ -69,11 +88,44 @@ class _LinkState:
     extra_latency_ms: float = 0.0
 
 
+@dataclass(slots=True)
+class _CachedRoute:
+    """A fully resolved FIB path for one (ingress router, prefix).
+
+    ``hops`` are the forwarding routers in order (ingress first);
+    ``delays`` the per-link delay leaving each of them. Delays are kept
+    per hop, not pre-summed: the slow path advances time by sequential
+    float addition and ``(t + d0) + d1`` is not ``t + (d0 + d1)``, so
+    the fast path folds the same sequence to land on the identical
+    delivery timestamp bit for bit.
+    """
+
+    hops: tuple[str, ...]
+    delays: tuple[float, ...]
+    dest_router: str
+    handler: LocalDeliveryHandler
+
+
+@dataclass(slots=True)
+class _InFlight:
+    """A fast-path datagram between ingress and its delivery event."""
+
+    dgram: Datagram
+    route: _CachedRoute
+    start: float
+    handle: EventHandle
+
+
 class Network:
     """Couples a topology with BGP speakers, FIBs, and packet delivery."""
 
+    #: Class-wide default for the anycast route cache; the equivalence
+    #: test suite flips this to prove fast and slow paths agree.
+    route_cache_default = True
+
     def __init__(self, loop: EventLoop, topology: Topology,
-                 rng: random.Random) -> None:
+                 rng: random.Random, *,
+                 route_cache: bool | None = None) -> None:
         self.loop = loop
         self.topology = topology
         self.rng = rng
@@ -85,8 +137,8 @@ class Network:
         self._endpoints: dict[str, Endpoint] = {}
         self._unicast_cache: dict[str, dict[str, float]] = {}
         self._unicast_cache_version = -1
-        self._link_state: dict[frozenset[str], _LinkState] = {}
-        self._link_drops: dict[frozenset[str], int] = {}
+        self._link_state: dict[tuple[str, str], _LinkState] = {}
+        self._link_drops: dict[tuple[str, str], int] = {}
         self.stats = NetworkStats()
         #: Optional per-router FIB programming delay (seconds). Real
         #: routers take time to sync RIB decisions into the forwarding
@@ -96,6 +148,17 @@ class Network:
         self.fib_delay_for: Callable[[str], float] | None = None
         self._fib_version: dict[tuple[str, str], int] = {}
         self._fib_floor: dict[tuple[str, str], float] = {}
+        # -- route cache state ------------------------------------------
+        self.route_cache_enabled = (self.route_cache_default
+                                    if route_cache is None else route_cache)
+        #: Bumped on every FIB/link-state change; counts cache flushes.
+        self.route_epoch = 0
+        #: (ingress router, prefix) -> _CachedRoute, or None when the
+        #: path is ineligible (churning, lossy, capacity-limited, ...).
+        self._route_cache: dict[tuple[str, str], _CachedRoute | None] = {}
+        self._route_cache_topo_version = -1
+        self._inflight: dict[int, _InFlight] = {}
+        self._inflight_seq = 0
 
     # -- control plane ------------------------------------------------------
 
@@ -141,9 +204,8 @@ class Network:
         if apply_at <= now:
             self._apply_fib(router_id, prefix, next_hop, version)
             return
-        self.loop.call_at(
-            apply_at,
-            lambda: self._apply_fib(router_id, prefix, next_hop, version))
+        self.loop.call_at(apply_at, self._apply_fib,
+                          router_id, prefix, next_hop, version)
 
     def _apply_fib(self, router_id: str, prefix: str,
                    next_hop: str | None, version: int | None = None) -> None:
@@ -152,17 +214,20 @@ class Network:
             return
         table = self._fib.setdefault(router_id, {})
         if next_hop is None:
-            table.pop(prefix, None)
-        else:
+            if table.pop(prefix, None) is not None:
+                self._bump_route_epoch()
+        elif table.get(prefix) != next_hop:
             table[prefix] = next_hop
+            self._bump_route_epoch()
 
     def fib_entry(self, router_id: str, prefix: str) -> str | None:
-        return self._fib.get(router_id, {}).get(prefix)
+        return self._fib.get(router_id, _EMPTY_FIB).get(prefix)
 
     def register_local_delivery(self, router_id: str, prefix: str,
                                 handler: LocalDeliveryHandler) -> None:
         """Route packets for ``prefix`` that terminate at ``router_id``."""
         self._local_delivery[(router_id, prefix)] = handler
+        self._bump_route_epoch()
 
     # -- failure injection ----------------------------------------------------
 
@@ -175,13 +240,14 @@ class Network:
         downed link behaves like a real fiber cut rather than a silent
         packet sink.
         """
-        key = frozenset((a, b))
+        key = link_key(a, b)
         self.topology.link(a, b)  # raises KeyError if absent
         state = self._link_state.setdefault(key, _LinkState())
         if state.up == up:
             return
         state.up = up
         self._unicast_cache.clear()
+        self._bump_route_epoch()
         speaker_a = self._speakers.get(a)
         speaker_b = self._speakers.get(b)
         if speaker_a is not None and speaker_b is not None:
@@ -193,7 +259,7 @@ class Network:
                 speaker_b.session_down(a)
 
     def link_is_up(self, a: str, b: str) -> bool:
-        state = self._link_state.get(frozenset((a, b)))
+        state = self._link_state.get(link_key(a, b))
         return state.up if state else True
 
     def set_link_degraded(self, a: str, b: str, *, loss: float = 0.0,
@@ -213,41 +279,42 @@ class Network:
             raise ValueError(f"loss must be in [0, 1], got {loss}")
         if extra_latency_ms < 0.0:
             raise ValueError("extra_latency_ms must be >= 0")
-        key = frozenset((a, b))
+        key = link_key(a, b)
         self.topology.link(a, b)  # raises KeyError if absent
         state = self._link_state.setdefault(key, _LinkState())
         state.loss = loss
         state.extra_latency_ms = extra_latency_ms
         # Added latency changes shortest paths.
         self._unicast_cache.clear()
+        self._bump_route_epoch()
 
     def link_degradation(self, a: str, b: str) -> tuple[float, float]:
         """(loss probability, extra latency ms) currently on a link."""
-        state = self._link_state.get(frozenset((a, b)))
+        state = self._link_state.get(link_key(a, b))
         return (state.loss, state.extra_latency_ms) if state else (0.0, 0.0)
 
     def _link_lossy_drop(self, a: str, b: str) -> bool:
         """Whether a degraded link eats this datagram."""
-        state = self._link_state.get(frozenset((a, b)))
+        state = self._link_state.get(link_key(a, b))
         if state is None or state.loss <= 0.0:
             return False
         return self.rng.random() < state.loss
 
     def _link_extra_delay(self, a: str, b: str) -> float:
-        state = self._link_state.get(frozenset((a, b)))
+        state = self._link_state.get(link_key(a, b))
         if state is None:
             return 0.0
         return state.extra_latency_ms / 1000.0
 
     def link_drops(self, a: str, b: str) -> int:
         """Congestion drops recorded on one link."""
-        return self._link_drops.get(frozenset((a, b)), 0)
+        return self._link_drops.get(link_key(a, b), 0)
 
     def _link_admit(self, link) -> bool:
         """Token bucket over a capacity-limited link."""
         if link.capacity_pps is None:
             return True
-        key = frozenset((link.a, link.b))
+        key = link_key(link.a, link.b)
         burst = link.capacity_pps * 0.05
         state = self._link_state.get(key)
         if state is None:
@@ -291,13 +358,22 @@ class Network:
         if dgram.dst in self._endpoints:
             self._deliver_unicast(dgram)
             return
-        self.loop.call_later(
-            delay, lambda: self._forward(first_router, dgram))
+        self.loop.call_later(delay, self._forward, first_router, dgram)
 
     def _forward(self, router_id: str, dgram: Datagram) -> None:
-        """One hop of FIB forwarding for an anycast destination."""
+        """One hop of FIB forwarding for an anycast destination.
+
+        The route cache intercepts here — at the same instant the slow
+        path would consult this router's FIB — so both paths sample
+        identical forwarding state.
+        """
+        if self.route_cache_enabled:
+            route = self._route_lookup(router_id, dgram.dst)
+            if route is not None and dgram.ip_ttl > len(route.hops):
+                self._fast_forward(route, dgram)
+                return
         handler = self._local_delivery.get((router_id, dgram.dst))
-        next_hop = self._fib.get(router_id, {}).get(dgram.dst)
+        next_hop = self._fib.get(router_id, _EMPTY_FIB).get(dgram.dst)
         if next_hop == LOCAL and handler is not None:
             self.stats.delivered += 1
             self.stats.hops_total += len(dgram.hops)
@@ -321,9 +397,136 @@ class Network:
             return
         delay = (link.latency_ms / 1000.0 + HOP_COST_S
                  + self._link_extra_delay(router_id, next_hop))
-        moved = dgram.decremented(router_id)
-        self.loop.call_later(
-            delay, lambda: self._forward(next_hop, moved))
+        self.loop.call_later(delay, self._forward,
+                             next_hop, dgram.decremented(router_id))
+
+    # -- route cache (fast path) ---------------------------------------------
+
+    def _bump_route_epoch(self) -> None:
+        """A FIB or link-state change: flush the cache, and hand every
+        in-flight fast-path datagram back to exact hop-by-hop forwarding
+        at the next router it would have reached."""
+        self.route_epoch += 1
+        if self._route_cache:
+            self._route_cache.clear()
+        if self._inflight:
+            inflight, self._inflight = self._inflight, {}
+            now = self.loop.now
+            call_at = self.loop.call_at
+            for flight in inflight.values():
+                flight.handle.cancel()
+                route = flight.route
+                dgram = flight.dgram
+                hops = flight.route.hops
+                t = flight.start
+                # Arrival times fold the per-hop delays exactly as the
+                # slow path would have; the first arrival strictly after
+                # the change resumes hop-by-hop from that router.
+                resumed = False
+                for j, delay in enumerate(route.delays):
+                    t = t + delay
+                    if t > now:
+                        moved = replace(
+                            dgram, ip_ttl=dgram.ip_ttl - (j + 1),
+                            hops=dgram.hops + hops[:j + 1])
+                        target = (hops[j + 1] if j + 1 < len(hops)
+                                  else route.dest_router)
+                        call_at(t, self._forward, target, moved)
+                        resumed = True
+                        break
+                if not resumed:
+                    # Every arrival, including the delivery router's, is
+                    # in the past or at this instant: the delivery event
+                    # itself was due now — deliver through _forward so a
+                    # same-instant FIB change is still honoured.
+                    moved = replace(
+                        dgram, ip_ttl=dgram.ip_ttl - len(hops),
+                        hops=dgram.hops + hops)
+                    call_at(max(t, now), self._forward,
+                            route.dest_router, moved)
+
+    def _route_lookup(self, router_id: str,
+                      dst: str) -> _CachedRoute | None:
+        if self._route_cache_topo_version != self.topology.version:
+            self._route_cache.clear()
+            self._route_cache_topo_version = self.topology.version
+        key = (router_id, dst)
+        cache = self._route_cache
+        try:
+            return cache[key]
+        except KeyError:
+            route = self._resolve_route(router_id, dst)
+            cache[key] = route
+            return route
+
+    def _resolve_route(self, router_id: str,
+                       dst: str) -> _CachedRoute | None:
+        """Walk the current FIBs from ``router_id`` toward ``dst``.
+
+        Returns None — meaning "take the slow path" — whenever any hop
+        could drop, delay, or randomize: down/lossy/degraded links,
+        capacity-limited links (token buckets draw admission state),
+        missing routes, or loops. The slow path owns all of those
+        semantics; the fast path only ever accelerates clean delivery.
+        """
+        hops: list[str] = []
+        delays: list[float] = []
+        fib = self._fib
+        link_state = self._link_state
+        topology = self.topology
+        current = router_id
+        while True:
+            next_hop = fib.get(current, _EMPTY_FIB).get(dst)
+            if next_hop == LOCAL:
+                handler = self._local_delivery.get((current, dst))
+                if handler is None:
+                    return None
+                return _CachedRoute(tuple(hops), tuple(delays),
+                                    current, handler)
+            if next_hop is None:
+                return None
+            state = link_state.get(link_key(current, next_hop))
+            if state is not None and (not state.up or state.loss > 0.0
+                                      or state.extra_latency_ms > 0.0):
+                return None
+            try:
+                link = topology.link(current, next_hop)
+            except KeyError:
+                return None
+            if link.capacity_pps is not None:
+                return None
+            hops.append(current)
+            if len(hops) > _MAX_CACHED_HOPS:
+                return None
+            delays.append(link.latency_ms / 1000.0 + HOP_COST_S)
+            current = next_hop
+
+    def _fast_forward(self, route: _CachedRoute, dgram: Datagram) -> None:
+        """Schedule the single delivery event for a clean cached path."""
+        if not route.hops:
+            # Delivered at the ingress router itself — same instant and
+            # side effects as the slow path's local-delivery branch.
+            self._deliver_fast(route, dgram)
+            return
+        t = self.loop.now
+        for delay in route.delays:
+            t = t + delay
+        self._inflight_seq = flight_id = self._inflight_seq + 1
+        handle = self.loop.call_at(t, self._fast_delivery_due, flight_id)
+        self._inflight[flight_id] = _InFlight(dgram, route,
+                                              self.loop.now, handle)
+
+    def _fast_delivery_due(self, flight_id: int) -> None:
+        flight = self._inflight.pop(flight_id)
+        self._deliver_fast(flight.route, flight.dgram)
+
+    def _deliver_fast(self, route: _CachedRoute, dgram: Datagram) -> None:
+        hops = route.hops
+        self.stats.delivered += 1
+        self.stats.hops_total += len(dgram.hops) + len(hops)
+        route.handler(replace(
+            dgram, ip_ttl=dgram.ip_ttl - len(hops) - 1,
+            hops=dgram.hops + hops + (route.dest_router,)))
 
     def _deliver_unicast(self, dgram: Datagram) -> None:
         latency = self.unicast_latency(dgram.src, dgram.dst)
@@ -338,8 +541,7 @@ class Network:
                 return
         endpoint = self._endpoints[dgram.dst]
         self.stats.delivered += 1
-        self.loop.call_later(latency,
-                             lambda: endpoint.handle_datagram(dgram))
+        self.loop.call_later(latency, endpoint.handle_datagram, dgram)
 
     # -- unicast shortest paths ----------------------------------------------
 

@@ -14,6 +14,16 @@ from dataclasses import dataclass
 from .geo import GeoPoint
 
 
+def link_key(a: str, b: str) -> tuple[str, str]:
+    """Canonical ordered-tuple key for an undirected link.
+
+    Cheaper than hashing a fresh ``frozenset((a, b))`` on every lookup:
+    building a two-element tuple and comparing two interned-ish strings
+    wins measurably on the per-hop forwarding path.
+    """
+    return (a, b) if a <= b else (b, a)
+
+
 class NodeKind(enum.Enum):
     """What a topology node represents."""
 
@@ -87,7 +97,7 @@ class Topology:
 
     def __init__(self) -> None:
         self._nodes: dict[str, Node] = {}
-        self._links: dict[frozenset[str], Link] = {}
+        self._links: dict[tuple[str, str], Link] = {}
         self._adjacency: dict[str, list[str]] = {}
         #: Mutation counter so route caches can detect topology growth.
         self.version = 0
@@ -100,7 +110,7 @@ class Topology:
         self.version += 1
 
     def add_link(self, link: Link) -> None:
-        key = frozenset((link.a, link.b))
+        key = link_key(link.a, link.b)
         if link.a not in self._nodes or link.b not in self._nodes:
             raise KeyError(f"link {link.a}<->{link.b} references unknown node")
         if key in self._links:
@@ -130,10 +140,10 @@ class Topology:
         return node_id in self._nodes
 
     def link(self, a: str, b: str) -> Link:
-        return self._links[frozenset((a, b))]
+        return self._links[link_key(a, b)]
 
     def has_link(self, a: str, b: str) -> bool:
-        return frozenset((a, b)) in self._links
+        return link_key(a, b) in self._links
 
     def neighbors(self, node_id: str) -> list[str]:
         return list(self._adjacency[node_id])

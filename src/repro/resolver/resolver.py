@@ -313,7 +313,7 @@ class RecursiveResolver:
         self.network.send(dgram)
         resolution.timeout_handle = self.loop.call_later(
             self._attempt_timeout(resolution),
-            lambda: self._on_timeout(resolution, msg_id))
+            self._on_timeout, resolution, msg_id)
 
     def _attempt_timeout(self, resolution: _Resolution) -> float:
         """Per-attempt timeout: exponential backoff with deterministic

@@ -44,31 +44,61 @@ class DelegationProvider(Protocol):
 class ZoneStore:
     """Holds zones indexed by origin with longest-match lookup."""
 
+    #: Bound on the qname -> zone memo (attack names are unbounded).
+    _FIND_CACHE_MAX = 4096
+
     def __init__(self) -> None:
         self._zones: dict[Name, Zone] = {}
+        self._find_cache: dict[Name, Zone | None] = {}
+        #: Same zones keyed by origin label tuple, so the hot
+        #: longest-match walk in :meth:`find` slices label tuples
+        #: instead of constructing a Name per ancestor.
+        self._by_labels: dict[tuple[bytes, ...], Zone] = {}
+        self._origins_sorted: list[Name] | None = None
 
     def add(self, zone: Zone) -> None:
         zone.validate()
         self._zones[zone.origin] = zone
+        self._by_labels[zone.origin.labels] = zone
+        self._origins_sorted = None
+        self._find_cache.clear()
 
     def remove(self, origin: Name) -> bool:
-        return self._zones.pop(origin, None) is not None
+        zone = self._zones.pop(origin, None)
+        if zone is None:
+            return False
+        del self._by_labels[origin.labels]
+        self._origins_sorted = None
+        self._find_cache.clear()
+        return True
 
     def get(self, origin: Name) -> Zone | None:
         return self._zones.get(origin)
 
     def find(self, qname: Name) -> Zone | None:
         """The zone with the longest origin that encloses ``qname``."""
-        best: Zone | None = None
-        for ancestor in qname.ancestors():
-            zone = self._zones.get(ancestor)
+        cache = self._find_cache
+        try:
+            return cache[qname]
+        except KeyError:
+            pass
+        labels = qname.labels
+        by_labels = self._by_labels
+        zone = None
+        for i in range(len(labels) + 1):
+            zone = by_labels.get(labels[i:])
             if zone is not None:
-                best = zone
                 break
-        return best
+        if len(cache) >= self._FIND_CACHE_MAX:
+            cache.clear()
+        cache[qname] = zone
+        return zone
 
     def origins(self) -> list[Name]:
-        return sorted(self._zones, key=Name.canonical_key)
+        if self._origins_sorted is None:
+            self._origins_sorted = sorted(self._zones,
+                                          key=Name.canonical_key)
+        return list(self._origins_sorted)
 
     def zones(self) -> list[Zone]:
         return [self._zones[o] for o in self.origins()]
@@ -83,6 +113,9 @@ class ZoneStore:
 class AuthoritativeEngine:
     """Pure query-to-response logic, independent of transport and timing."""
 
+    #: Bound on the probe-response memo (one entry per probed qname).
+    _PROBE_CACHE_MAX = 1024
+
     def __init__(self, store: ZoneStore,
                  mapping: MappingProvider | None = None,
                  dynamic_domains: list[Name] | None = None,
@@ -94,6 +127,14 @@ class AuthoritativeEngine:
         self.dynamic_delegations = dict(dynamic_delegations or {})
         self.queries_answered = 0
         self.nxdomain_count = 0
+        #: Memoized responses for the monitoring agent's probes, keyed
+        #: by (qname, qtype) and validated against the answering zone's
+        #: version. Only :meth:`respond_probe` uses this; probes are
+        #: consumed synchronously and discarded, so reusing one Message
+        #: object across cycles is safe where it would not be for
+        #: responses that travel the network.
+        self._probe_responses: dict[tuple[Name, RType],
+                                    tuple[Message, Zone, int]] = {}
         #: Observers called with (query, response) after assembly; the
         #: NXDOMAIN filter taps this to count negative answers per zone.
         self.response_observers: list[Callable[[Message, Message], None]] = []
@@ -129,9 +170,12 @@ class AuthoritativeEngine:
 
         response = make_response(query, RCode.NOERROR, aa=True)
 
-        # Mapping hook: tailored answers for GTM/CDN names.
-        if (self.mapping is not None and self.is_dynamic(question.qname)
-                and question.qtype in (RType.A, RType.AAAA)):
+        # Mapping hook: tailored answers for GTM/CDN names. (qtype is
+        # checked before the is_dynamic subdomain walk — the predicates
+        # are pure, and most probe traffic short-circuits on qtype.)
+        if (self.mapping is not None
+                and question.qtype in (RType.A, RType.AAAA)
+                and self.is_dynamic(question.qname)):
             mapped = self.mapping.answer(question.qname, question.qtype,
                                          client_key)
             if mapped is not None:
@@ -177,6 +221,47 @@ class AuthoritativeEngine:
             # resolver's job; answer with the chain collected so far.
             pass
         return self._finish(query, response)
+
+    def respond_probe(self, query: Message) -> Message:
+        """`respond`, memoized for the monitoring agent's probe loop.
+
+        Agents re-ask the same (qname, qtype) every cycle against zone
+        data that rarely changes, so the assembled response is cached
+        and revalidated against the zone's version counter. Counters
+        and response observers still run on every call (via
+        :meth:`_finish`), so reporting is identical to the uncached
+        path. The returned Message is shared across cycles — callers
+        must treat it as read-only (see ``health_probe``).
+        """
+        questions = query.questions
+        if len(questions) != 1:
+            return self.respond(query)
+        question = questions[0]
+        key = (question.qname, question.qtype)
+        cached = self._probe_responses.get(key)
+        if cached is not None:
+            response, zone, version = cached
+            if (zone.version == version
+                    and self.store.find(question.qname) is zone):
+                response.msg_id = query.msg_id
+                return self._finish(query, response)
+            del self._probe_responses[key]
+        response = self.respond(query)
+        # Cache only answers that are pure functions of zone content:
+        # no EDNS echo, no per-client mapping tailoring, and no
+        # authority section (delegations and negative answers can be
+        # tailored per client or carry tailored glue).
+        if (query.edns is None and not response.authority
+                and response.flags.rcode == RCode.NOERROR
+                and (self.mapping is None
+                     or question.qtype not in (RType.A, RType.AAAA)
+                     or not self.is_dynamic(question.qname))):
+            zone = self.store.find(question.qname)
+            if zone is not None:
+                if len(self._probe_responses) >= self._PROBE_CACHE_MAX:
+                    self._probe_responses.clear()
+                self._probe_responses[key] = (response, zone, zone.version)
+        return response
 
     def _finish(self, query: Message, response: Message) -> Message:
         self.queries_answered += 1

@@ -21,7 +21,7 @@ import enum
 from dataclasses import dataclass
 from typing import Callable
 
-from ..dnscore.message import Message
+from ..dnscore.message import Message, make_response
 from ..dnscore.rrtypes import RCode
 from ..filters.base import QueryContext, ScoringPipeline
 from ..filters.nxdomain import NXDomainFilter
@@ -214,10 +214,13 @@ class NameserverMachine:
             return None
         if self.fault == "unresponsive":
             return None
-        response = self.engine.respond(message)
+        response = self.engine.respond_probe(message)
         if self.fault == "wrong_answer":
-            response.answers.clear()
-            response.flags.rcode = RCode.SERVFAIL
+            # The probe response may be the engine's shared memoized
+            # object — degrade a fresh copy instead of mutating it.
+            degraded = make_response(message, RCode.SERVFAIL)
+            degraded.flags.aa = response.flags.aa
+            return degraded
         return response
 
     # -- ingestion -------------------------------------------------------------
@@ -227,8 +230,9 @@ class NameserverMachine:
         envelope = dgram.payload
         assert isinstance(envelope, QueryEnvelope)
         metrics = self.metrics
+        is_attack = envelope.is_attack
         metrics.received += 1
-        if envelope.is_attack:
+        if is_attack:
             metrics.attack_received += 1
         else:
             metrics.legit_received += 1
@@ -237,10 +241,12 @@ class NameserverMachine:
             metrics.dropped_not_running += 1
             return
 
+        now = self.loop.now
         question = envelope.message.question
+        qname = question.qname
+        qtype = question.qtype
         if (self.config.qod_firewall_enabled
-                and self.firewall.should_drop(question.qname, question.qtype,
-                                              self.loop.now)):
+                and self.firewall.should_drop(qname, qtype, now)):
             metrics.dropped_firewall += 1
             return
 
@@ -248,11 +254,11 @@ class NameserverMachine:
             metrics.dropped_io += 1
             return
 
-        ctx = QueryContext(source=dgram.src, qname=question.qname,
-                           qtype=question.qtype, now=self.loop.now,
+        ctx = QueryContext(source=dgram.src, qname=qname,
+                           qtype=qtype, now=now,
                            ip_ttl=dgram.ip_ttl,
                            nameserver_id=self.machine_id,
-                           is_attack=envelope.is_attack)
+                           is_attack=is_attack)
         breakdown = self.pipeline.score(ctx)
         if not self.queues.enqueue((dgram, envelope), breakdown.total):
             metrics.dropped_queue += 1
@@ -283,8 +289,7 @@ class NameserverMachine:
         self._busy = True
         _, (dgram, envelope) = item
         service_time = 1.0 / self.config.compute_capacity_qps
-        self.loop.call_later(service_time,
-                             lambda: self._complete(dgram, envelope))
+        self.loop.call_later(service_time, self._complete, dgram, envelope)
 
     def _complete(self, dgram: Datagram, envelope: QueryEnvelope) -> None:
         self._busy = False

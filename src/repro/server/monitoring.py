@@ -73,6 +73,10 @@ class MonitoringAgent:
         self.regression_tests = list(regression_tests or [])
         self.max_probe_zones = max_probe_zones
         self._probe_offset = 0
+        #: Reused probe message per origin; only msg_id changes between
+        #: cycles, so the agent avoids rebuilding an identical query
+        #: every second for every hosted zone.
+        self._probe_cache: dict = {}
         self.metrics = AgentMetrics()
         self._suspended_by_agent = False
         self._withdrew_for_crash = False
@@ -120,7 +124,12 @@ class MonitoringAgent:
             origins = (origins * 2)[start:start + self.max_probe_zones]
         for origin in origins:
             self._msg_id = (self._msg_id + 1) & 0xFFFF
-            probe = make_query(self._msg_id, origin, RType.SOA)
+            probe = self._probe_cache.get(origin)
+            if probe is None:
+                probe = make_query(self._msg_id, origin, RType.SOA)
+                self._probe_cache[origin] = probe
+            else:
+                probe.msg_id = self._msg_id
             response = machine.health_probe(probe)
             if response is None:
                 reasons.append(f"no response for {origin}")

@@ -193,4 +193,4 @@ class PoP:
         machine = self.machines[machine_id]
         self.queries_forwarded += 1
         self.loop.call_later(INTRA_POP_LATENCY_S,
-                             lambda: machine.receive_query(dgram))
+                             machine.receive_query, dgram)

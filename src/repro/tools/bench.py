@@ -1,0 +1,259 @@
+"""Tracked performance baseline: ``python -m repro.tools.bench``.
+
+Writes two committed artifacts at the repository root:
+
+* ``BENCH_micro.json`` — microbenchmarks of the simulator core: event
+  loop throughput, route-cached vs hop-by-hop anycast forwarding, and
+  the O(1) ``pending`` counter. Ratio metrics (under ``"metrics"``) are
+  hardware-independent and gate CI; absolute throughput (under
+  ``"info"``) varies with the host and is tracked for local comparison
+  only.
+* ``BENCH_experiments.json`` — per-figure wall time of
+  ``runner --fast`` plus the speedup against the recorded
+  pre-optimization baseline.
+
+``--check`` re-runs the microbenchmarks and fails (exit 1) when any
+gated metric regresses more than ``--tolerance`` (default 30%) against
+the committed ``BENCH_micro.json`` — the CI ``bench-smoke`` job runs
+exactly this.
+
+This module measures wall time by design; it is operator-facing tooling
+that never feeds simulation results, so the wall-clock reads carry
+documented DET001 suppressions (see docs/determinism.md).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+from pathlib import Path
+
+from ..netsim.bgp import LOCAL
+from ..netsim.clock import EventLoop
+from ..netsim.geo import GeoPoint
+from ..netsim.network import Network
+from ..netsim.packet import Datagram
+from ..netsim.topology import Link, Node, NodeKind, Topology
+
+MICRO_PATH = Path("BENCH_micro.json")
+EXPERIMENTS_PATH = Path("BENCH_experiments.json")
+
+#: ``runner --fast`` wall times (seconds) measured at the commit before
+#: the fast-path work (reprolint seed, single process, reference dev
+#: container). The speedup figures in BENCH_experiments.json are
+#: relative to this recording.
+PRE_OPT_BASELINE = {
+    "total_s": 39.8,
+    "per_figure_s": {
+        "fig1": 0.0, "fig2": 0.3, "fig3": 2.2, "fig4": 0.1, "fig8": 1.5,
+        "fig9": 0.0, "fig10": 9.6, "fig11": 0.3, "fig12": 0.3,
+        "taxonomy": 7.5, "anycast-quality": 0.1, "enduser": 0.7,
+        "resilience": 1.7, "text": 16.4,
+    },
+}
+
+
+def _now() -> float:
+    return time.perf_counter()  # reprolint: disable=DET001
+
+
+def _best_of(measure, repeats: int = 3) -> float:
+    """Minimum of ``repeats`` timings: scheduler noise only ever adds
+    time, so the min is the most load-robust estimate for a CI gate."""
+    return min(measure() for _ in range(repeats))
+
+
+# -- microbenchmarks ----------------------------------------------------------
+
+
+def bench_event_loop(n_events: int = 200_000) -> float:
+    """Events/sec through a self-rescheduling timer chain."""
+    loop = EventLoop()
+    fired = [0]
+
+    def tick() -> None:
+        fired[0] += 1
+        if fired[0] < n_events:
+            loop.call_later(0.001, tick)
+
+    loop.call_later(0.001, tick)
+    started = _now()
+    loop.run()
+    elapsed = _now() - started
+    assert fired[0] == n_events
+    return n_events / elapsed
+
+
+def _line_network(route_cache: bool) -> tuple[EventLoop, Network, list[int]]:
+    """A 6-router line with a local delivery handler at the far end."""
+    topo = Topology()
+    routers = [f"r{i}" for i in range(6)]
+    for i, router in enumerate(routers):
+        topo.add_node(Node(router, asn=100 + i, kind=NodeKind.TRANSIT,
+                           location=GeoPoint(0.0, float(i))))
+    for a, b in zip(routers, routers[1:]):
+        topo.add_link(Link(a, b, latency_ms=1.0))
+    loop = EventLoop()
+    net = Network(loop, topo, random.Random(7), route_cache=route_cache)
+    got: list[int] = []
+    net.register_local_delivery(routers[-1], "svc",
+                                lambda d: got.append(d.payload))
+    for a, b in zip(routers, routers[1:]):
+        net.set_fib(a, "svc", b)
+    net.set_fib(routers[-1], "svc", LOCAL)
+    return loop, net, got
+
+
+def bench_forwarding(route_cache: bool, n_packets: int = 20_000) -> float:
+    """Best-of-3 seconds to deliver ``n_packets`` on a 6-router line."""
+
+    def one_run() -> float:
+        loop, net, got = _line_network(route_cache)
+        started = _now()
+        for i in range(n_packets):
+            net.send(Datagram(src="r0", dst="svc", payload=i,
+                              src_port=i & 0xFFFF))
+            loop.run()
+        elapsed = _now() - started
+        assert len(got) == n_packets
+        return elapsed
+
+    return _best_of(one_run)
+
+
+def bench_pending_ratio(large: int = 20_000, small: int = 50) -> float:
+    """Cost ratio of ``loop.pending`` at two queue sizes (~1 when O(1))."""
+
+    def pending_cost(n_queued: int) -> float:
+        loop = EventLoop()
+        for i in range(n_queued):
+            loop.call_at(float(i + 1), int)
+
+        def one_run() -> float:
+            started = _now()
+            for _ in range(20_000):
+                loop.pending  # noqa: B018 - the read is the benchmark
+            return _now() - started
+
+        return _best_of(one_run)
+
+    return pending_cost(large) / pending_cost(small)
+
+
+def run_micro() -> dict:
+    uncached = bench_forwarding(route_cache=False)
+    cached = bench_forwarding(route_cache=True)
+    return {
+        "metrics": {
+            # Gated, hardware-independent ratios.
+            "route_cache_speedup": round(uncached / cached, 3),
+            "pending_cost_ratio_20000_vs_50": round(
+                bench_pending_ratio(), 3),
+        },
+        "info": {
+            # Absolute throughput; varies with host, never gated.
+            "event_loop_events_per_sec": round(bench_event_loop()),
+            "forwarding_cached_pkts_per_sec": round(20_000 / cached),
+            "forwarding_uncached_pkts_per_sec": round(20_000 / uncached),
+        },
+    }
+
+
+#: metric name -> direction ("higher"/"lower" is better) for --check.
+_GATED = {
+    "route_cache_speedup": "higher",
+    "pending_cost_ratio_20000_vs_50": "lower",
+}
+
+
+def check_micro(committed: dict, fresh: dict, tolerance: float) -> list[str]:
+    """Regression messages for gated metrics (empty when clean)."""
+    failures = []
+    for metric, direction in _GATED.items():
+        want = committed.get("metrics", {}).get(metric)
+        got = fresh["metrics"].get(metric)
+        if want is None or got is None:
+            continue
+        if direction == "higher":
+            bound = want * (1.0 - tolerance)
+            bad = got < bound
+        else:
+            bound = want * (1.0 + tolerance)
+            bad = got > bound
+        if bad:
+            failures.append(
+                f"{metric}: {got} vs committed {want} "
+                f"(allowed {'>=' if direction == 'higher' else '<='} "
+                f"{bound:.3f})")
+    return failures
+
+
+# -- experiment suite timing --------------------------------------------------
+
+
+def run_experiments() -> dict:
+    from ..experiments import parallel
+
+    per_figure: dict[str, float] = {}
+    last = [_now()]
+
+    def progress(label: str, _result) -> None:
+        now = _now()
+        per_figure[label] = round(now - last[0], 2)
+        last[0] = now
+
+    started = _now()
+    parallel.run_serial(True, progress)
+    total = round(_now() - started, 2)
+    baseline_total = PRE_OPT_BASELINE["total_s"]
+    return {
+        "baseline": PRE_OPT_BASELINE,
+        "current": {"total_s": total, "per_figure_s": per_figure},
+        "speedup": round(baseline_total / total, 2),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--check", action="store_true",
+                        help="compare fresh microbenchmarks against the "
+                             "committed BENCH_micro.json instead of "
+                             "rewriting it")
+    parser.add_argument("--tolerance", type=float, default=0.30,
+                        help="allowed fractional regression for --check "
+                             "(default 0.30)")
+    parser.add_argument("--skip-experiments", action="store_true",
+                        help="only run the microbenchmarks")
+    args = parser.parse_args(argv)
+
+    fresh = run_micro()
+    if args.check:
+        if not MICRO_PATH.exists():
+            print(f"{MICRO_PATH} missing; run `make bench` first",
+                  file=sys.stderr)
+            return 1
+        committed = json.loads(MICRO_PATH.read_text())
+        failures = check_micro(committed, fresh, args.tolerance)
+        for line in failures:
+            print(f"REGRESSION {line}", file=sys.stderr)
+        print(f"bench-check: {len(_GATED) - len(failures)}/{len(_GATED)} "
+              f"gated metrics within {args.tolerance:.0%}")
+        return 1 if failures else 0
+
+    MICRO_PATH.write_text(json.dumps(fresh, indent=2) + "\n")
+    print(f"wrote {MICRO_PATH}: {json.dumps(fresh['metrics'])}")
+    if not args.skip_experiments:
+        experiments = run_experiments()
+        EXPERIMENTS_PATH.write_text(
+            json.dumps(experiments, indent=2) + "\n")
+        print(f"wrote {EXPERIMENTS_PATH}: "
+              f"{experiments['current']['total_s']}s "
+              f"({experiments['speedup']}x vs recorded baseline)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

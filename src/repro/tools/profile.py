@@ -1,0 +1,60 @@
+"""Hotspot profiler: ``python -m repro.tools.profile <experiment>``.
+
+Runs one experiment (by the runner's figure label, e.g. ``fig10`` or
+``text``) under :mod:`cProfile` at ``--fast`` scale and prints the top
+functions by cumulative time — the workflow that drove the fast-path
+optimization work, packaged so a regression hunt starts with one
+command.
+
+Profiling is operator-facing tooling: the experiment result is
+discarded and nothing here feeds simulation output.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pstats
+import sys
+
+from ..experiments import parallel
+
+
+def profile_experiment(label: str, *, fast: bool = True,
+                       top: int = 20, sort: str = "cumulative",
+                       stream=None) -> None:
+    """Profile every work unit of one figure and print hotspots."""
+    units = [u for u in parallel.work_units(fast) if u[0] == label]
+    if not units:
+        known = ", ".join(parallel.JOB_ORDER)
+        raise SystemExit(f"unknown experiment {label!r}; one of: {known}")
+    profiler = cProfile.Profile()
+    profiler.enable()
+    for unit in units:
+        parallel.run_unit(unit, fast)
+    profiler.disable()
+    stats = pstats.Stats(profiler, stream=stream or sys.stdout)
+    stats.sort_stats(sort).print_stats(top)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("experiment",
+                        help="figure label from the runner "
+                             "(fig1..fig12, taxonomy, anycast-quality, "
+                             "enduser, resilience, text)")
+    parser.add_argument("--full", action="store_true",
+                        help="profile at full (non --fast) scale")
+    parser.add_argument("--top", type=int, default=20,
+                        help="rows to print (default 20)")
+    parser.add_argument("--sort", default="cumulative",
+                        choices=["cumulative", "tottime", "ncalls"],
+                        help="pstats sort key (default cumulative)")
+    args = parser.parse_args(argv)
+    profile_experiment(args.experiment, fast=not args.full,
+                       top=args.top, sort=args.sort)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

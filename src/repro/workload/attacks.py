@@ -126,9 +126,18 @@ class DirectQueryAttack(_BaseAttack):
                         src_port=self.rng.randint(1024, 65535))
 
 
+_LABEL_ALPHABET = string.ascii_lowercase + string.digits
+
+
 def random_label(rng: random.Random, length: int = 10) -> str:
-    alphabet = string.ascii_lowercase + string.digits
-    return "".join(rng.choice(alphabet) for _ in range(length))
+    # Index draws go through Random._randbelow directly — the exact
+    # primitive rng.choice() wraps — so the generator consumes the same
+    # bits as the naive version while skipping a layer of call overhead
+    # on what is the single hottest RNG site in the attack workloads.
+    randbelow = rng._randbelow
+    alphabet = _LABEL_ALPHABET
+    n = len(alphabet)
+    return "".join([alphabet[randbelow(n)] for _ in range(length)])
 
 
 class RandomSubdomainAttack(_BaseAttack):
