@@ -18,6 +18,7 @@ from ..dnscore.name import name
 from ..dnscore.rrtypes import RCode, RType
 from ..netsim.clock import EventLoop
 from ..resolver.resolver import RecursiveResolver, ResolutionResult
+from ..telemetry import state as _telemetry
 
 
 @dataclass(slots=True)
@@ -171,6 +172,10 @@ class SLOProbe:
             sent_at=sent_at, finished_at=self.loop.now,
             rcode=result.rcode, duration=result.duration,
             timeouts=result.timeouts, ok=ok))
+        _t = _telemetry.ACTIVE
+        if _t is not None:
+            _t.probe_outcome(ok, result.rcode.name, result.duration,
+                             self.loop.now)
 
     # -- reporting -----------------------------------------------------------
 

@@ -4,6 +4,13 @@ The last box of paper Figure 5: metrics published by nameservers are
 compiled into reports displayed to enterprises through the Management
 Portal. Nameservers publish per-zone counters periodically; the
 collector aggregates them into per-enterprise traffic reports.
+
+Counting is broken down by response code — enterprises watch NXDOMAIN
+(random-subdomain attacks against their zones), SERVFAIL (platform
+faults), and REFUSED (misdirected queries), not just totals. When a
+telemetry session is active each counted response also feeds the
+session's ``zone_responses_total`` family, so the portal view and the
+operator dashboards read from one pipeline.
 """
 
 from __future__ import annotations
@@ -15,6 +22,7 @@ from ..dnscore.message import Message
 from ..dnscore.rrtypes import RCode
 from ..netsim.clock import EventLoop, PeriodicTask
 from ..server.machine import NameserverMachine
+from ..telemetry import state as _telemetry
 
 
 @dataclass(slots=True)
@@ -27,6 +35,8 @@ class ZoneTrafficSample:
     window_end: float
     queries: int = 0
     nxdomains: int = 0
+    servfails: int = 0
+    refused: int = 0
 
 
 @dataclass(slots=True)
@@ -38,6 +48,8 @@ class ZoneTrafficReport:
     window_end: float
     queries: int = 0
     nxdomains: int = 0
+    servfails: int = 0
+    refused: int = 0
     reporting_machines: int = 0
 
     @property
@@ -49,6 +61,10 @@ class ZoneTrafficReport:
     def nxdomain_fraction(self) -> float:
         return self.nxdomains / self.queries if self.queries else 0.0
 
+    @property
+    def servfail_fraction(self) -> float:
+        return self.servfails / self.queries if self.queries else 0.0
+
 
 class ZoneCounter:
     """Per-zone counting tap on a nameserver's response stream."""
@@ -56,7 +72,8 @@ class ZoneCounter:
     def __init__(self, machine: NameserverMachine) -> None:
         self.machine = machine
         self._queries: dict[Name, int] = {}
-        self._nxdomains: dict[Name, int] = {}
+        #: (zone, rcode) -> count, for every non-NOERROR response.
+        self._errors: dict[tuple[Name, RCode], int] = {}
         #: Bound once: this observer runs on every response the engine
         #: assembles, so the attribute chain is hoisted out of the call.
         self._find = machine.engine.store.find
@@ -72,21 +89,30 @@ class ZoneCounter:
         origin = zone.origin
         queries = self._queries
         queries[origin] = queries.get(origin, 0) + 1
-        if response.flags.rcode == RCode.NXDOMAIN:
-            nxdomains = self._nxdomains
-            nxdomains[origin] = nxdomains.get(origin, 0) + 1
+        rcode = response.flags.rcode
+        if rcode != RCode.NOERROR:
+            key = (origin, rcode)
+            errors = self._errors
+            errors[key] = errors.get(key, 0) + 1
+        _t = _telemetry.ACTIVE
+        if _t is not None:
+            _t.zone_response(self.machine.machine_id, str(origin),
+                             rcode.name)
 
     def drain(self, window_start: float,
               window_end: float) -> list[ZoneTrafficSample]:
         """Emit and reset the counters for this interval."""
         samples = []
+        errors = self._errors
         for zone, count in self._queries.items():
             samples.append(ZoneTrafficSample(
                 self.machine.machine_id, zone, window_start, window_end,
                 queries=count,
-                nxdomains=self._nxdomains.get(zone, 0)))
+                nxdomains=errors.get((zone, RCode.NXDOMAIN), 0),
+                servfails=errors.get((zone, RCode.SERVFAIL), 0),
+                refused=errors.get((zone, RCode.REFUSED), 0)))
         self._queries.clear()
-        self._nxdomains.clear()
+        self._errors.clear()
         return samples
 
 
@@ -127,6 +153,8 @@ class TrafficCollector:
                     aggregated[sample.zone] = report
                 report.queries += sample.queries
                 report.nxdomains += sample.nxdomains
+                report.servfails += sample.servfails
+                report.refused += sample.refused
                 report.reporting_machines += 1
         for zone, report in aggregated.items():
             history = self.reports.setdefault(zone, [])
@@ -146,8 +174,16 @@ class TrafficCollector:
         queries = sum(self.total_queries(origin) for origin in origins)
         nxd = sum(sum(r.nxdomains for r in self.reports.get(origin, []))
                   for origin in origins)
+        servfails = sum(
+            sum(r.servfails for r in self.reports.get(origin, []))
+            for origin in origins)
+        refused = sum(
+            sum(r.refused for r in self.reports.get(origin, []))
+            for origin in origins)
         return {
             "total_queries": float(queries),
             "nxdomain_fraction": nxd / queries if queries else 0.0,
+            "servfail_fraction": servfails / queries if queries else 0.0,
+            "refused_fraction": refused / queries if queries else 0.0,
             "zones": float(len(origins)),
         }

@@ -26,8 +26,9 @@ primitives inside sim code does not apply — and must stay that way.
 
 from __future__ import annotations
 
+import contextlib
 import multiprocessing
-from typing import Callable
+from typing import Callable, ContextManager
 
 from ..analysis.report import ExperimentResult
 from ..netsim.builder import InternetParams
@@ -97,10 +98,23 @@ _SINGLE_UNIT: dict[str, Callable[[bool], ExperimentResult]] = {
 }
 
 
-def work_units(fast: bool) -> list[tuple[str, int]]:
+def select_labels(only: list[str] | None) -> tuple[str, ...]:
+    """Validate and order a ``--only`` selection against JOB_ORDER."""
+    if only is None:
+        return JOB_ORDER
+    unknown = sorted(set(only) - set(JOB_ORDER))
+    if unknown:
+        raise ValueError(
+            f"unknown experiment labels: {', '.join(unknown)} "
+            f"(choose from {', '.join(JOB_ORDER)})")
+    return tuple(label for label in JOB_ORDER if label in only)
+
+
+def work_units(fast: bool,
+               only: list[str] | None = None) -> list[tuple[str, int]]:
     """All (label, part) work units for one suite run, in order."""
     units: list[tuple[str, int]] = []
-    for label in JOB_ORDER:
+    for label in select_labels(only):
         if label == "fig8":
             units.extend((label, part) for part in range(2))
         elif label == "resilience":
@@ -144,20 +158,21 @@ def merge_label(label: str, payloads: list, fast: bool) -> ExperimentResult:
 
 def run_parallel(fast: bool, jobs: int,
                  progress: Callable[[str, ExperimentResult], None]
-                 | None = None) -> list[ExperimentResult]:
+                 | None = None,
+                 only: list[str] | None = None) -> list[ExperimentResult]:
     """Run the whole suite across ``jobs`` worker processes.
 
     Results come back in figure order and are merged label by label;
     ``progress`` (if given) fires once per completed figure, in order.
     """
-    units = work_units(fast)
+    units = work_units(fast, only)
     with multiprocessing.Pool(processes=jobs) as pool:
         payloads = pool.map(_unit_worker, [(u, fast) for u in units])
     by_label: dict[str, list] = {}
     for (label, _part), payload in zip(units, payloads):
         by_label.setdefault(label, []).append(payload)
     results = []
-    for label in JOB_ORDER:
+    for label in select_labels(only):
         result = merge_label(label, by_label[label], fast)
         if progress is not None:
             progress(label, result)
@@ -167,22 +182,35 @@ def run_parallel(fast: bool, jobs: int,
 
 def run_serial(fast: bool,
                progress: Callable[[str, ExperimentResult], None]
+               | None = None,
+               only: list[str] | None = None,
+               wrap: Callable[[str], ContextManager]
                | None = None) -> list[ExperimentResult]:
     """Serial execution through the same unit/merge pipeline.
 
     Sharing the split-and-merge path with :func:`run_parallel` is what
     makes ``--jobs 1`` vs ``--jobs N`` equivalence a structural
     property instead of a coincidence.
+
+    ``wrap`` (if given) supplies a context manager entered around each
+    label's units — the runner uses it to scope a telemetry session per
+    experiment. Telemetry is observational, so wrapping cannot change
+    any result (the fast-suite equivalence tests enforce this).
     """
+    if wrap is None:
+        def wrap(label: str) -> ContextManager:
+            return contextlib.nullcontext()
     results = []
-    for label in JOB_ORDER:
-        if label == "fig8":
-            parts = [run_unit((label, p), fast) for p in range(2)]
-        elif label == "resilience":
-            n = resilience_scorecard.unit_count(_resilience_params(fast))
-            parts = [run_unit((label, p), fast) for p in range(n)]
-        else:
-            parts = [run_unit((label, 0), fast)]
+    for label in select_labels(only):
+        with wrap(label):
+            if label == "fig8":
+                parts = [run_unit((label, p), fast) for p in range(2)]
+            elif label == "resilience":
+                n = resilience_scorecard.unit_count(
+                    _resilience_params(fast))
+                parts = [run_unit((label, p), fast) for p in range(n)]
+            else:
+                parts = [run_unit((label, 0), fast)]
         result = merge_label(label, parts, fast)
         if progress is not None:
             progress(label, result)

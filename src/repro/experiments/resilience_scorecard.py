@@ -36,6 +36,8 @@ from ..chaos import (
 )
 from ..netsim.builder import InternetParams
 from ..platform.deployment import AkamaiDNSDeployment, DeploymentParams
+from ..telemetry import RatioDetector, Telemetry, TelemetryConfig
+from ..telemetry import state as _telemetry_state
 
 PROBE_ZONE = "slozone.net"
 WARMUP = 20.0              # healthy baseline before the first fault
@@ -61,6 +63,15 @@ class ScorecardParams:
     #: Recovery budget every campaign must meet (availability targets
     #: are per-campaign, in :class:`CampaignSLO`).
     max_recovery_seconds: float = 25.0
+    #: Budget from first fault injection to the telemetry pipeline's
+    #: probe-failure alert, for campaigns that expect a visible dip.
+    #: Measured from *injection*, so it includes fault-propagation time
+    #: (a corrupted zone publishing to the fleet) and the stretch where
+    #: the resiliency ladder still absorbs the fault invisibly (the
+    #: combined storm's crash loops are masked by the input-delayed
+    #: machine until its PoP is partitioned too) — not just the
+    #: detector's window latency.
+    max_detection_seconds: float = 30.0
 
     @classmethod
     def fast(cls, seed: int = 42) -> "ScorecardParams":
@@ -96,6 +107,10 @@ class CampaignOutcome:
     report: SLOReport
     recoveries: list[tuple[str, float, float | None]]  # (fault, clear, ttr)
     fault_log: str
+    #: Seconds from the first fault injection to the telemetry
+    #: pipeline's probe-failure alert; None when no alert fired (the
+    #: resiliency ladder absorbed the fault below the SLO surface).
+    detection_seconds: float | None = None
 
     @property
     def worst_recovery(self) -> float | None:
@@ -216,19 +231,37 @@ def build_deployment(params: ScorecardParams) -> AkamaiDNSDeployment:
 
 def run_campaign(params: ScorecardParams,
                  campaign: Campaign) -> CampaignOutcome:
-    """One campaign on one fresh deployment, probe running throughout."""
-    deployment = build_deployment(params)
-    resolver = deployment.add_resolver("slo-resolver")
-    probe = SLOProbe(deployment.loop, resolver, PROBE_ZONE,
-                     period=params.probe_period,
-                     window=params.probe_window,
-                     answer_deadline=params.answer_deadline)
-    probe.start()
-    engine = ChaosEngine(deployment)
-    engine.run(campaign)
-    deployment.run_until(deployment.loop.now + COOLDOWN)
-    probe.stop()
-    deployment.run_until(deployment.loop.now + 5.0)
+    """One campaign on one fresh deployment, probe running throughout.
+
+    A campaign-local telemetry session watches the probe's failure feed
+    with a :class:`RatioDetector`, so the scorecard can report not only
+    whether the platform degraded but how quickly the observability
+    pipeline *noticed* (time-to-detection). Telemetry is passive: the
+    session changes no simulation behaviour, only what gets recorded.
+    """
+    telemetry = Telemetry(TelemetryConfig(seed=params.seed,
+                                          trace_sample_rate=0.0))
+    # Fires when a detector window's failure ratio crosses 25% — i.e.
+    # availability dips below 75%, well under any campaign's healthy
+    # baseline but above the worst dips the SLO targets tolerate.
+    detector = RatioDetector("probe-failure",
+                             window=params.probe_window,
+                             threshold=0.25, min_count=2)
+    telemetry.alerts.add(detector, "probe.fail")
+    with _telemetry_state.session(telemetry):
+        deployment = build_deployment(params)
+        resolver = deployment.add_resolver("slo-resolver")
+        probe = SLOProbe(deployment.loop, resolver, PROBE_ZONE,
+                         period=params.probe_period,
+                         window=params.probe_window,
+                         answer_deadline=params.answer_deadline)
+        probe.start()
+        engine = ChaosEngine(deployment)
+        engine.run(campaign)
+        deployment.run_until(deployment.loop.now + COOLDOWN)
+        probe.stop()
+        deployment.run_until(deployment.loop.now + 5.0)
+        telemetry.finalize()
 
     report = probe.report()
     recoveries = []
@@ -240,9 +273,17 @@ def run_campaign(params: ScorecardParams,
         horizon = min(later) if later else None
         ttr = report.time_to_recovery(event.time, until=horizon)
         recoveries.append((event.spec.describe(), event.time, ttr))
+    detection = None
+    if injects:
+        first_inject = min(injects)
+        alert = telemetry.alerts.first_raise_after(
+            first_inject, name="probe-failure")
+        if alert is not None:
+            detection = alert.raised_at - first_inject
     return CampaignOutcome(campaign=campaign, report=report,
                            recoveries=recoveries,
-                           fault_log=engine.describe_log())
+                           fault_log=engine.describe_log(),
+                           detection_seconds=detection)
 
 
 _TITLE = "Platform resilience scorecard (section 4.2 failure modes)"
@@ -283,6 +324,8 @@ def run_unit(params: ScorecardParams, index: int,
     worst_ttr = outcome.worst_recovery
     if worst_ttr is not None:
         result.metrics[f"{prefix}.worst_ttr_s"] = worst_ttr
+    if outcome.detection_seconds is not None:
+        result.metrics[f"{prefix}.ttd_s"] = outcome.detection_seconds
 
     baseline = report.availability_between(0.0, WARMUP)
     final_clear = max((t for _, t, _ in outcome.recoveries),
@@ -318,6 +361,25 @@ def run_unit(params: ScorecardParams, index: int,
         worst_ttr is not None
         and worst_ttr <= params.max_recovery_seconds
         and recovered == 1.0)
+    ttd = outcome.detection_seconds
+    if slo.expect_dip:
+        # Client-visible degradation must also be *operator*-visible:
+        # the probe-failure detector has to fire, and quickly.
+        result.compare(
+            f"{prefix}: telemetry detects the degradation",
+            f"alert within {params.max_detection_seconds:.0f}s "
+            f"of first fault",
+            ("no alert" if ttd is None else f"TTD {ttd:.1f}s"),
+            ttd is not None and ttd <= params.max_detection_seconds)
+    else:
+        # Absorbed faults should stay below the SLO alert surface;
+        # informational only — an early alert here is noisy, not wrong.
+        result.compare(
+            f"{prefix}: time to detection (informational)",
+            "absorbed faults need not alert",
+            ("no alert (fault absorbed)" if ttd is None
+             else f"TTD {ttd:.1f}s"),
+            True)
     return result
 
 

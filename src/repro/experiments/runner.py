@@ -9,15 +9,20 @@ runs.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 import time
 
 from ..analysis.report import ExperimentResult, render_results
+from ..telemetry import Telemetry, standard_detectors
+from ..telemetry import state as _telemetry_state
 from . import parallel
 
 
 def run_all(fast: bool = False, verbose: bool = True,
-            jobs: int = 1) -> list[ExperimentResult]:
+            jobs: int = 1, only: list[str] | None = None,
+            telemetry: Telemetry | None = None,
+            trace_label: str | None = None) -> list[ExperimentResult]:
     """Execute each experiment in figure order.
 
     ``jobs > 1`` fans the suite's independent work units out across a
@@ -25,6 +30,13 @@ def run_all(fast: bool = False, verbose: bool = True,
     and any JSON serialization of them — are identical to a serial run.
     Both paths go through the same unit split and merge, so serial
     execution exercises the exact code the pool does.
+
+    ``telemetry`` (if given) is activated around every label's run —
+    hooks are in-process, so this forces serial execution regardless of
+    ``jobs``. ``trace_label`` turns span sampling to 100% for exactly
+    that experiment and 0% for the rest; metrics and alerts record
+    either way. Telemetry never changes results (it is observational by
+    contract), only what gets recorded alongside them.
     """
     # Operator-facing progress timing only: never reaches results. With
     # jobs > 1 figures complete concurrently, so per-figure walls are
@@ -41,9 +53,20 @@ def run_all(fast: bool = False, verbose: bool = True,
         status = "ok" if result.all_hold else "MISS"
         print(f"[{status}] {label} done in {elapsed:.1f}s", file=sys.stderr)
 
+    if telemetry is not None:
+        @contextlib.contextmanager
+        def wrap(label: str):
+            # Passive toggle: the tracer's head-sampling rate decides
+            # whether this label's roots keep spans; nothing downstream
+            # branches on it.
+            telemetry.tracer.sample_rate = \
+                1.0 if label == trace_label else 0.0
+            with _telemetry_state.session(telemetry):
+                yield
+        return parallel.run_serial(fast, progress, only, wrap)
     if jobs > 1:
-        return parallel.run_parallel(fast, jobs, progress)
-    return parallel.run_serial(fast, progress)
+        return parallel.run_parallel(fast, jobs, progress, only)
+    return parallel.run_serial(fast, progress, only)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -58,9 +81,65 @@ def main(argv: list[str] | None = None) -> int:
                         help="worker processes for independent experiment "
                              "units (default 1 = serial; output is "
                              "identical either way)")
+    parser.add_argument("--only", metavar="LABELS",
+                        help="comma-separated subset of experiments "
+                             "(e.g. fig10,resilience)")
+    parser.add_argument("--metrics", metavar="PATH",
+                        help="record telemetry through the run and write "
+                             "the session export (counters, histograms, "
+                             "alerts) as JSON to PATH; forces --jobs 1")
+    parser.add_argument("--trace", metavar="LABEL",
+                        help="trace one experiment's queries end-to-end "
+                             "at 100%% span sampling; forces --jobs 1")
+    parser.add_argument("--trace-out", metavar="PATH",
+                        default="trace.json",
+                        help="Chrome trace-event output path for --trace "
+                             "(default: %(default)s)")
     args = parser.parse_args(argv)
-    results = run_all(fast=args.fast, jobs=args.jobs)
+    only = args.only.split(",") if args.only else None
+    try:
+        labels = parallel.select_labels(only)
+        if args.trace is not None:
+            parallel.select_labels([args.trace])
+    except ValueError as exc:
+        parser.error(str(exc))
+    if args.trace is not None and args.trace not in labels:
+        parser.error(f"--trace {args.trace} is excluded by --only")
+
+    telemetry = None
+    if args.metrics or args.trace:
+        from ..telemetry import TelemetryConfig
+        # Generous span cap: --trace keeps every root of one experiment;
+        # overflow past the cap is counted, not kept.
+        telemetry = Telemetry(TelemetryConfig(max_spans=500_000))
+        standard_detectors(telemetry.alerts)
+        if args.jobs > 1:
+            print("telemetry requested: running serial (hooks are "
+                  "in-process; results are identical)", file=sys.stderr)
+    results = run_all(fast=args.fast, jobs=args.jobs, only=only,
+                      telemetry=telemetry, trace_label=args.trace)
     print(render_results(results))
+    if telemetry is not None:
+        telemetry.finalize()
+        for alert in telemetry.alerts.alerts:
+            # Every epoch's simulated clock starts at zero, so raised_at
+            # *is* the detection latency within that world.
+            print(f"[alert] {alert.name} ({alert.severity.name}) "
+                  f"raised {alert.raised_at:.2f}s into epoch "
+                  f"{alert.epoch}: {alert.message}", file=sys.stderr)
+        if args.metrics:
+            import json
+            with open(args.metrics, "w") as handle:
+                json.dump(telemetry.export(), handle, indent=2,
+                          sort_keys=True)
+            print(f"(telemetry metrics written to {args.metrics})",
+                  file=sys.stderr)
+        if args.trace:
+            from ..telemetry.exporters import write_chrome_trace
+            with open(args.trace_out, "w") as handle:
+                count = write_chrome_trace(telemetry, handle)
+            print(f"({count} trace events written to {args.trace_out})",
+                  file=sys.stderr)
     if args.json:
         import json
         with open(args.json, "w") as handle:

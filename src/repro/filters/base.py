@@ -14,6 +14,7 @@ from typing import Protocol
 
 from ..dnscore.name import Name
 from ..dnscore.rrtypes import RType
+from ..telemetry import state as _telemetry
 
 
 @dataclass(slots=True)
@@ -73,4 +74,7 @@ class ScoringPipeline:
             if penalty:
                 contributions[filter_.name] = penalty
             total += penalty
+        _t = _telemetry.ACTIVE
+        if _t is not None:
+            _t.filter_scored(contributions, total)
         return ScoreBreakdown(total, contributions)

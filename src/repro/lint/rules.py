@@ -11,6 +11,9 @@ Three families, mirroring the determinism contract in
   :class:`~repro.netsim.clock.EventLoop`.
 * ``API0xx`` — API discipline: experiment entry points must accept an
   explicit seed and thread explicit ``Random`` instances.
+* ``OBS0xx`` — observability discipline: library code reports through
+  ``repro.telemetry`` (or returns data to its caller); only CLI entry
+  points talk to stdout/stderr directly.
 """
 
 from __future__ import annotations
@@ -306,6 +309,47 @@ class SeedParamRule(Rule):
         # no generic_visit: only module-level `run` is an entry point
 
 
+#: CLI entry points: the only places in ``src/repro`` allowed to call
+#: bare ``print()``. Everything else reports through the telemetry
+#: pipeline or returns data for the caller to render.
+_PRINT_ENTRY_POINTS = (
+    "src/repro/tools/",
+    "src/repro/lint/cli.py",
+    "src/repro/experiments/runner.py",
+    "src/repro/experiments/resilience_scorecard.py",
+)
+
+
+class BarePrintRule(Rule):
+    code = "OBS001"
+    name = "bare-print"
+    severity = Severity.ERROR
+    description = ("print() in library code bypasses the telemetry "
+                   "pipeline and pollutes experiment stdout; record "
+                   "through repro.telemetry or return data to the CLI "
+                   "layer. Entry-point modules (tools/, lint/cli.py, "
+                   "experiments/runner.py, resilience_scorecard.py) are "
+                   "exempt.")
+    scopes = ("src/repro/",)
+
+    @classmethod
+    def applies_to(cls, path: str) -> bool:
+        if not super().applies_to(path):
+            return False
+        norm = "/" + path.replace("\\", "/").lstrip("/")
+        return not any(f"/{entry}" in norm
+                       for entry in _PRINT_ENTRY_POINTS)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if (isinstance(node.func, ast.Name) and node.func.id == "print"
+                and not self.ctx.imports.is_imported("print")):
+            self.report(node, "bare print() outside a CLI entry point; "
+                              "emit through repro.telemetry (metrics, "
+                              "spans, exporters) or return the data to "
+                              "the caller")
+        self.generic_visit(node)
+
+
 ALL_RULES: tuple[type[Rule], ...] = (
     WallClockRule,
     GlobalRandomRule,
@@ -316,6 +360,7 @@ ALL_RULES: tuple[type[Rule], ...] = (
     SleepRule,
     LoopBypassRule,
     SeedParamRule,
+    BarePrintRule,
 )
 
 

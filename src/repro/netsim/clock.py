@@ -19,6 +19,8 @@ from __future__ import annotations
 import heapq
 from typing import Callable
 
+from ..telemetry import state as _telemetry
+
 #: ``status`` slot values for a heap entry.
 _PENDING = 0
 _CANCELLED = 1
@@ -75,6 +77,13 @@ class EventLoop:
         self._processed = 0
         self._alive = 0
         self._dead = 0
+        # A new loop is a new simulated world: rebind any active
+        # telemetry session's clock and start a fresh epoch. This is the
+        # only clock instrumentation — per-event hooks would tax the
+        # hot loop.
+        _t = _telemetry.ACTIVE
+        if _t is not None:
+            _t.attach_loop(self)
 
     @property
     def now(self) -> float:

@@ -27,9 +27,10 @@ from __future__ import annotations
 
 import heapq
 import random
-from dataclasses import dataclass, replace
+from dataclasses import asdict, dataclass, replace
 from typing import Callable, Protocol
 
+from ..telemetry import state as _telemetry
 from .bgp import LOCAL, BGPSpeaker
 from .clock import EventHandle, EventLoop
 from .packet import Datagram
@@ -159,6 +160,9 @@ class Network:
         self._route_cache_topo_version = -1
         self._inflight: dict[int, _InFlight] = {}
         self._inflight_seq = 0
+        _t = _telemetry.ACTIVE
+        if _t is not None:
+            _t.register_stats("network", lambda: asdict(self.stats))
 
     # -- control plane ------------------------------------------------------
 
@@ -377,6 +381,7 @@ class Network:
         if next_hop == LOCAL and handler is not None:
             self.stats.delivered += 1
             self.stats.hops_total += len(dgram.hops)
+            self._trace_delivery(dgram, self.loop.now, len(dgram.hops))
             handler(dgram.decremented(router_id))
             return
         if next_hop is None or next_hop == LOCAL:
@@ -520,10 +525,27 @@ class Network:
         flight = self._inflight.pop(flight_id)
         self._deliver_fast(flight.route, flight.dgram)
 
+    def _trace_delivery(self, dgram: Datagram, at: float,
+                        hops: int) -> None:
+        """Instant trace event for a sampled datagram reaching its PoP.
+
+        Purely observational: reads the payload's trace context (if any)
+        and records a marker; never touches forwarding state.
+        """
+        _t = _telemetry.ACTIVE
+        if _t is None:
+            return
+        span = getattr(dgram.payload, "trace", None)
+        if span is not None:
+            _t.tracer.instant(span.trace_id, "net.delivered", "net", at,
+                              dst=dgram.dst, hops=hops)
+
     def _deliver_fast(self, route: _CachedRoute, dgram: Datagram) -> None:
         hops = route.hops
         self.stats.delivered += 1
         self.stats.hops_total += len(dgram.hops) + len(hops)
+        self._trace_delivery(dgram, self.loop.now,
+                             len(dgram.hops) + len(hops))
         route.handler(replace(
             dgram, ip_ttl=dgram.ip_ttl - len(hops) - 1,
             hops=dgram.hops + hops + (route.dest_router,)))
@@ -541,6 +563,8 @@ class Network:
                 return
         endpoint = self._endpoints[dgram.dst]
         self.stats.delivered += 1
+        self._trace_delivery(dgram, self.loop.now + latency,
+                             len(dgram.hops))
         self.loop.call_later(latency, endpoint.handle_datagram, dgram)
 
     # -- unicast shortest paths ----------------------------------------------

@@ -32,6 +32,7 @@ from ..netsim.clock import EventHandle, EventLoop
 from ..netsim.network import Network
 from ..netsim.packet import Datagram
 from ..server.machine import QueryEnvelope
+from ..telemetry import state as _telemetry
 from .cache import DNSCache
 from .selection import SelectionStrategy, UniformSelection
 
@@ -113,6 +114,10 @@ class _Resolution:
         self.sub_depth = 0
         #: NS targets whose addresses we already tried to resolve.
         self.glue_chased: set[Name] = set()
+        #: Telemetry trace context (root span / current attempt span)
+        #: when this resolution was head-sampled; purely observational.
+        self.span = None
+        self.attempt_span = None
 
 
 class RecursiveResolver:
@@ -157,6 +162,10 @@ class RecursiveResolver:
         """Start resolving; ``callback`` fires exactly once on completion."""
         self.resolutions_started += 1
         resolution = _Resolution(self, qname, qtype, callback)
+        _t = _telemetry.ACTIVE
+        if _t is not None:
+            resolution.span = _t.resolution_started(str(qname),
+                                                    self.loop.now)
         self._step(resolution)
 
     # -- cache-driven stepping ------------------------------------------------
@@ -299,9 +308,18 @@ class RecursiveResolver:
                            edns=edns)
         port = (self.fixed_source_port if self.fixed_source_port is not None
                 else self.rng.randint(1024, 65535))
+        envelope = QueryEnvelope(query, tcp=tcp)
+        _t = _telemetry.ACTIVE
+        if _t is not None and resolution.span is not None:
+            attempt = _t.tracer.start_span(resolution.span,
+                                           "resolver.attempt", "resolver",
+                                           self.loop.now)
+            attempt.attrs["server"] = address
+            attempt.attrs["tcp"] = tcp
+            resolution.attempt_span = attempt
+            envelope.trace = attempt
         dgram = Datagram(src=self.host_id, dst=address,
-                         payload=QueryEnvelope(query, tcp=tcp),
-                         src_port=port)
+                         payload=envelope, src_port=port)
         resolution.pending_msg_id = msg_id
         resolution.pending_address = address
         resolution.pending_sent_at = self.loop.now
@@ -358,6 +376,11 @@ class RecursiveResolver:
             return
         if resolution.timeout_handle is not None:
             resolution.timeout_handle.cancel()
+        if resolution.attempt_span is not None:
+            _t = _telemetry.ACTIVE
+            if _t is not None:
+                _t.tracer.finish(resolution.attempt_span, self.loop.now)
+            resolution.attempt_span = None
         rtt = self.loop.now - resolution.pending_sent_at
         address = resolution.pending_address
         if address is not None:
@@ -373,6 +396,12 @@ class RecursiveResolver:
             return
         self._inflight.pop(msg_id, None)
         resolution.result.timeouts += 1
+        if resolution.attempt_span is not None:
+            _t = _telemetry.ACTIVE
+            if _t is not None:
+                resolution.attempt_span.attrs["timeout"] = True
+                _t.tracer.finish(resolution.attempt_span, self.loop.now)
+            resolution.attempt_span = None
         # Retry: a different delegation of the same zone with high
         # probability, since tried addresses are excluded first.
         self._query_authority(resolution)
@@ -450,6 +479,11 @@ class RecursiveResolver:
         result.from_cache = from_cache and result.queries_sent == 0
         if resolution.sub_depth == 0:
             self.resolutions_completed += 1
+            _t = _telemetry.ACTIVE
+            if _t is not None:
+                _t.resolution_finished(resolution.span, rcode.name,
+                                       result.duration, result.timeouts,
+                                       self.loop.now)
         resolution.callback(result)
 
 

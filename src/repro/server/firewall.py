@@ -15,6 +15,7 @@ from dataclasses import dataclass
 
 from ..dnscore.name import Name
 from ..dnscore.rrtypes import RType
+from ..telemetry import state as _telemetry
 
 
 @dataclass(frozen=True, slots=True)
@@ -49,9 +50,26 @@ class QoDFirewall:
 
     def record_crash(self, qname: Name, qtype: RType, now: float) -> None:
         """Install a rule from the payload the dying nameserver dumped."""
+        signature = self.install_rule(qname, qtype, now)
+        self.crash_dumps.append((now, signature))
+        _t = _telemetry.ACTIVE
+        if _t is not None:
+            _t.qod_event("crash_recorded", now)
+
+    def install_rule(self, qname: Name, qtype: RType,
+                     now: float) -> QoDSignature:
+        """Install an expiring drop rule for the query's shape.
+
+        Used by the crash-dump path above and by alert-driven mitigation
+        (:mod:`repro.telemetry.mitigation`).
+        """
         signature = QoDSignature.for_query(qname, qtype)
         self._rules[signature] = now + self.t_qod
-        self.crash_dumps.append((now, signature))
+        return signature
+
+    def remove_rule(self, signature: QoDSignature) -> None:
+        """Withdraw a rule early (mitigation stand-down)."""
+        self._rules.pop(signature, None)
 
     def should_drop(self, qname: Name, qtype: RType, now: float) -> bool:
         """Whether an arriving query matches a live rule."""
@@ -62,6 +80,9 @@ class QoDFirewall:
         for signature in self._rules:
             if signature.matches(qname, qtype):
                 self.dropped += 1
+                _t = _telemetry.ACTIVE
+                if _t is not None:
+                    _t.qod_event("dropped", now)
                 return True
         return False
 

@@ -28,6 +28,7 @@ from ..filters.nxdomain import NXDomainFilter
 from ..filters.scoring import QueuePolicy
 from ..netsim.clock import EventLoop
 from ..netsim.packet import Datagram
+from ..telemetry import state as _telemetry
 from .engine import AuthoritativeEngine
 from .firewall import QoDFirewall
 from .queues import PenaltyQueueRuntime
@@ -54,6 +55,9 @@ class QueryEnvelope:
     is_attack: bool = False
     poison: bool = False
     tcp: bool = False
+    #: Telemetry trace context (a sampled Span) or None. Purely
+    #: observational: simulator logic must never branch on it.
+    trace: object | None = None
 
 
 @dataclass(slots=True)
@@ -111,7 +115,9 @@ class NameserverMachine:
         self.pipeline = pipeline
         self.config = config or MachineConfig()
         self.queues: PenaltyQueueRuntime[tuple[Datagram, QueryEnvelope]] = (
-            PenaltyQueueRuntime(queue_policy, self.config.queue_depth))
+            PenaltyQueueRuntime(queue_policy, self.config.queue_depth,
+                                owner=machine_id))
+        self.queues.clock = loop
         self.firewall = QoDFirewall(self.config.t_qod)
         self.respond = respond or (lambda dgram, message: None)
         self.state = MachineState.RUNNING
@@ -168,17 +174,29 @@ class NameserverMachine:
         """Self-suspend: stop answering until resumed."""
         if self.state == MachineState.RUNNING:
             self.state = MachineState.SUSPENDED
+            _t = _telemetry.ACTIVE
+            if _t is not None:
+                _t.machine_lifecycle(self.machine_id, "suspended",
+                                     self.loop.now)
             self._notify_state()
 
     def resume(self) -> None:
         if self.state == MachineState.SUSPENDED:
             self.state = MachineState.RUNNING
+            _t = _telemetry.ACTIVE
+            if _t is not None:
+                _t.machine_lifecycle(self.machine_id, "resumed",
+                                     self.loop.now)
             self._notify_state()
             self._kick()
 
     def crash(self, qname=None, qtype=None) -> None:
         """Unrecoverable fault; queued queries are lost."""
         self.metrics.crashes += 1
+        _t = _telemetry.ACTIVE
+        if _t is not None:
+            _t.machine_lifecycle(self.machine_id, "crashed",
+                                 self.loop.now)
         self.state = MachineState.CRASHED
         self.queues.clear()
         self._busy = False
@@ -236,9 +254,14 @@ class NameserverMachine:
             metrics.attack_received += 1
         else:
             metrics.legit_received += 1
+        _t = _telemetry.ACTIVE
+        if _t is not None:
+            _t.query_received(self.machine_id, self.loop.now)
 
         if self.state != MachineState.RUNNING:
             metrics.dropped_not_running += 1
+            if _t is not None:
+                _t.query_dropped(self.machine_id, "not_running")
             return
 
         now = self.loop.now
@@ -248,10 +271,14 @@ class NameserverMachine:
         if (self.config.qod_firewall_enabled
                 and self.firewall.should_drop(qname, qtype, now)):
             metrics.dropped_firewall += 1
+            if _t is not None:
+                _t.query_dropped(self.machine_id, "firewall")
             return
 
         if not self._io_admit():
             metrics.dropped_io += 1
+            if _t is not None:
+                _t.query_dropped(self.machine_id, "io")
             return
 
         ctx = QueryContext(source=dgram.src, qname=qname,
@@ -262,7 +289,18 @@ class NameserverMachine:
         breakdown = self.pipeline.score(ctx)
         if not self.queues.enqueue((dgram, envelope), breakdown.total):
             metrics.dropped_queue += 1
+            if _t is not None:
+                _t.query_dropped(self.machine_id, "queue")
             return
+        if _t is not None:
+            parent = envelope.trace
+            if parent is None:
+                span = _t.tracer.start_trace("machine.process",
+                                             "machine", now)
+            else:
+                span = _t.tracer.start_span(parent, "machine.process",
+                                            "machine", now)
+            envelope.trace = span
         self._kick()
 
     def _io_admit(self) -> bool:
@@ -316,5 +354,15 @@ class NameserverMachine:
             metrics.attack_answered += 1
         else:
             metrics.legit_answered += 1
+        _t = _telemetry.ACTIVE
+        if _t is not None:
+            now = self.loop.now
+            rcode_name = response.flags.rcode.name
+            _t.query_answered(self.machine_id, rcode_name, now)
+            span = envelope.trace
+            if span is not None:
+                _t.tracer.instant(span.trace_id, "engine.respond",
+                                  "engine", now, rcode=rcode_name)
+                _t.tracer.finish(span, now)
         self.respond(dgram, response)
         self._kick()

@@ -19,6 +19,7 @@ from typing import Callable, Protocol
 from ..dnscore.message import make_query
 from ..dnscore.rrtypes import RCode, RType
 from ..netsim.clock import EventLoop, PeriodicTask
+from ..telemetry import state as _telemetry
 from .machine import MachineState, NameserverMachine
 from .speaker import MachineBGPSpeaker
 
@@ -156,6 +157,10 @@ class MonitoringAgent:
                 self._on_crash(machine)
             return
         report = self.run_suite()
+        _t = _telemetry.ACTIVE
+        if _t is not None:
+            _t.agent_check(machine.machine_id, report.healthy,
+                           self.loop.now)
         if not report.healthy:
             self.metrics.failures_detected += 1
             self._handle_unhealthy()
@@ -169,6 +174,10 @@ class MonitoringAgent:
                 not self.coordinator.request_suspension(
                     self.machine.machine_id)):
             self.metrics.suspensions_denied += 1
+            _t = _telemetry.ACTIVE
+            if _t is not None:
+                _t.machine_lifecycle(self.machine.machine_id, "denied",
+                                     self.loop.now)
             return
         self.machine.suspend()
         self.speaker.withdraw_all()

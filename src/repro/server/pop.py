@@ -20,6 +20,7 @@ from ..dnscore.message import Message
 from ..netsim.clock import EventLoop
 from ..netsim.network import Network
 from ..netsim.packet import Datagram
+from ..telemetry import state as _telemetry
 from .machine import NameserverMachine, QueryEnvelope
 
 #: One-way latency from PoP router to a machine's NIC, seconds.
@@ -192,5 +193,12 @@ class PoP:
         machine_id = ecmp[ecmp_hash(dgram.flow_key) % len(ecmp)]
         machine = self.machines[machine_id]
         self.queries_forwarded += 1
+        _t = _telemetry.ACTIVE
+        if _t is not None:
+            span = dgram.payload.trace
+            if span is not None:
+                _t.tracer.instant(span.trace_id, "pop.ecmp", "pop",
+                                  self.loop.now, pop=self.router_id,
+                                  machine=machine_id)
         self.loop.call_later(INTRA_POP_LATENCY_S,
                              machine.receive_query, dgram)

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Generic, TypeVar
 
 from ..filters.scoring import QueuePolicy
+from ..telemetry import state as _telemetry
 
 T = TypeVar("T")
 
@@ -31,9 +32,15 @@ class PenaltyQueueRuntime(Generic[T]):
     """Bounded FIFO queues ordered by penalty score band."""
 
     def __init__(self, policy: QueuePolicy,
-                 max_depth_per_queue: int = 1000) -> None:
+                 max_depth_per_queue: int = 1000,
+                 owner: str = "") -> None:
         self.policy = policy
         self.max_depth = max_depth_per_queue
+        #: Telemetry label (typically the owning machine's id).
+        self.owner = owner
+        #: Clock for telemetry timestamps; set by the owner when it has
+        #: a loop (queues are usable without one).
+        self.clock = None
         self._queues: list[deque[T]] = [deque()
                                         for _ in range(policy.queue_count)]
         self.stats = QueueStats(
@@ -53,6 +60,10 @@ class PenaltyQueueRuntime(Generic[T]):
             return False
         queue.append(item)
         self.stats.enqueued_per_queue[index] += 1
+        _t = _telemetry.ACTIVE
+        if _t is not None and self.clock is not None:
+            _t.queue_enqueued(self.owner, index, self.total_depth(),
+                              self.clock.now)
         return True
 
     def pop_next(self) -> tuple[int, T] | None:
@@ -60,7 +71,12 @@ class PenaltyQueueRuntime(Generic[T]):
         for index, queue in enumerate(self._queues):
             if queue:
                 self.stats.served_per_queue[index] += 1
-                return index, queue.popleft()
+                item = queue.popleft()
+                _t = _telemetry.ACTIVE
+                if _t is not None and self.clock is not None:
+                    _t.queue_served(self.owner, self.total_depth(),
+                                    self.clock.now)
+                return index, item
         return None
 
     def depth(self, index: int) -> int:

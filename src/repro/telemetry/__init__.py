@@ -1,0 +1,327 @@
+"""Deterministic, sim-time-clocked observability (paper section 3.2).
+
+The platform in the paper is operated through pervasive measurement:
+on-machine agents and collectors feed dashboards and alerting, and the
+section 4.3 attack defenses are *activated* when monitoring detects an
+anomaly. This package is that measurement substrate for the repro, in
+four layers:
+
+* a **metrics registry** (:mod:`.registry`) — counters, gauges, and
+  log-bucketed histograms, labeled and exported in sorted order;
+* **per-query trace spans** (:mod:`.trace`) — head-sampled traces that
+  follow a query resolver -> network -> PoP -> penalty queue -> engine;
+* **exporters** (:mod:`.exporters`) — JSONL events, Chrome trace-event
+  JSON, and an ASCII dashboard;
+* an **alerting pipeline** (:mod:`.alerts`) — rolling-window detectors
+  (QPS spike, NXDOMAIN ratio, SERVFAIL rate, queue depth) that raise
+  typed :class:`~.alerts.Alert` objects and can arm mitigations
+  (:mod:`.mitigation`), closing the paper's detect -> mitigate loop.
+
+Determinism contract (stronger than "seeded"): with a fixed telemetry
+seed, every export is bit-reproducible, **and** enabling telemetry does
+not change any simulation result — hooks never schedule events on the
+sim loop, never draw from simulation RNG streams, and never mutate sim
+state (mitigation arming is opt-in and off by default). When no session
+is active the entire subsystem costs one ``is not None`` guard per hook
+site (see :mod:`.state`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Callable
+
+from .alerts import (
+    Alert,
+    AlertManager,
+    AlertSeverity,
+    Detector,
+    GaugeDetector,
+    RateDetector,
+    RatioDetector,
+)
+from .registry import Counter, Gauge, Histogram, MetricsRegistry
+from .state import activate, active, deactivate, session
+from .trace import InstantEvent, Span, Tracer
+
+__all__ = [
+    "Alert", "AlertManager", "AlertSeverity", "Counter", "Detector",
+    "Gauge", "GaugeDetector", "Histogram", "InstantEvent",
+    "MetricsRegistry", "RateDetector", "RatioDetector", "Span",
+    "Telemetry", "TelemetryConfig", "Tracer", "activate", "active",
+    "deactivate", "session", "standard_detectors",
+]
+
+
+@dataclass(slots=True)
+class TelemetryConfig:
+    """Knobs for one telemetry session."""
+
+    #: Seeds the tracer's private sampling stream (never a sim stream).
+    seed: int = 0
+    #: Fraction of trace roots kept; 0 disables span recording entirely.
+    trace_sample_rate: float = 0.01
+    #: Bound on retained spans/instants (overflow is counted, not kept).
+    max_spans: int = 50_000
+    #: When False, alert callbacks that would mutate simulator state
+    #: (mitigation arming) are not invoked. Off by default so an
+    #: observing session can never change results.
+    arm_mitigations: bool = False
+
+
+class Telemetry:
+    """One observability session: registry + tracer + alerts + stats taps.
+
+    Activate with :func:`repro.telemetry.activate` (or the
+    :func:`~repro.telemetry.state.session` context manager);
+    instrumentation hooks throughout the simulator feed whichever
+    session is active. The hook methods below are the *only* interface
+    instrumented code calls, so the instrumentation surface stays
+    greppable and the hot-path cost auditable.
+    """
+
+    def __init__(self, config: TelemetryConfig | None = None) -> None:
+        self.config = config or TelemetryConfig()
+        self.registry = MetricsRegistry()
+        self.tracer = Tracer(sample_rate=self.config.trace_sample_rate,
+                             seed=self.config.seed,
+                             max_spans=self.config.max_spans)
+        self.alerts = AlertManager()
+        #: Monotonic count of simulation worlds (EventLoops) observed.
+        self.epoch = 0
+        self._loop = None
+        #: name -> provider callable for end-of-epoch stats snapshots.
+        self._stats_providers: list[tuple[str, Callable[[], dict]]] = []
+        self._stats_frozen: dict[str, dict] = {}
+
+        reg = self.registry
+        self._c_received = reg.counter(
+            "queries_received_total",
+            "queries arriving at nameserver machines", ("machine",))
+        self._c_answered = reg.counter(
+            "queries_answered_total",
+            "responses assembled, by final rcode", ("machine", "rcode"))
+        self._c_dropped = reg.counter(
+            "queries_dropped_total",
+            "queries shed before service", ("machine", "reason"))
+        self._c_enqueued = reg.counter(
+            "penalty_enqueued_total",
+            "queries placed into penalty queues", ("owner", "queue"))
+        self._g_queue_depth = reg.gauge(
+            "penalty_queue_depth",
+            "total queued queries per machine", ("owner",))
+        self._c_filter = reg.counter(
+            "filter_penalties_total",
+            "nonzero penalties contributed per filter", ("filter",))
+        self._h_penalty = reg.histogram(
+            "filter_penalty_score",
+            "distribution of total penalty scores").labels()
+        self._c_qod = reg.counter(
+            "qod_events_total",
+            "query-of-death firewall activity", ("event",))
+        self._c_agent = reg.counter(
+            "agent_checks_total",
+            "monitoring-agent cycles by outcome", ("machine", "outcome"))
+        self._c_lifecycle = reg.counter(
+            "machine_lifecycle_total",
+            "suspensions/resumptions/crashes", ("machine", "event"))
+        self._c_resolutions = reg.counter(
+            "resolutions_total",
+            "recursive resolutions finished, by rcode", ("rcode",))
+        self._h_resolution = reg.histogram(
+            "resolution_seconds",
+            "end-to-end resolution latency").labels()
+        self._c_timeouts = reg.counter(
+            "resolution_timeouts_total",
+            "per-attempt timeouts during resolution").labels()
+        self._c_probe = reg.counter(
+            "probe_outcomes_total",
+            "SLO probe resolutions, graded", ("outcome",))
+        self._c_zone = reg.counter(
+            "zone_responses_total",
+            "per-zone responses, by rcode (feeds enterprise reports)",
+            ("machine", "zone", "rcode"))
+        self._h_probe = reg.histogram(
+            "probe_seconds", "SLO probe answer latency").labels()
+
+    # -- clock / epoch ------------------------------------------------------
+
+    def attach_loop(self, loop) -> None:
+        """A new simulated world started; begin a fresh epoch.
+
+        Each :class:`~repro.netsim.clock.EventLoop` restarts simulated
+        time at zero, so rolling alert windows and span timelines from
+        the previous world must not bleed into the new one.
+        """
+        self._freeze_stats()
+        self.epoch += 1
+        self._loop = loop
+        self.tracer.epoch = self.epoch
+        self.alerts.reset_epoch(self.epoch)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time of the attached world (0.0 if none)."""
+        return self._loop.now if self._loop is not None else 0.0
+
+    # -- stats taps ---------------------------------------------------------
+
+    def register_stats(self, name: str,
+                       provider: Callable[[], dict]) -> None:
+        """Register a snapshot provider (e.g. NetworkStats) for export."""
+        self._stats_providers.append((name, provider))
+
+    def _freeze_stats(self) -> None:
+        for name, provider in self._stats_providers:
+            self._stats_frozen[f"epoch{self.epoch}.{name}"] = provider()
+        self._stats_providers.clear()
+
+    # -- machine hooks ------------------------------------------------------
+
+    def query_received(self, machine_id: str, now: float) -> None:
+        self._c_received.labels(machine_id).inc()
+        self.alerts.observe("qps", now)
+
+    def query_answered(self, machine_id: str, rcode: str,
+                       now: float) -> None:
+        self._c_answered.labels(machine_id, rcode).inc()
+        self.alerts.observe("nxdomain", now,
+                            1.0 if rcode == "NXDOMAIN" else 0.0)
+        self.alerts.observe("servfail", now,
+                            1.0 if rcode == "SERVFAIL" else 0.0)
+
+    def query_dropped(self, machine_id: str, reason: str) -> None:
+        self._c_dropped.labels(machine_id, reason).inc()
+
+    def queue_enqueued(self, owner: str, queue_index: int,
+                       total_depth: int, now: float) -> None:
+        self._c_enqueued.labels(owner, str(queue_index)).inc()
+        self._g_queue_depth.labels(owner).set(float(total_depth))
+        self.alerts.observe("queue_depth", now, float(total_depth))
+
+    def queue_served(self, owner: str, total_depth: int,
+                     now: float) -> None:
+        self._g_queue_depth.labels(owner).set(float(total_depth))
+        self.alerts.observe("queue_depth", now, float(total_depth))
+
+    def filter_scored(self, contributions: dict[str, float],
+                      total: float) -> None:
+        for filter_name in contributions:
+            self._c_filter.labels(filter_name).inc()
+        self._h_penalty.record(total)
+
+    def qod_event(self, event: str, now: float) -> None:
+        """``event`` is "crash_recorded", "dropped", or "armed"."""
+        self._c_qod.labels(event).inc()
+        self.alerts.observe("qod", now)
+
+    # -- monitoring / lifecycle hooks ---------------------------------------
+
+    def agent_check(self, machine_id: str, healthy: bool,
+                    now: float) -> None:
+        outcome = "healthy" if healthy else "unhealthy"
+        self._c_agent.labels(machine_id, outcome).inc()
+        self.alerts.observe("agent_failures", now,
+                            0.0 if healthy else 1.0)
+
+    def machine_lifecycle(self, machine_id: str, event: str,
+                          now: float) -> None:
+        """``event``: "suspended", "resumed", "denied", "crashed"."""
+        self._c_lifecycle.labels(machine_id, event).inc()
+        self.alerts.observe("lifecycle", now)
+
+    # -- resolver hooks -----------------------------------------------------
+
+    def resolution_started(self, qname: str, now: float) -> Span | None:
+        return self.tracer.start_trace("resolver.resolve", "resolver",
+                                       now)
+
+    def resolution_finished(self, span: Span | None, rcode: str,
+                            duration: float, timeouts: int,
+                            now: float) -> None:
+        self._c_resolutions.labels(rcode).inc()
+        self._h_resolution.record(duration)
+        if timeouts:
+            self._c_timeouts.inc(timeouts)
+        self.alerts.observe("resolver_servfail", now,
+                            0.0 if rcode in ("NOERROR", "NXDOMAIN")
+                            else 1.0)
+        if span is not None:
+            span.attrs["rcode"] = rcode
+            span.attrs["timeouts"] = timeouts
+            self.tracer.finish(span, now)
+
+    # -- reporting hooks ----------------------------------------------------
+
+    def zone_response(self, machine_id: str, zone: str,
+                      rcode: str) -> None:
+        self._c_zone.labels(machine_id, zone, rcode).inc()
+
+    # -- SLO probe hooks ----------------------------------------------------
+
+    def probe_outcome(self, ok: bool, rcode: str, duration: float,
+                      now: float) -> None:
+        self._c_probe.labels("ok" if ok else "failed").inc()
+        if ok:
+            self._h_probe.record(duration)
+        self.alerts.observe("probe.fail", now, 0.0 if ok else 1.0)
+
+    # -- export -------------------------------------------------------------
+
+    def finalize(self) -> None:
+        """Flush trailing alert windows and stats snapshots."""
+        if self._loop is not None:
+            self.alerts.finalize(self._loop.now)
+        self._freeze_stats()
+
+    def export(self) -> dict:
+        """The whole session as a JSON-ready dict (sorted, reproducible)."""
+        self.finalize()
+        return {
+            "epochs": self.epoch,
+            "metrics": self.registry.snapshot(),
+            "alerts": self.alerts.to_dict(),
+            "stats": {name: self._stats_frozen[name]
+                      for name in sorted(self._stats_frozen)},
+            "trace": {
+                "roots_started": self.tracer.roots_started,
+                "roots_sampled": self.tracer.roots_sampled,
+                "spans": len(self.tracer.spans),
+                "instants": len(self.tracer.events),
+                "dropped_spans": self.tracer.dropped_spans,
+            },
+        }
+
+
+def standard_detectors(manager: AlertManager, *,
+                       qps_threshold: float = 1_000.0,
+                       nxdomain_ratio: float = 0.30,
+                       servfail_ratio: float = 0.20,
+                       queue_depth: float = 200.0,
+                       window: float = 1.0) -> AlertManager:
+    """Arm the four detectors the paper's defenses key off.
+
+    QPS spike and NXDOMAIN ratio are the section 4.3.4 attack signals
+    (volumetric flood, random-subdomain attack); SERVFAIL rate and
+    penalty-queue depth are platform-health signals.
+    """
+    manager.add(RateDetector(
+        "qps-spike", window=window, threshold=qps_threshold,
+        for_windows=2, severity=AlertSeverity.CRITICAL), "qps")
+    manager.add(RatioDetector(
+        "nxdomain-ratio", window=window, threshold=nxdomain_ratio,
+        min_count=20, for_windows=2,
+        severity=AlertSeverity.CRITICAL), "nxdomain")
+    manager.add(RatioDetector(
+        "servfail-ratio", window=5 * window, threshold=servfail_ratio,
+        min_count=10), "servfail")
+    manager.add(GaugeDetector(
+        "queue-depth", window=window, threshold=queue_depth),
+        "queue_depth")
+    return manager
+
+
+def snapshot_dataclass(obj) -> dict:
+    """Helper for ``register_stats``: a dataclass as a plain dict."""
+    return dataclasses.asdict(obj)

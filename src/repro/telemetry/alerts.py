@@ -1,0 +1,351 @@
+"""The alerting pipeline: rolling-window detectors over telemetry feeds.
+
+The paper operates its defenses reactively: "when monitoring detects an
+anomaly" the operators (or automation) activate mitigations (section
+4.3). This module is that detection half, kept strictly passive and
+sim-time-clocked: instrumentation hooks feed named observation streams
+("qps", "nxdomain", "servfail", "queue_depth", "probe.fail", ...);
+detectors aggregate each stream into fixed-width windows keyed by
+``int(now / window)`` and compare the finished window against a
+threshold.
+
+Hysteresis is built in so a sawtooth load cannot flap an alert: a
+detector must breach ``for_windows`` consecutive windows to raise, and
+must then stay below the (lower) ``clear_threshold`` for
+``clear_windows`` consecutive windows to clear.
+
+Detectors never schedule events on the simulation loop — windows close
+lazily, when a later observation (or an explicit ``finalize``) proves
+sim time has moved past them. That keeps the event sequence, and
+therefore every simulation result, byte-identical whether alerting is
+armed or not.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+class AlertSeverity(str, enum.Enum):
+    WARNING = "warning"
+    CRITICAL = "critical"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(slots=True)
+class Alert:
+    """One raised (and possibly cleared) anomaly."""
+
+    name: str
+    severity: AlertSeverity
+    epoch: int
+    raised_at: float
+    value: float
+    threshold: float
+    message: str
+    cleared_at: float | None = None
+
+    @property
+    def active(self) -> bool:
+        return self.cleared_at is None
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "name": self.name,
+            "severity": self.severity.value,
+            "epoch": self.epoch,
+            "raised_at": self.raised_at,
+            "cleared_at": self.cleared_at,
+            "value": self.value,
+            "threshold": self.threshold,
+            "message": self.message,
+        }
+
+
+class _DetectorState(enum.Enum):
+    OK = "ok"
+    FIRING = "firing"
+
+
+@dataclass(slots=True)
+class _Window:
+    """Aggregates for one in-progress window."""
+
+    index: int
+    count: float = 0.0
+    total: float = 0.0       # sum of observed values
+    peak: float = float("-inf")
+
+
+class Detector:
+    """Base rolling-window detector.
+
+    Subclasses define :meth:`window_value` — the scalar a finished
+    window is judged by — and a human message. ``observe`` may be
+    called with any of the detector's feed keys; windows close when an
+    observation (or ``finalize``) lands past their end.
+    """
+
+    #: Number of (window_start, value) pairs retained for dashboards.
+    HISTORY = 128
+
+    def __init__(self, name: str, *, window: float,
+                 threshold: float,
+                 clear_threshold: float | None = None,
+                 for_windows: int = 1,
+                 clear_windows: int = 2,
+                 severity: AlertSeverity = AlertSeverity.WARNING) -> None:
+        if window <= 0:
+            raise ValueError("window must be positive")
+        if for_windows < 1 or clear_windows < 1:
+            raise ValueError("for_windows/clear_windows must be >= 1")
+        self.name = name
+        self.window = window
+        self.threshold = threshold
+        #: Hysteresis floor: the alert clears only below this (default
+        #: 80% of the raise threshold), never at threshold - epsilon.
+        self.clear_threshold = (threshold * 0.8 if clear_threshold is None
+                                else clear_threshold)
+        if self.clear_threshold > threshold:
+            raise ValueError("clear_threshold must not exceed threshold")
+        self.for_windows = for_windows
+        self.clear_windows = clear_windows
+        self.severity = severity
+        self.state = _DetectorState.OK
+        self._breach_streak = 0
+        self._calm_streak = 0
+        self._current: _Window | None = None
+        self.history: deque[tuple[float, float]] = deque(maxlen=self.HISTORY)
+        self.manager: "AlertManager | None" = None
+
+    # -- feeding -------------------------------------------------------------
+
+    def observe(self, now: float, value: float) -> None:
+        index = int(now // self.window)
+        current = self._current
+        if current is None:
+            self._current = current = _Window(index)
+        elif index > current.index:
+            self._close_through(index)
+            current = self._current
+            if current is None:
+                self._current = current = _Window(index)
+        current.count += 1
+        current.total += value
+        if value > current.peak:
+            current.peak = value
+
+    def finalize(self, now: float) -> None:
+        """Close every window that ends at or before ``now``."""
+        if self._current is not None \
+                and now >= (self._current.index + 1) * self.window:
+            self._close_through(int(now // self.window))
+
+    def _close_through(self, new_index: int) -> None:
+        """Judge the finished window, plus any silent gap windows."""
+        current = self._current
+        assert current is not None
+        self._judge(current)
+        # Windows with no observations at all still count — a stream
+        # going quiet must clear a rate alert, not freeze it.
+        for index in range(current.index + 1, new_index):
+            self._judge(_Window(index))
+        self._current = _Window(new_index)
+
+    # -- judging -------------------------------------------------------------
+
+    def window_value(self, win: _Window) -> float:
+        raise NotImplementedError
+
+    def describe(self, value: float) -> str:
+        return (f"{self.name}: window value {value:.4g} vs "
+                f"threshold {self.threshold:.4g}")
+
+    def _judge(self, win: _Window) -> None:
+        value = self.window_value(win)
+        window_end = (win.index + 1) * self.window
+        self.history.append((win.index * self.window, value))
+        if value > self.threshold:
+            self._breach_streak += 1
+            self._calm_streak = 0
+            if (self.state is _DetectorState.OK
+                    and self._breach_streak >= self.for_windows):
+                self.state = _DetectorState.FIRING
+                if self.manager is not None:
+                    self.manager._raised(self, window_end, value)
+        elif value < self.clear_threshold:
+            self._calm_streak += 1
+            self._breach_streak = 0
+            if (self.state is _DetectorState.FIRING
+                    and self._calm_streak >= self.clear_windows):
+                self.state = _DetectorState.OK
+                if self.manager is not None:
+                    self.manager._cleared(self, window_end)
+        else:
+            # The hysteresis band: neither streak advances, so a value
+            # oscillating across the raise threshold alone cannot flap.
+            self._breach_streak = 0
+            self._calm_streak = 0
+
+    @property
+    def firing(self) -> bool:
+        return self.state is _DetectorState.FIRING
+
+
+class RateDetector(Detector):
+    """Events/second in a window exceeds a threshold (QPS spike)."""
+
+    def window_value(self, win: _Window) -> float:
+        return win.count / self.window
+
+    def describe(self, value: float) -> str:
+        return (f"{self.name}: {value:.1f}/s over a {self.window:g}s "
+                f"window (threshold {self.threshold:g}/s)")
+
+
+class RatioDetector(Detector):
+    """Mean of observed 0/1 (or fractional) values exceeds a threshold.
+
+    Feed 1.0 for a "hit" (an NXDOMAIN answer, a failed probe) and 0.0
+    for the complement; the window value is the hit fraction.
+    ``min_count`` keeps a single stray hit in an idle window from
+    counting as 100%.
+    """
+
+    def __init__(self, name: str, *, min_count: int = 10,
+                 **kwargs) -> None:
+        super().__init__(name, **kwargs)
+        self.min_count = min_count
+
+    def window_value(self, win: _Window) -> float:
+        if win.count < self.min_count:
+            return 0.0
+        return win.total / win.count
+
+    def describe(self, value: float) -> str:
+        return (f"{self.name}: ratio {value:.1%} over a {self.window:g}s "
+                f"window (threshold {self.threshold:.0%})")
+
+
+class GaugeDetector(Detector):
+    """Peak observed gauge value in a window exceeds a threshold
+    (penalty-queue depth)."""
+
+    def window_value(self, win: _Window) -> float:
+        return win.peak if win.count else 0.0
+
+    def describe(self, value: float) -> str:
+        return (f"{self.name}: peak {value:g} over a {self.window:g}s "
+                f"window (threshold {self.threshold:g})")
+
+
+AlertCallback = Callable[[Alert], None]
+
+
+@dataclass(slots=True)
+class _Subscription:
+    key: str
+    detector: Detector
+
+
+class AlertManager:
+    """Routes observation feeds to detectors and records alerts."""
+
+    def __init__(self) -> None:
+        self._feeds: dict[str, list[Detector]] = {}
+        self._detectors: list[Detector] = []
+        self.alerts: list[Alert] = []
+        self._active: dict[str, Alert] = {}
+        self.on_raise: list[AlertCallback] = []
+        self.on_clear: list[AlertCallback] = []
+        #: Set by the owning Telemetry handle on epoch changes.
+        self.epoch = 0
+
+    # -- wiring --------------------------------------------------------------
+
+    def add(self, detector: Detector, *keys: str) -> Detector:
+        """Register ``detector`` to consume the named feeds."""
+        if not keys:
+            raise ValueError("detector needs at least one feed key")
+        detector.manager = self
+        self._detectors.append(detector)
+        for key in keys:
+            self._feeds.setdefault(key, []).append(detector)
+        return detector
+
+    def detectors(self) -> list[Detector]:
+        return list(self._detectors)
+
+    def has_feed(self, key: str) -> bool:
+        return key in self._feeds
+
+    # -- feeding -------------------------------------------------------------
+
+    def observe(self, key: str, now: float, value: float = 1.0) -> None:
+        detectors = self._feeds.get(key)
+        if detectors is None:
+            return
+        for detector in detectors:
+            detector.observe(now, value)
+
+    def finalize(self, now: float) -> None:
+        """Flush windows at end of run so trailing breaches still raise."""
+        for detector in self._detectors:
+            detector.finalize(now)
+
+    def reset_epoch(self, epoch: int) -> None:
+        """A new simulation world attached: restart every window.
+
+        Sim time starts over at 0, so carrying windows across epochs
+        would make time run backwards inside a detector.
+        """
+        self.epoch = epoch
+        for detector in self._detectors:
+            detector._current = None
+            detector._breach_streak = 0
+            detector._calm_streak = 0
+            detector.state = _DetectorState.OK
+        self._active.clear()
+
+    # -- alert bookkeeping ---------------------------------------------------
+
+    def _raised(self, detector: Detector, now: float,
+                value: float) -> None:
+        alert = Alert(name=detector.name, severity=detector.severity,
+                      epoch=self.epoch, raised_at=now, value=value,
+                      threshold=detector.threshold,
+                      message=detector.describe(value))
+        self.alerts.append(alert)
+        self._active[detector.name] = alert
+        for callback in self.on_raise:
+            callback(alert)
+
+    def _cleared(self, detector: Detector, now: float) -> None:
+        alert = self._active.pop(detector.name, None)
+        if alert is None:
+            return
+        alert.cleared_at = now
+        for callback in self.on_clear:
+            callback(alert)
+
+    # -- reporting -----------------------------------------------------------
+
+    def active(self) -> list[Alert]:
+        return [self._active[name] for name in sorted(self._active)]
+
+    def first_raise_after(self, t0: float, *, name: str | None = None,
+                          epoch: int | None = None) -> Alert | None:
+        """Earliest alert raised at or after ``t0`` (time-to-detection)."""
+        hits = [a for a in self.alerts
+                if a.raised_at >= t0
+                and (name is None or a.name == name)
+                and (epoch is None or a.epoch == epoch)]
+        return min(hits, key=lambda a: a.raised_at) if hits else None
+
+    def to_dict(self) -> list[dict[str, object]]:
+        return [a.to_dict() for a in self.alerts]

@@ -1,0 +1,116 @@
+"""Detect -> mitigate glue: alerts arming the platform's defenses.
+
+The paper's attack playbook (section 4.3) is reactive: scoring filters
+and firewall rules exist ahead of time, but the aggressive ones are
+*enabled* when monitoring detects an anomaly. This module closes that
+loop for the repro: a :class:`Mitigator` binds an alert name to a
+concrete defensive action — inserting a filter into a machine's scoring
+pipeline, or installing a QoD firewall rule — engaged on alert raise
+and stood down on clear.
+
+Arming **changes simulation behaviour by design**, which is exactly
+what the passive telemetry contract forbids by default. So
+:func:`arm` refuses to attach unless the session was created with
+``TelemetryConfig(arm_mitigations=True)``; experiments that want the
+closed loop opt in explicitly, and every default run stays
+byte-identical with telemetry on or off.
+"""
+
+from __future__ import annotations
+
+from . import Telemetry
+from .alerts import Alert
+
+
+class Mitigator:
+    """Binds one alert name to an engage/stand-down action pair."""
+
+    #: Alert name this mitigator responds to (set by subclass/ctor).
+    alert_name: str
+
+    def __init__(self, alert_name: str) -> None:
+        self.alert_name = alert_name
+        self.engaged = 0
+        self.stood_down = 0
+
+    def engage(self, alert: Alert) -> None:
+        raise NotImplementedError
+
+    def stand_down(self, alert: Alert) -> None:
+        raise NotImplementedError
+
+    # -- wiring --------------------------------------------------------------
+
+    def _on_raise(self, alert: Alert) -> None:
+        if alert.name == self.alert_name:
+            self.engaged += 1
+            self.engage(alert)
+
+    def _on_clear(self, alert: Alert) -> None:
+        if alert.name == self.alert_name:
+            self.stood_down += 1
+            self.stand_down(alert)
+
+
+class PipelineArm(Mitigator):
+    """Insert a scoring filter while an alert is active.
+
+    Models turning on an aggressive filter (e.g. a stricter NXDOMAIN
+    filter, a TTL filter) only once an attack is detected, so its
+    false-positive cost is not paid in peacetime.
+    """
+
+    def __init__(self, alert_name: str, pipeline, filter_) -> None:
+        super().__init__(alert_name)
+        self.pipeline = pipeline
+        self.filter = filter_
+
+    def engage(self, alert: Alert) -> None:
+        if self.filter not in self.pipeline.filters:
+            self.pipeline.add(self.filter)
+
+    def stand_down(self, alert: Alert) -> None:
+        if self.filter in self.pipeline.filters:
+            self.pipeline.filters.remove(self.filter)
+
+
+class FirewallArm(Mitigator):
+    """Install a QoD firewall rule while an alert is active.
+
+    The rule drops the (parent domain, qtype) shape the alert implicates
+    — the same broad-by-design match the crash-dump path uses — and is
+    removed when the alert clears rather than waiting for ``t_qod``.
+    """
+
+    def __init__(self, alert_name: str, firewall, qname, qtype) -> None:
+        super().__init__(alert_name)
+        self.firewall = firewall
+        self.qname = qname
+        self.qtype = qtype
+        self._signature = None
+
+    def engage(self, alert: Alert) -> None:
+        self._signature = self.firewall.install_rule(
+            self.qname, self.qtype, alert.raised_at)
+
+    def stand_down(self, alert: Alert) -> None:
+        if self._signature is not None:
+            self.firewall.remove_rule(self._signature)
+            self._signature = None
+
+
+def arm(telemetry: Telemetry, *mitigators: Mitigator) -> None:
+    """Attach mitigators to a session's alert callbacks.
+
+    Raises ``ValueError`` unless the session opted in with
+    ``TelemetryConfig(arm_mitigations=True)`` — see the module
+    docstring for why passive sessions must never mutate the sim.
+    """
+    if not telemetry.config.arm_mitigations:
+        raise ValueError(
+            "mitigation arming requires TelemetryConfig("
+            "arm_mitigations=True); passive sessions must not mutate "
+            "simulation state")
+    for mitigator in mitigators:
+        telemetry.alerts.on_raise.append(mitigator._on_raise)
+        telemetry.alerts.on_clear.append(mitigator._on_clear)

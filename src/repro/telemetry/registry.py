@@ -1,0 +1,240 @@
+"""The metrics registry: counters, gauges, log-bucketed histograms.
+
+Instruments are grouped into *families* (one name, one kind, a fixed
+label schema); a family hands out one instrument per label-value tuple.
+Iteration and export are always sorted — by family name, then by label
+tuple — per the DET005 determinism contract: no snapshot may depend on
+dict insertion or hash order.
+
+Histograms use geometric (log) buckets so one instrument covers
+microseconds to minutes with bounded memory; quantiles are read back as
+the geometric midpoint of the covering bucket, giving a bounded
+relative error of ``sqrt(base)`` (see ``Histogram.quantile``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+#: Geometric bucket growth factor: 4 buckets per decade.
+_BUCKET_BASE = 10.0 ** 0.25
+_LOG_BASE = math.log(_BUCKET_BASE)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value, tracked with its observed extremes."""
+
+    __slots__ = ("value", "max_value", "min_value", "updates")
+
+    def __init__(self) -> None:
+        self.value = 0.0
+        self.max_value = float("-inf")
+        self.min_value = float("inf")
+        self.updates = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        self.updates += 1
+        if value > self.max_value:
+            self.max_value = value
+        if value < self.min_value:
+            self.min_value = value
+
+
+class Histogram:
+    """Log-bucketed distribution with p50/p99/max readout.
+
+    Values ``<= 0`` land in a dedicated underflow bucket (index None in
+    spirit; stored as the minimum int key) so latencies of exactly zero
+    — possible in a discrete-event world — are still counted.
+    """
+
+    __slots__ = ("buckets", "count", "sum", "max", "min", "zeros")
+
+    def __init__(self) -> None:
+        #: bucket index -> count; value v lands in floor(log(v)/log(base)).
+        self.buckets: dict[int, int] = {}
+        self.count = 0
+        self.sum = 0.0
+        self.max = float("-inf")
+        self.min = float("inf")
+        self.zeros = 0
+
+    def record(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        if value > self.max:
+            self.max = value
+        if value < self.min:
+            self.min = value
+        if value <= 0.0:
+            self.zeros += 1
+            return
+        index = math.floor(math.log(value) / _LOG_BASE)
+        self.buckets[index] = self.buckets.get(index, 0) + 1
+
+    @staticmethod
+    def bucket_bounds(index: int) -> tuple[float, float]:
+        """(low, high) value bounds of bucket ``index``."""
+        return (_BUCKET_BASE ** index, _BUCKET_BASE ** (index + 1))
+
+    def quantile(self, q: float) -> float:
+        """Approximate q-quantile (0 <= q <= 1).
+
+        Returns the geometric midpoint of the bucket containing the
+        quantile rank, so the relative error is bounded by
+        ``sqrt(_BUCKET_BASE)`` (~1.33x at 4 buckets/decade). The exact
+        observed extremes clamp the ends.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        if q <= 0.0:
+            return self.min
+        if q >= 1.0:
+            return self.max
+        rank = q * self.count
+        seen = self.zeros
+        if self.zeros and rank <= seen:
+            return max(self.min, 0.0) if self.min <= 0.0 else 0.0
+        for index in sorted(self.buckets):
+            seen += self.buckets[index]
+            if rank <= seen:
+                low, high = self.bucket_bounds(index)
+                mid = math.sqrt(low * high)
+                return min(max(mid, self.min), self.max)
+        return self.max
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict[str, float | int | dict[str, int]]:
+        """Export view: count/sum/extremes/quantiles plus raw buckets."""
+        if self.count == 0:
+            return {"count": 0, "sum": 0.0}
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "p50": self.quantile(0.50),
+            "p90": self.quantile(0.90),
+            "p99": self.quantile(0.99),
+            "buckets": {str(k): self.buckets[k]
+                        for k in sorted(self.buckets)},
+        }
+
+
+@dataclass(slots=True)
+class MetricFamily:
+    """One named metric with a fixed label schema.
+
+    ``labels(...)`` returns the instrument for a label-value tuple,
+    creating it on first use. Instruments are plain objects with no
+    back-pointer, so the hot path can cache them.
+    """
+
+    name: str
+    kind: str                       # "counter" | "gauge" | "histogram"
+    help: str = ""
+    labelnames: tuple[str, ...] = ()
+    series: dict[tuple[str, ...], object] = field(default_factory=dict)
+
+    _CTORS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+    def labels(self, *labelvalues: str):
+        if len(labelvalues) != len(self.labelnames):
+            raise ValueError(
+                f"{self.name}: expected labels {self.labelnames}, "
+                f"got {labelvalues!r}")
+        key = tuple(str(v) for v in labelvalues)
+        instrument = self.series.get(key)
+        if instrument is None:
+            instrument = self._CTORS[self.kind]()
+            self.series[key] = instrument
+        return instrument
+
+    def items(self):
+        """(label tuple, instrument) pairs in sorted label order."""
+        return [(key, self.series[key]) for key in sorted(self.series)]
+
+
+def _series_key(name: str, labelnames: tuple[str, ...],
+                labelvalues: tuple[str, ...]) -> str:
+    if not labelnames:
+        return name
+    inner = ",".join(f"{n}={v}" for n, v in zip(labelnames, labelvalues))
+    return f"{name}{{{inner}}}"
+
+
+class MetricsRegistry:
+    """All metric families of one telemetry session."""
+
+    def __init__(self) -> None:
+        self._families: dict[str, MetricFamily] = {}
+
+    def _family(self, name: str, kind: str, help_: str,
+                labelnames: tuple[str, ...]) -> MetricFamily:
+        family = self._families.get(name)
+        if family is None:
+            family = MetricFamily(name, kind, help_, tuple(labelnames))
+            self._families[name] = family
+            return family
+        if family.kind != kind or family.labelnames != tuple(labelnames):
+            raise ValueError(
+                f"metric {name!r} re-registered with a different "
+                f"kind/label schema")
+        return family
+
+    def counter(self, name: str, help_: str = "",
+                labelnames: tuple[str, ...] = ()) -> MetricFamily:
+        return self._family(name, "counter", help_, labelnames)
+
+    def gauge(self, name: str, help_: str = "",
+              labelnames: tuple[str, ...] = ()) -> MetricFamily:
+        return self._family(name, "gauge", help_, labelnames)
+
+    def histogram(self, name: str, help_: str = "",
+                  labelnames: tuple[str, ...] = ()) -> MetricFamily:
+        return self._family(name, "histogram", help_, labelnames)
+
+    def get(self, name: str) -> MetricFamily | None:
+        return self._families.get(name)
+
+    def families(self) -> list[MetricFamily]:
+        return [self._families[n] for n in sorted(self._families)]
+
+    def snapshot(self) -> dict[str, dict]:
+        """The full registry as a sorted, JSON-ready mapping."""
+        out: dict[str, dict] = {"counters": {}, "gauges": {},
+                                "histograms": {}}
+        for family in self.families():
+            for key, instrument in family.items():
+                series = _series_key(family.name, family.labelnames, key)
+                if family.kind == "counter":
+                    out["counters"][series] = instrument.value
+                elif family.kind == "gauge":
+                    out["gauges"][series] = {
+                        "value": instrument.value,
+                        "max": instrument.max_value,
+                        "min": instrument.min_value,
+                    }
+                else:
+                    out["histograms"][series] = instrument.snapshot()
+        return out

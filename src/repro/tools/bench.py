@@ -124,6 +124,46 @@ def bench_forwarding(route_cache: bool, n_packets: int = 20_000) -> float:
     return _best_of(one_run)
 
 
+def bench_telemetry(n_queries: int = 8_000) -> tuple[float, float]:
+    """(disabled, enabled) seconds for a hot instrumented machine path.
+
+    The workload drives the fig10 testbed point — queue policy, scoring
+    pipeline, firewall, and engine, i.e. the most hook-dense path in
+    the tree. *Disabled* is the shipped default (no session active:
+    every hook is one module-attribute read plus an identity test);
+    *enabled* runs inside a full-sampling session with the standard
+    detectors armed. The gated ratio bounds what turning telemetry on
+    costs; the disabled-mode absolute feeds the same committed-baseline
+    comparison as the forwarding benches, which also run entirely over
+    instrumented code with no session active.
+    """
+    from ..experiments import fig10_nxdomain
+    from ..telemetry import (
+        Telemetry,
+        TelemetryConfig,
+        standard_detectors,
+    )
+    from ..telemetry import state as telemetry_state
+
+    measure = n_queries / 1_900.0   # legit 400/s + attack 1500/s
+    params = fig10_nxdomain.Fig10Params(
+        attack_rates=(1_500.0,), measure_seconds=measure,
+        warmup_seconds=1.0)
+
+    def one_point() -> float:
+        started = _now()
+        fig10_nxdomain._run_point(params, 1_500.0, True)
+        return _now() - started
+
+    def enabled_point() -> float:
+        telemetry = Telemetry(TelemetryConfig(trace_sample_rate=1.0))
+        standard_detectors(telemetry.alerts)
+        with telemetry_state.session(telemetry):
+            return one_point()
+
+    return _best_of(one_point), _best_of(enabled_point)
+
+
 def bench_pending_ratio(large: int = 20_000, small: int = 50) -> float:
     """Cost ratio of ``loop.pending`` at two queue sizes (~1 when O(1))."""
 
@@ -146,18 +186,23 @@ def bench_pending_ratio(large: int = 20_000, small: int = 50) -> float:
 def run_micro() -> dict:
     uncached = bench_forwarding(route_cache=False)
     cached = bench_forwarding(route_cache=True)
+    telemetry_off, telemetry_on = bench_telemetry()
     return {
         "metrics": {
             # Gated, hardware-independent ratios.
             "route_cache_speedup": round(uncached / cached, 3),
             "pending_cost_ratio_20000_vs_50": round(
                 bench_pending_ratio(), 3),
+            "telemetry_enabled_overhead_ratio": round(
+                telemetry_on / telemetry_off, 3),
         },
         "info": {
             # Absolute throughput; varies with host, never gated.
             "event_loop_events_per_sec": round(bench_event_loop()),
             "forwarding_cached_pkts_per_sec": round(20_000 / cached),
             "forwarding_uncached_pkts_per_sec": round(20_000 / uncached),
+            "telemetry_disabled_point_s": round(telemetry_off, 3),
+            "telemetry_enabled_point_s": round(telemetry_on, 3),
         },
     }
 
@@ -166,6 +211,7 @@ def run_micro() -> dict:
 _GATED = {
     "route_cache_speedup": "higher",
     "pending_cost_ratio_20000_vs_50": "lower",
+    "telemetry_enabled_overhead_ratio": "lower",
 }
 
 

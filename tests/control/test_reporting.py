@@ -3,7 +3,11 @@
 import pytest
 
 from repro.control.reporting import TrafficCollector
-from repro.dnscore import RType, make_query, name, parse_zone_text
+from repro.dnscore import RCode, RType, make_query, name, parse_zone_text
+from repro.dnscore.message import Flags, Message
+from repro.dnscore.records import Question
+from repro.telemetry import Telemetry, TelemetryConfig
+from repro.telemetry import state as telemetry_state
 from repro.filters import QueuePolicy, ScoringPipeline
 from repro.netsim import Datagram, EventLoop
 from repro.server import (
@@ -44,6 +48,14 @@ def drive(loop, machine, qname, count, start, msg_base=0):
                      lambda q=q: machine.receive_query(Datagram(
                          src="10.1.0.1", dst="rep",
                          payload=QueryEnvelope(q), src_port=5000 + i)))
+
+
+def _tap(counter, qname, rcode):
+    """Feed the response-observer tap with a graded response directly."""
+    query = make_query(1, name(qname), RType.A)
+    response = Message(msg_id=1, flags=Flags(qr=True, rcode=rcode))
+    response.questions.append(Question(name(qname), RType.A))
+    counter._observe(query, response)
 
 
 class TestTrafficCollector:
@@ -114,6 +126,60 @@ class TestTrafficCollector:
                                               name("b.report")])
         assert rollup["total_queries"] == 10.0
         assert rollup["zones"] == 2.0
+
+    def test_rcode_breakdown(self):
+        """SERVFAIL and REFUSED are counted per zone, not just NXDOMAIN."""
+        loop = EventLoop()
+        collector = TrafficCollector(loop, period=10.0)
+        machine = make_machine(loop, "m1")
+        counter = collector.register(machine)
+        graded = [(RCode.NOERROR, 5), (RCode.NXDOMAIN, 2),
+                  (RCode.SERVFAIL, 2), (RCode.REFUSED, 1)]
+        for rcode, count in graded:
+            for _ in range(count):
+                _tap(counter, "www.a.report", rcode)
+        loop.run_until(11.0)
+        report = collector.latest(name("a.report"))
+        assert report.queries == 10
+        assert report.nxdomains == 2
+        assert report.servfails == 2
+        assert report.refused == 1
+        assert report.servfail_fraction == pytest.approx(0.2)
+
+    def test_enterprise_rollup_error_fractions(self):
+        loop = EventLoop()
+        collector = TrafficCollector(loop, period=10.0)
+        machine = make_machine(loop, "m1")
+        counter = collector.register(machine)
+        for _ in range(8):
+            _tap(counter, "www.a.report", RCode.NOERROR)
+        _tap(counter, "www.a.report", RCode.SERVFAIL)
+        _tap(counter, "www.b.report", RCode.REFUSED)
+        loop.run_until(11.0)
+        rollup = collector.enterprise_report([name("a.report"),
+                                              name("b.report")])
+        assert rollup["total_queries"] == 10.0
+        assert rollup["servfail_fraction"] == pytest.approx(0.1)
+        assert rollup["refused_fraction"] == pytest.approx(0.1)
+
+    def test_counts_feed_active_telemetry_session(self):
+        """The portal view and operator dashboards read one pipeline."""
+        telemetry = Telemetry(TelemetryConfig(trace_sample_rate=0.0))
+        with telemetry_state.session(telemetry):
+            loop = EventLoop()
+            collector = TrafficCollector(loop, period=10.0)
+            machine = make_machine(loop, "m1")
+            counter = collector.register(machine)
+            _tap(counter, "www.a.report", RCode.NOERROR)
+            _tap(counter, "missing.a.report", RCode.NXDOMAIN)
+            loop.run_until(11.0)
+        counters = telemetry.registry.snapshot()["counters"]
+        assert counters[
+            "zone_responses_total{machine=m1,zone=a.report.,"
+            "rcode=NOERROR}"] == 1.0
+        assert counters[
+            "zone_responses_total{machine=m1,zone=a.report.,"
+            "rcode=NXDOMAIN}"] == 1.0
 
     def test_history_retention(self):
         loop = EventLoop()

@@ -133,7 +133,7 @@ class TestHashOrdering:
 
 class TestSetIteration:
     def test_for_over_set_call(self):
-        src = "def f(xs):\n    for x in set(xs):\n        print(x)\n"
+        src = "def f(xs):\n    for x in set(xs):\n        use(x)\n"
         assert codes(src) == ["DET005"]
 
     def test_comprehension_over_frozenset(self):
@@ -141,7 +141,7 @@ class TestSetIteration:
         assert codes(src) == ["DET005"]
 
     def test_set_literal(self):
-        src = "for x in {1, 2, 3}:\n    print(x)\n"
+        src = "for x in {1, 2, 3}:\n    use(x)\n"
         assert codes(src) == ["DET005"]
 
     def test_sorted_wrapper_is_fine(self):
@@ -224,6 +224,40 @@ class TestSeedParam:
                "        pass\n"
                "    return run\n")
         assert codes(src, path=EXPERIMENT_PATH) == []
+
+
+class TestBarePrint:
+    def test_print_in_library_code(self):
+        src = "def emit(x):\n    print(x)\n"
+        assert codes(src, path=SIM_PATH) == ["OBS001"]
+
+    def test_print_with_kwargs_still_flagged(self):
+        src = ("import sys\n"
+               "def emit(x):\n"
+               "    print(x, file=sys.stderr)\n")
+        assert codes(src, path=SIM_PATH) == ["OBS001"]
+
+    def test_entry_points_exempt(self):
+        src = "def main():\n    print('report')\n"
+        for path in ("src/repro/tools/dig.py",
+                     "src/repro/lint/cli.py",
+                     "src/repro/experiments/runner.py",
+                     "src/repro/experiments/resilience_scorecard.py"):
+            assert codes(src, path=path) == []
+
+    def test_non_entry_point_experiment_flagged(self):
+        src = "def run(seed=0):\n    print(seed)\n"
+        assert codes(src, path=EXPERIMENT_PATH) == ["OBS001"]
+
+    def test_shadowed_print_is_fine(self):
+        # A locally imported/defined `print` is not the builtin.
+        src = ("from repro.fake import print\n"
+               "def emit(x):\n"
+               "    print(x)\n")
+        assert codes(src, path=SIM_PATH) == []
+
+    def test_tests_out_of_scope(self):
+        assert codes("print('debug')\n", path="tests/fake.py") == []
 
 
 class TestRuleCatalogue:

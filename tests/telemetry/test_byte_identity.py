@@ -1,0 +1,90 @@
+"""Enabling telemetry must not change any result, byte for byte.
+
+The passive-observation contract: hooks never schedule events, never
+consume simulator RNG streams, never mutate simulator state. These
+tests run the same workload with telemetry off and with a full-sampling
+session active, and require identical serialized results — on the
+synthetic machine path (fig10 testbed: queues, filters, firewall,
+engine) and on the full resolver path (deployment: resolver, network,
+PoP ECMP, machines).
+"""
+
+import json
+
+from repro.dnscore import RType, name
+from repro.experiments import fig10_nxdomain
+from repro.netsim.builder import InternetParams
+from repro.platform import AkamaiDNSDeployment, DeploymentParams
+from repro.telemetry import (
+    Telemetry,
+    TelemetryConfig,
+    standard_detectors,
+)
+from repro.telemetry import state as telemetry_state
+
+
+def _full_session():
+    telemetry = Telemetry(TelemetryConfig(trace_sample_rate=1.0))
+    standard_detectors(telemetry.alerts)
+    return telemetry
+
+
+class TestMachinePath:
+    _PARAMS = fig10_nxdomain.Fig10Params(
+        attack_rates=(0.0, 1_500.0),
+        measure_seconds=4.0, warmup_seconds=2.0)
+
+    @staticmethod
+    def _serialize(result):
+        return json.dumps(result.to_dict(include_series=True),
+                          sort_keys=True).encode()
+
+    def test_fig10_byte_identical_with_full_telemetry(self):
+        baseline = self._serialize(fig10_nxdomain.run(self._PARAMS))
+        telemetry = _full_session()
+        with telemetry_state.session(telemetry):
+            observed = self._serialize(fig10_nxdomain.run(self._PARAMS))
+        assert observed == baseline
+        # ... and the session really watched the run, it didn't no-op.
+        assert telemetry.epoch == 4    # one world per (rate, config)
+        assert telemetry.tracer.roots_sampled > 0
+        counters = telemetry.registry.snapshot()["counters"]
+        assert counters["queries_received_total{machine=testbed-ns}"] > 0
+        assert telemetry.alerts.first_raise_after(
+            0.0, name="nxdomain-ratio") is not None
+
+
+class TestResolverPath:
+    @staticmethod
+    def _resolve_all():
+        dep = AkamaiDNSDeployment(DeploymentParams(
+            seed=5, n_pops=8, deployed_clouds=8, machines_per_pop=1,
+            pops_per_cloud=2, n_edge_servers=8,
+            internet=InternetParams(n_tier1=4, n_tier2=10, n_stub=30),
+            filters_enabled=False))
+        dep.provision_enterprise("acme", "acme.net",
+                                 "www IN A 203.0.113.10\n")
+        dep.settle(30)
+        resolver = dep.add_resolver("t-res")
+        results = []
+        for qname in ("www.acme.net", "missing.acme.net"):
+            resolver.resolve(name(qname), RType.A, results.append)
+            dep.settle(20)
+        return [(r.rcode, round(r.duration, 9), r.timeouts)
+                for r in results]
+
+    def test_resolver_path_identical_with_full_telemetry(self):
+        baseline = self._resolve_all()
+        telemetry = _full_session()
+        with telemetry_state.session(telemetry):
+            observed = self._resolve_all()
+        assert observed == baseline
+        # The resolver path produced full span trees: root resolution
+        # spans with machine.process children hanging off the attempts.
+        roots = [s for s in telemetry.tracer.spans
+                 if s.parent_id is None and s.name == "resolver.resolve"]
+        assert roots
+        components = {s.component for s in telemetry.tracer.spans}
+        assert {"resolver", "machine"} <= components
+        instants = {e.name for e in telemetry.tracer.events}
+        assert {"net.delivered", "pop.ecmp", "engine.respond"} <= instants

@@ -1,0 +1,88 @@
+"""Alert-driven mitigation: explicit opt-in, engage/stand-down cycle."""
+
+import pytest
+
+from repro.dnscore import RType, name
+from repro.filters.base import ScoringPipeline
+from repro.server.firewall import QoDFirewall
+from repro.telemetry import Telemetry, TelemetryConfig
+from repro.telemetry.alerts import GaugeDetector
+from repro.telemetry.mitigation import FirewallArm, PipelineArm, arm
+
+
+class _StubFilter:
+    name = "aggressive-nxdomain"
+
+    def score(self, ctx):
+        return 0.0
+
+
+def _telemetry(opt_in):
+    telemetry = Telemetry(TelemetryConfig(arm_mitigations=opt_in))
+    telemetry.alerts.add(
+        GaugeDetector("queue-depth", window=1.0, threshold=10.0,
+                      clear_windows=1),
+        "queue_depth")
+    return telemetry
+
+
+def _raise_then_clear(telemetry):
+    telemetry.alerts.observe("queue_depth", 0.5, 50.0)   # breach
+    telemetry.alerts.observe("queue_depth", 1.5, 0.0)    # calm
+    telemetry.alerts.finalize(2.0)
+
+
+class TestOptIn:
+    def test_passive_session_refuses_arming(self):
+        telemetry = _telemetry(opt_in=False)
+        mitigator = PipelineArm("queue-depth", ScoringPipeline(),
+                                _StubFilter())
+        with pytest.raises(ValueError):
+            arm(telemetry, mitigator)
+        # Refusal means no callbacks were attached either.
+        assert telemetry.alerts.on_raise == []
+        assert telemetry.alerts.on_clear == []
+
+    def test_default_config_is_passive(self):
+        assert Telemetry().config.arm_mitigations is False
+
+
+class TestPipelineArm:
+    def test_filter_inserted_on_raise_removed_on_clear(self):
+        telemetry = _telemetry(opt_in=True)
+        pipeline = ScoringPipeline()
+        filter_ = _StubFilter()
+        mitigator = PipelineArm("queue-depth", pipeline, filter_)
+        arm(telemetry, mitigator)
+
+        _raise_then_clear(telemetry)
+        assert filter_ not in pipeline.filters
+        assert mitigator.engaged == 1
+        assert mitigator.stood_down == 1
+
+    def test_other_alerts_ignored(self):
+        telemetry = _telemetry(opt_in=True)
+        pipeline = ScoringPipeline()
+        mitigator = PipelineArm("nxdomain-ratio", pipeline, _StubFilter())
+        arm(telemetry, mitigator)
+        _raise_then_clear(telemetry)   # raises "queue-depth", not ours
+        assert mitigator.engaged == 0
+        assert pipeline.filters == []
+
+
+class TestFirewallArm:
+    def test_rule_installed_and_withdrawn(self):
+        telemetry = _telemetry(opt_in=True)
+        firewall = QoDFirewall(t_qod=300.0)
+        qname = name("attack.victim.example")
+        mitigator = FirewallArm("queue-depth", firewall, qname, RType.A)
+        arm(telemetry, mitigator)
+
+        telemetry.alerts.observe("queue_depth", 0.5, 50.0)
+        telemetry.alerts.observe("queue_depth", 1.2, 50.0)  # close win 0
+        assert firewall.should_drop(qname, RType.A, 1.1)
+        telemetry.alerts.observe("queue_depth", 2.5, 0.0)   # calm window
+        telemetry.alerts.finalize(3.0)
+        assert not firewall.should_drop(qname, RType.A, 3.1)
+        assert mitigator.engaged == 1
+        assert mitigator.stood_down == 1
