@@ -3,8 +3,8 @@
 PY ?= python
 LINT_PYTHONPATH = src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test bench bench-check bench-pytest chaos report \
-        report-fast examples lint clean
+.PHONY: install test bench bench-check bench-pytest chaos rollout-demo \
+        report report-fast examples lint clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -45,6 +45,9 @@ bench-pytest:
 chaos:
 	$(PY) -m repro.experiments.resilience_scorecard --fast
 
+rollout-demo:
+	$(PY) examples/safe_rollout.py
+
 report:
 	$(PY) -m repro.experiments.runner
 
@@ -58,6 +61,7 @@ examples:
 	$(PY) examples/gtm_loadbalancing.py
 	$(PY) examples/ddos_mitigation.py
 	$(PY) examples/chaos_campaign.py
+	$(PY) examples/safe_rollout.py
 
 clean:
 	rm -rf .pytest_cache .benchmarks src/*.egg-info

@@ -22,6 +22,11 @@ kind                      seam it drives
 ``PUBSUB_PARTITION``      ``MetadataBus.set_partitioned``
 ``METADATA_FREEZE``       ``AkamaiDNSDeployment.pause_metadata_heartbeat``
 ``ZONE_CORRUPTION``       corrupted zone published on the CDN channel
+``BAD_ZONE_PUBLISH``      corrupt/regressive zone submitted through the
+                          deployment's zone-update seam, so the
+                          safe-rollout train (validator, canary soak,
+                          rollback) is what stands between it and the
+                          fleet; ``note`` picks the corruption mode
 ========================  =====================================================
 """
 
@@ -45,6 +50,7 @@ class FaultKind(enum.Enum):
     PUBSUB_PARTITION = "pubsub_partition"
     METADATA_FREEZE = "metadata_freeze"
     ZONE_CORRUPTION = "zone_corruption"
+    BAD_ZONE_PUBLISH = "bad_zone_publish"
 
 
 @dataclass(frozen=True, slots=True)

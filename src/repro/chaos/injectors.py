@@ -19,9 +19,11 @@ Targets:
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Protocol
 
 from ..dnscore.name import name
+from ..dnscore.records import make_rrset
 from ..dnscore.rrtypes import RType
 from ..dnscore.zone import Zone
 from ..netsim.clock import PeriodicTask
@@ -204,10 +206,21 @@ class ControlInjector:
 
     kinds = frozenset({FaultKind.PUBSUB_PARTITION,
                        FaultKind.METADATA_FREEZE,
-                       FaultKind.ZONE_CORRUPTION})
+                       FaultKind.ZONE_CORRUPTION,
+                       FaultKind.BAD_ZONE_PUBLISH})
 
     def __init__(self, deployment: AkamaiDNSDeployment) -> None:
         self.deployment = deployment
+
+    def _good_zone(self, target: str) -> Zone:
+        origin = name(target)
+        good = self.deployment.enterprise_zones.get(origin)
+        if good is None:
+            good = next((z for z in self.deployment.akamai_zones
+                         if z.origin == origin), None)
+        if good is None:
+            raise ValueError(f"no zone with origin {target!r}")
+        return good
 
     def inject(self, spec: FaultSpec) -> None:
         self._apply(spec, healthy=False)
@@ -230,17 +243,22 @@ class ControlInjector:
             else:
                 deployment.pause_metadata_heartbeat()
         elif spec.kind == FaultKind.ZONE_CORRUPTION:
-            origin = name(spec.target)
-            good = deployment.enterprise_zones.get(origin)
-            if good is None:
-                good = next((z for z in deployment.akamai_zones
-                             if z.origin == origin), None)
-            if good is None:
-                raise ValueError(f"no zone with origin {spec.target!r}")
+            good = self._good_zone(spec.target)
             payload = good if healthy else _corrupted_copy(good)
             from ..control.pubsub import CDN_CHANNEL
-            deployment.bus.publish(CDN_CHANNEL, "zone", str(origin),
+            deployment.bus.publish(CDN_CHANNEL, "zone", str(good.origin),
                                    payload)
+        elif spec.kind == FaultKind.BAD_ZONE_PUBLISH:
+            # Clearing is a no-op by design: the corrupt publish is a
+            # one-shot event and *recovery is the subsystem under test*
+            # — the safe-rollout train must reject or roll it back.
+            # Republishing the good zone here would also be rejected as
+            # a serial regression by the validator.
+            if healthy:
+                return
+            good = self._good_zone(spec.target)
+            mode = spec.note or "renamed"
+            deployment.publish_zone_update(bad_zone_copy(good, mode))
         else:
             raise ValueError(f"{spec.kind} is not a control fault")
 
@@ -263,6 +281,65 @@ def _corrupted_copy(zone: Zone) -> Zone:
     corrupt.add_rrset(soa)
     corrupt.add_rrset(apex_ns)
     return corrupt
+
+
+def _soa_with_serial_delta(zone: Zone, delta: int):
+    """The zone's SOA RRset with its serial shifted by ``delta``."""
+    soa_rrset = zone.soa
+    assert soa_rrset is not None
+    rdata = soa_rrset.records[0].rdata
+    return make_rrset(soa_rrset.name, RType.SOA, soa_rrset.ttl,
+                      [replace(rdata, serial=rdata.serial + delta)])
+
+
+def bad_zone_copy(zone: Zone, mode: str) -> Zone:
+    """Build a corrupt copy of ``zone``, by corruption mode.
+
+    * ``"renamed"`` — serial advances and the apex stays intact, but
+      every non-apex owner name is scrambled. The nastiest mode: it
+      passes every validator rule (nothing is structurally wrong), so
+      only the canary health gate can catch it — the old names resolve
+      NXDOMAIN the moment a canary installs it.
+    * ``"regressive"`` — identical content with the SOA serial stepped
+      *backwards*; caught by the validator's ``serial-regression`` rule.
+    * ``"truncated"`` — only the apex survives (a partial transfer);
+      caught by ``serial-regression`` (content changed, serial did not)
+      or ``record-loss`` on larger zones.
+    * ``"missing-soa"`` — the SOA is gone entirely; caught by
+      ``missing-soa`` (and refused by the zone store either way).
+    """
+    if mode == "truncated":
+        return _corrupted_copy(zone)
+    if mode == "missing-soa":
+        apex_ns = zone.get_rrset(zone.origin, RType.NS)
+        if apex_ns is None:
+            raise ValueError(f"zone {zone.origin} has no apex NS")
+        bad = Zone(zone.origin)
+        bad.add_rrset(apex_ns)
+        return bad
+    if mode == "regressive":
+        bad = Zone(zone.origin)
+        bad.add_rrset(_soa_with_serial_delta(zone, -1))
+        for rrset in zone.iter_rrsets():
+            if rrset.rtype is not RType.SOA:
+                bad.add_rrset(rrset)
+        return bad
+    if mode == "renamed":
+        bad = Zone(zone.origin)
+        bad.add_rrset(_soa_with_serial_delta(zone, +1))
+        index = 0
+        for rrset in zone.iter_rrsets():
+            if rrset.rtype is RType.SOA:
+                continue
+            if rrset.name == zone.origin:
+                bad.add_rrset(rrset)
+                continue
+            index += 1
+            bad.add_rrset(make_rrset(
+                zone.origin.prepend(f"x{index}"), rrset.rtype,
+                rrset.ttl, rrset.rdatas()))
+        return bad
+    raise ValueError(f"unknown corruption mode {mode!r}")
 
 
 def default_injectors(deployment: AkamaiDNSDeployment

@@ -29,6 +29,14 @@ from .pubsub import (
     MetadataMessage,
 )
 from .recovery import Alert, FleetSnapshot, RecoverySystem
+from .rollout import (
+    CanaryHealthGate,
+    Release,
+    RolloutCoordinator,
+    RolloutEvent,
+    RolloutParams,
+    RolloutPhase,
+)
 from .reporting import (
     TrafficCollector,
     ZoneCounter,
@@ -41,7 +49,9 @@ __all__ = [
     "EdgeServer", "Enterprise", "FleetSnapshot", "GTMProperty",
     "MULTICAST_CHANNEL", "ManagementPortal", "MapSnapshot",
     "MappingIntelligence", "MappingView", "MetadataBus", "MetadataMessage",
-    "PortalLimits", "QuorumSuspensionCoordinator", "RecoverySystem",
+    "CanaryHealthGate", "PortalLimits", "QuorumSuspensionCoordinator",
+    "RecoverySystem", "Release", "RolloutCoordinator", "RolloutEvent",
+    "RolloutParams", "RolloutPhase",
     "TrafficCollector", "ValidationError", "ZoneCounter",
     "ZoneTrafficReport", "ZoneTrafficSample", "nearest_edges",
 ]

@@ -113,7 +113,7 @@ class ManagementPortal:
             ) from exc
         enterprise.zones[zone.origin] = zone
         self.zones_published += 1
-        self.bus.publish(CDN_CHANNEL, "zone", str(zone.origin), zone)
+        self.bus.publish_zone(CDN_CHANNEL, str(zone.origin), zone)
         return zone
 
     def incremental_update(self, origin: Name,

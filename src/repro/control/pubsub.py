@@ -13,13 +13,21 @@ section 4.2.2): deliveries to a partitioned subscriber queue up and
 flush when connectivity returns, which is exactly the stale-state window
 the staleness checks must catch. Input-delayed subscribers receive every
 message with a fixed extra delay (section 4.2.3).
+
+Zone updates published through :meth:`MetadataBus.publish_zone` carry a
+monotonic per-key version. Per-message delivery delays are independent,
+so two publishes of the same zone can arrive at a subscriber in either
+order — and a heal-flush after a repartition can interleave with fresh
+publishes. The bus drops any zone delivery whose version is not newer
+than what that subscriber already received for the key, so the *last
+published* version always wins regardless of arrival order.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Protocol
+from typing import Protocol, Sequence
 
 from ..netsim.clock import EventLoop
 
@@ -29,7 +37,12 @@ MULTICAST_CHANNEL = "multicast"
 
 @dataclass(frozen=True, slots=True)
 class MetadataMessage:
-    """One published metadata update."""
+    """One published metadata update.
+
+    ``zone_version`` is 0 for unversioned traffic (plain
+    :meth:`MetadataBus.publish`); versioned zone deliveries start at 1
+    and are monotonic per ``key``.
+    """
 
     channel: str
     kind: str           # e.g. "zone", "mapping", "config"
@@ -37,6 +50,7 @@ class MetadataMessage:
     payload: object
     published_at: float
     sequence: int
+    zone_version: int = 0
 
 
 class Subscriber(Protocol):
@@ -53,6 +67,8 @@ class _Subscription:
     partitioned: bool = False
     held: list[MetadataMessage] = field(default_factory=list)
     delivered: int = 0
+    #: Highest zone_version delivered per key; stale arrivals are dropped.
+    zone_seen: dict[str, int] = field(default_factory=dict)
 
 
 @dataclass(slots=True)
@@ -79,7 +95,11 @@ class MetadataBus:
         self.profiles = dict(profiles or DEFAULT_PROFILES)
         self._subs: dict[str, list[_Subscription]] = {}
         self._sequence = 0
+        self._zone_versions: dict[str, int] = {}
         self.published = 0
+        #: Zone deliveries dropped because a newer version already
+        #: arrived at that subscriber (out-of-order protection).
+        self.stale_deliveries_dropped = 0
 
     def subscribe(self, channel: str, subscriber: Subscriber,
                   *, extra_delay: float = 0.0) -> None:
@@ -91,14 +111,42 @@ class MetadataBus:
     def publish(self, channel: str, kind: str, key: str,
                 payload: object) -> MetadataMessage:
         """Publish one update to every subscriber of ``channel``."""
+        return self._publish(channel, kind, key, payload, 0, None)
+
+    def publish_zone(self, channel: str, key: str, payload: object, *,
+                     kind: str = "zone",
+                     to: Sequence[Subscriber] | None = None,
+                     ) -> MetadataMessage:
+        """Publish a zone update stamped with a monotonic per-key version.
+
+        Stale deliveries (an older version arriving after a newer one,
+        whether from delay jitter or a partition heal-flush) are dropped
+        at the subscriber boundary. ``to`` restricts delivery to a
+        cohort of the channel's subscribers — the seam the safe-rollout
+        train uses to address canaries before the rest of the fleet.
+        """
+        version = self._zone_versions.get(key, 0) + 1
+        self._zone_versions[key] = version
+        return self._publish(channel, kind, key, payload, version, to)
+
+    def zone_version(self, key: str) -> int:
+        """Latest published version for ``key`` (0 if never published)."""
+        return self._zone_versions.get(key, 0)
+
+    def _publish(self, channel: str, kind: str, key: str, payload: object,
+                 zone_version: int, to: Sequence[Subscriber] | None,
+                 ) -> MetadataMessage:
         if channel not in self.profiles:
             raise KeyError(f"unknown channel {channel!r}")
         self._sequence += 1
         self.published += 1
         message = MetadataMessage(channel, kind, key, payload,
-                                  self.loop.now, self._sequence)
+                                  self.loop.now, self._sequence,
+                                  zone_version)
         profile = self.profiles[channel]
         for sub in self._subs.get(channel, []):
+            if to is not None and not any(sub.subscriber is t for t in to):
+                continue
             delay = (self.rng.uniform(profile.min_delay, profile.max_delay)
                      + sub.extra_delay)
             self.loop.call_later(delay, self._deliver, sub, message)
@@ -108,6 +156,11 @@ class MetadataBus:
         if sub.partitioned:
             sub.held.append(message)
             return
+        if message.zone_version:
+            if message.zone_version <= sub.zone_seen.get(message.key, 0):
+                self.stale_deliveries_dropped += 1
+                return
+            sub.zone_seen[message.key] = message.zone_version
         sub.delivered += 1
         sub.subscriber.receive_metadata_message(message)
 
@@ -118,7 +171,9 @@ class MetadataBus:
         """Cut (or restore) a subscriber's metadata connectivity.
 
         On restore, held messages flush immediately — the "catching up"
-        window of section 4.2.2.
+        window of section 4.2.2. The flush runs through the normal
+        delivery path, so held zone versions that were superseded while
+        the subscriber was partitioned are dropped, not replayed.
         """
         for subs in self._subs.values():
             for sub in subs:
@@ -127,8 +182,7 @@ class MetadataBus:
                     if not partitioned and sub.held:
                         held, sub.held = sub.held, []
                         for message in held:
-                            sub.delivered += 1
-                            subscriber.receive_metadata_message(message)
+                            self._deliver(sub, message)
 
     def delivered_count(self, subscriber: Subscriber) -> int:
         return sum(sub.delivered for subs in self._subs.values()

@@ -43,6 +43,16 @@ from .rdata import (
 )
 from .records import Question, ResourceRecord, RRset, make_rrset
 from .rrtypes import Opcode, RClass, RCode, RType
+from .validate import (
+    ADVISORY,
+    FATAL,
+    ValidationIssue,
+    ValidationLimits,
+    ValidationReport,
+    ZoneUpdate,
+    content_digest,
+    validate_update,
+)
 from .transfer import (
     axfr_response_stream,
     make_axfr_query,
@@ -68,4 +78,6 @@ __all__ = [
     "serial_gt", "serialize_zone", "transfer_zone", "zone_from_axfr",
     "ZoneDiff", "ZoneHistory", "apply_diff", "apply_ixfr_stream",
     "diff_zones", "ixfr_response_stream", "make_ixfr_query",
+    "ADVISORY", "FATAL", "ValidationIssue", "ValidationLimits",
+    "ValidationReport", "ZoneUpdate", "content_digest", "validate_update",
 ]

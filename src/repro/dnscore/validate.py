@@ -1,0 +1,211 @@
+"""Semantic validation of zone updates before they propagate.
+
+The paper's phased metadata deployment (section 4.2) assumes a bad
+update can be caught *before* it reaches the whole platform. This
+module is the first gate of that release train: a pure, side-effect
+free check of a candidate zone against the version currently served.
+"Reachability Analysis of the Domain Name System" motivates the same
+checks as static reachability invariants — broken delegations and
+missing apex records are platform-wide outages waiting on a cache miss.
+
+Rules (codes are stable identifiers used by tests and rollout events):
+
+=================== ======== ==========================================
+rule                severity trips when
+=================== ======== ==========================================
+``missing-soa``     fatal    no SOA record at the zone origin
+``missing-apex-ns`` fatal    no NS RRset at the zone origin
+``serial-regression`` fatal  new serial is behind the served serial
+                             (RFC 1982 order), or the serial did not
+                             advance although the content changed —
+                             caches would never pick up the new data
+``record-loss``     fatal    the candidate lost most of the previous
+                             version's RRsets: the signature of a
+                             truncated or partial transfer
+``broken-delegation`` fatal  a delegation whose nameservers all live
+                             inside the delegated subtree but have no
+                             glue — the subtree is unreachable
+``dangling-ns``     advisory an in-zone NS target with no A/AAAA glue
+``no-op-republish`` advisory serial and content both unchanged
+=================== ======== ==========================================
+
+Only ``fatal`` issues block an install; advisories ride along in the
+report for operators. ``ZoneUpdate`` — the typed payload the rollout
+train publishes on the metadata bus — lives here rather than in
+``control`` so ``server.machine`` can unwrap it without importing the
+control plane (which would cycle back through ``control.recovery``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from .name import Name
+from .rdata import NS
+from .rrtypes import RType
+from .transfer import serial_gt
+from .zone import Zone
+
+#: Issue severities: only FATAL blocks an install.
+FATAL = "fatal"
+ADVISORY = "advisory"
+
+
+@dataclass(frozen=True, slots=True)
+class ValidationIssue:
+    """One finding of :func:`validate_update`."""
+
+    rule: str
+    severity: str
+    message: str
+
+
+@dataclass(frozen=True, slots=True)
+class ValidationLimits:
+    """Tunables for the content-sanity rules."""
+
+    #: ``record-loss`` fires when the candidate keeps fewer than this
+    #: fraction of the previous version's RRsets ...
+    record_loss_floor: float = 0.5
+    #: ... and the previous version was at least this big (tiny zones
+    #: legitimately shrink by large fractions).
+    min_previous_rrsets: int = 4
+
+
+DEFAULT_LIMITS = ValidationLimits()
+
+
+@dataclass(slots=True)
+class ValidationReport:
+    """All issues found for one candidate zone."""
+
+    origin: Name
+    issues: list[ValidationIssue] = field(default_factory=list)
+
+    @property
+    def fatal(self) -> bool:
+        return any(i.severity == FATAL for i in self.issues)
+
+    def rules(self) -> list[str]:
+        """Sorted unique rule codes that fired."""
+        return sorted({i.rule for i in self.issues})
+
+    def fatal_rules(self) -> list[str]:
+        return sorted({i.rule for i in self.issues if i.severity == FATAL})
+
+    def describe(self) -> str:
+        if not self.issues:
+            return f"{self.origin}: clean"
+        lines = [f"{self.origin}: {len(self.issues)} issue(s)"]
+        lines += [f"  [{i.severity}] {i.rule}: {i.message}"
+                  for i in self.issues]
+        return "\n".join(lines)
+
+
+def content_digest(zone: Zone) -> str:
+    """Stable digest of a zone's full record content.
+
+    Canonical RRset iteration order plus record text gives a digest
+    that is independent of insertion order, so two zones with the same
+    content always hash alike.
+    """
+    hasher = hashlib.sha256()
+    for rrset in zone.iter_rrsets():
+        for record in rrset.records:
+            hasher.update(str(record).encode("ascii", "backslashreplace"))
+            hasher.update(b"\n")
+    return hasher.hexdigest()
+
+
+def _has_glue(zone: Zone, target: Name) -> bool:
+    return (zone.get_rrset(target, RType.A) is not None
+            or zone.get_rrset(target, RType.AAAA) is not None)
+
+
+def validate_update(zone: Zone, previous: Zone | None = None, *,
+                    limits: ValidationLimits = DEFAULT_LIMITS,
+                    ) -> ValidationReport:
+    """Check a candidate ``zone`` against the currently served version.
+
+    ``previous`` is the version being replaced (None for a first
+    install, which skips the serial/content comparisons). The check is
+    pure: neither zone is modified and no state is kept.
+    """
+    report = ValidationReport(zone.origin)
+    issues = report.issues
+
+    soa = zone.soa
+    if soa is None:
+        issues.append(ValidationIssue(
+            "missing-soa", FATAL, "no SOA record at the zone origin"))
+    if zone.get_rrset(zone.origin, RType.NS) is None:
+        issues.append(ValidationIssue(
+            "missing-apex-ns", FATAL, "no NS RRset at the zone origin"))
+
+    if previous is not None and soa is not None and previous.soa is not None:
+        new_serial = zone.serial
+        old_serial = previous.serial
+        if new_serial == old_serial:
+            if content_digest(zone) != content_digest(previous):
+                issues.append(ValidationIssue(
+                    "serial-regression", FATAL,
+                    f"content changed but serial stayed at {new_serial}; "
+                    f"caches would never refresh"))
+            else:
+                issues.append(ValidationIssue(
+                    "no-op-republish", ADVISORY,
+                    f"serial {new_serial} and content unchanged"))
+        elif not serial_gt(new_serial, old_serial):
+            issues.append(ValidationIssue(
+                "serial-regression", FATAL,
+                f"serial went backwards: {old_serial} -> {new_serial}"))
+
+    if previous is not None:
+        before = previous.rrset_count()
+        after = zone.rrset_count()
+        if (before >= limits.min_previous_rrsets
+                and after < before * limits.record_loss_floor):
+            issues.append(ValidationIssue(
+                "record-loss", FATAL,
+                f"RRset count collapsed {before} -> {after}; "
+                f"looks like a truncated transfer"))
+
+    # Delegation health: every NS RRset (apex and cuts) is checked for
+    # in-zone targets without glue. A *cut* whose targets all live in
+    # the delegated subtree and none carry glue is unreachable.
+    for rrset in zone.iter_rrsets():
+        if rrset.rtype is not RType.NS:
+            continue
+        in_zone = [r.rdata.target for r in rrset.records
+                   if isinstance(r.rdata, NS)
+                   and r.rdata.target.is_subdomain_of(zone.origin)]
+        missing = [t for t in in_zone if not _has_glue(zone, t)]
+        for target in missing:
+            issues.append(ValidationIssue(
+                "dangling-ns", ADVISORY,
+                f"NS target {target} for {rrset.name} has no glue"))
+        is_cut = rrset.name != zone.origin
+        if (is_cut and in_zone and len(missing) == len(rrset.records)
+                and len(in_zone) == len(rrset.records)):
+            issues.append(ValidationIssue(
+                "broken-delegation", FATAL,
+                f"delegation {rrset.name} is unreachable: all "
+                f"nameservers are below the cut and none have glue"))
+
+    return report
+
+
+@dataclass(frozen=True, slots=True)
+class ZoneUpdate:
+    """Typed payload for guarded zone propagation on the metadata bus.
+
+    ``rollback=True`` marks a last-known-good reinstall: receivers skip
+    validation for it, because the restored version has a *lower*
+    serial than the corrupt one by construction and would otherwise be
+    rejected as a serial regression.
+    """
+
+    zone: Zone
+    rollback: bool = False
+    release_id: int = 0

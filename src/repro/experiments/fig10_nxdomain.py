@@ -73,6 +73,7 @@ def _run_point(params: Fig10Params, attack_rate: float,
     rng = random.Random(params.seed)
     loop = EventLoop()
     store = ZoneStore()
+    # reprolint: disable-next=ROB001 -- synthetic testbed bootstrap
     store.add(_build_zone(params))
     engine = AuthoritativeEngine(store)
     filters = []

@@ -34,14 +34,24 @@ from ..chaos import (
     SLOProbe,
     SLOReport,
 )
+from ..control.rollout import RolloutParams, RolloutPhase
+from ..dnscore.name import name
+from ..dnscore.rrtypes import RCode, RType
 from ..netsim.builder import InternetParams
 from ..platform.deployment import AkamaiDNSDeployment, DeploymentParams
+from ..server.machine import MachineConfig
 from ..telemetry import RatioDetector, Telemetry, TelemetryConfig
 from ..telemetry import state as _telemetry_state
 
 PROBE_ZONE = "slozone.net"
 WARMUP = 20.0              # healthy baseline before the first fault
 COOLDOWN = 30.0            # post-campaign window so recovery is observable
+#: Canary soak window of the rollout campaigns. Long enough that the
+#: full detect->rollback->redeliver chain (worst-case CDN delivery of
+#: the corrupt zone ~20s + one gate window + worst-case delivery of the
+#: rollback ~20s) completes *within* the soak, which is what the
+#: blast-radius SLO asserts.
+ROLLOUT_SOAK = 45.0
 
 
 @dataclass(slots=True)
@@ -97,6 +107,17 @@ class CampaignSLO:
     min_overall: float = 0.97
     min_worst_window: float = 0.50
     expect_dip: bool = False
+    #: Build the campaign's deployment with the safe-rollout train and
+    #: per-machine zone guard enabled (control.rollout).
+    rollout: bool = False
+    #: Grade blast-radius containment: no machine outside the canary
+    #: cohort may ever serve a wrong answer for the probe zone, at
+    #: least one canary must (proving the corruption actually landed),
+    #: and the automatic rollback must complete within the soak window.
+    contain_blast: bool = False
+    #: Grade validator rejection: exactly this many releases must be
+    #: rejected up front, with zero machines serving a wrong answer.
+    expect_reject: int = 0
 
 
 @dataclass(slots=True)
@@ -111,6 +132,16 @@ class CampaignOutcome:
     #: pipeline's probe-failure alert; None when no alert fired (the
     #: resiliency ladder absorbed the fault below the SLO surface).
     detection_seconds: float | None = None
+    #: machine_id -> first time it served a wrong answer for the probe
+    #: zone (rollout campaigns only; empty otherwise).
+    blast: dict[str, float] = field(default_factory=dict)
+    #: The deployment's canary cohort (rollout campaigns only).
+    canary_ids: tuple[str, ...] = ()
+    #: Seconds from publishing the corrupt release to the last canary
+    #: installing the rollback; None when no rollback happened.
+    rollback_complete_seconds: float | None = None
+    #: Releases the rollout validator rejected before any publish.
+    rollout_rejections: int = 0
 
     @property
     def worst_recovery(self) -> float | None:
@@ -211,26 +242,93 @@ def standard_campaigns(deployment: AkamaiDNSDeployment,
     suite.append((c, CampaignSLO(min_overall=0.80, min_worst_window=0.30,
                                  expect_dip=True)))
 
+    c = Campaign("rollout-containment", duration=90.0, seed=seed,
+                 description="semantically valid but content-corrupt zone "
+                             "rides the rollout train; canary probes trip "
+                             "the health gate and the rollback lands "
+                             "before the fleet ever sees it")
+    # "renamed" keeps the SOA/NS apex intact and bumps the serial, so
+    # the validator passes it — only the canary health gate stands
+    # between it and the fleet. That is the blast-radius case.
+    c.add(FaultSpec(FaultKind.BAD_ZONE_PUBLISH, PROBE_ZONE,
+                    Schedule.once(WARMUP, 55.0), note="renamed"))
+    suite.append((c, CampaignSLO(min_overall=0.55, min_worst_window=0.0,
+                                 rollout=True, contain_blast=True)))
+
+    c = Campaign("rollout-validation", duration=70.0, seed=seed,
+                 description="regressive, truncated and SOA-less zone "
+                             "updates are all rejected by the validator "
+                             "before a single machine sees them")
+    c.add(FaultSpec(FaultKind.BAD_ZONE_PUBLISH, PROBE_ZONE,
+                    Schedule.once(WARMUP, 8.0), note="regressive"))
+    c.add(FaultSpec(FaultKind.BAD_ZONE_PUBLISH, PROBE_ZONE,
+                    Schedule.once(WARMUP + 12.0, 8.0), note="truncated"))
+    c.add(FaultSpec(FaultKind.BAD_ZONE_PUBLISH, PROBE_ZONE,
+                    Schedule.once(WARMUP + 24.0, 8.0), note="missing-soa"))
+    suite.append((c, CampaignSLO(rollout=True, expect_reject=3)))
+
     return suite
 
 
-def build_deployment(params: ScorecardParams) -> AkamaiDNSDeployment:
-    """A fresh platform with the probe zone (wildcard answers) live."""
+class _BlastRecorder:
+    """Observes every machine's responses, recording wrong answers.
+
+    A "wrong answer" is a response to a concrete name strictly under
+    the probe zone (the wildcard guarantees every such A query a
+    NOERROR answer from a healthy zone) that is NXDOMAIN, SERVFAIL, or
+    empty. The recorder keeps the *first* wrong-answer time per
+    machine: the set of keys is the campaign's blast radius.
+    """
+
+    def __init__(self, deployment: AkamaiDNSDeployment) -> None:
+        self.first_wrong: dict[str, float] = {}
+        self._apex = name(PROBE_ZONE)
+        self._loop = deployment.loop
+        for machine in deployment.machines():
+            machine.engine.response_observers.append(
+                lambda query, response, mid=machine.machine_id:
+                self._observe(mid, query, response))
+
+    def _observe(self, machine_id, query, response) -> None:
+        if machine_id in self.first_wrong or not query.questions:
+            return
+        question = query.questions[0]
+        if (question.qtype is not RType.A
+                or question.qname == self._apex
+                or not question.qname.is_subdomain_of(self._apex)):
+            return
+        answered = response.rcode is RCode.NOERROR and bool(response.answers)
+        if not answered:
+            self.first_wrong[machine_id] = self._loop.now
+
+
+def build_deployment(params: ScorecardParams, *,
+                     rollout: bool = False) -> AkamaiDNSDeployment:
+    """A fresh platform with the probe zone (wildcard answers) live.
+
+    With ``rollout`` the safe-rollout train is wired in (canary cohort,
+    health gate, ``ROLLOUT_SOAK`` soak) and every machine validates
+    zone updates before install.
+    """
     deployment = AkamaiDNSDeployment(DeploymentParams(
         seed=params.seed, internet=params.internet,
         n_pops=params.n_pops, deployed_clouds=params.deployed_clouds,
         machines_per_pop=params.machines_per_pop,
         pops_per_cloud=params.pops_per_cloud,
         n_edge_servers=params.n_edge_servers,
-        filters_enabled=False))
+        filters_enabled=False,
+        rollout_enabled=rollout,
+        rollout=RolloutParams(soak_seconds=ROLLOUT_SOAK,
+                              check_period=1.0) if rollout else None,
+        machine_config=MachineConfig(zone_guard_enabled=rollout)))
     deployment.provision_enterprise(
         "slo-enterprise", PROBE_ZONE, "* IN A 203.0.113.53\n")
     deployment.settle(30)
     return deployment
 
 
-def run_campaign(params: ScorecardParams,
-                 campaign: Campaign) -> CampaignOutcome:
+def run_campaign(params: ScorecardParams, campaign: Campaign,
+                 slo: CampaignSLO | None = None) -> CampaignOutcome:
     """One campaign on one fresh deployment, probe running throughout.
 
     A campaign-local telemetry session watches the probe's failure feed
@@ -248,8 +346,10 @@ def run_campaign(params: ScorecardParams,
                              window=params.probe_window,
                              threshold=0.25, min_count=2)
     telemetry.alerts.add(detector, "probe.fail")
+    rollout = slo is not None and slo.rollout
     with _telemetry_state.session(telemetry):
-        deployment = build_deployment(params)
+        deployment = build_deployment(params, rollout=rollout)
+        recorder = _BlastRecorder(deployment) if rollout else None
         resolver = deployment.add_resolver("slo-resolver")
         probe = SLOProbe(deployment.loop, resolver, PROBE_ZONE,
                          period=params.probe_period,
@@ -280,10 +380,34 @@ def run_campaign(params: ScorecardParams,
             first_inject, name="probe-failure")
         if alert is not None:
             detection = alert.raised_at - first_inject
+
+    blast: dict[str, float] = {}
+    canary_ids: tuple[str, ...] = ()
+    rollback_complete = None
+    rejections = 0
+    if rollout and deployment.rollout is not None:
+        blast = dict(recorder.first_wrong)
+        train = deployment.rollout
+        canary_ids = tuple(m.machine_id for m in train.canaries)
+        rejections = train.rejections
+        probe_origin = str(name(PROBE_ZONE))
+        rolled = [r for r in train.releases
+                  if r.phase is RolloutPhase.ROLLED_BACK
+                  and str(r.origin) == probe_origin]
+        rollback_installs = [
+            t for machine in train.canaries
+            for t, action, origin, _serial in machine.zone_install_log
+            if action == "rollback" and origin == probe_origin]
+        if rolled and rollback_installs:
+            rollback_complete = (max(rollback_installs)
+                                 - min(r.published_at for r in rolled))
     return CampaignOutcome(campaign=campaign, report=report,
                            recoveries=recoveries,
                            fault_log=engine.describe_log(),
-                           detection_seconds=detection)
+                           detection_seconds=detection,
+                           blast=blast, canary_ids=canary_ids,
+                           rollback_complete_seconds=rollback_complete,
+                           rollout_rejections=rejections)
 
 
 _TITLE = "Platform resilience scorecard (section 4.2 failure modes)"
@@ -306,7 +430,7 @@ def run_unit(params: ScorecardParams, index: int,
     suite = standard_campaigns(build_deployment(params), params.seed)
     campaign, slo = suite[index]
     result = ExperimentResult("resilience", _TITLE)
-    outcome = run_campaign(params, campaign)
+    outcome = run_campaign(params, campaign, slo)
     report = outcome.report
     if verbose:
         print(f"-- {campaign.name}: {campaign.description}",
@@ -361,6 +485,40 @@ def run_unit(params: ScorecardParams, index: int,
         worst_ttr is not None
         and worst_ttr <= params.max_recovery_seconds
         and recovered == 1.0)
+    if slo.contain_blast:
+        canaries = set(outcome.canary_ids)
+        hit = set(outcome.blast)
+        escaped = sorted(hit - canaries)
+        result.metrics[f"{prefix}.blast_machines"] = float(len(hit))
+        result.metrics[f"{prefix}.blast_escaped"] = float(len(escaped))
+        rollback_s = outcome.rollback_complete_seconds
+        if rollback_s is not None:
+            result.metrics[f"{prefix}.rollback_s"] = rollback_s
+        result.compare(
+            f"{prefix}: blast radius confined to the canary cohort",
+            f"wrong answers only from canaries "
+            f"(cohort of {len(canaries)}), and at least one",
+            (f"{len(hit)} machine(s) served wrong answers, "
+             f"{len(escaped)} outside the cohort"
+             + (f": {', '.join(escaped)}" if escaped else "")),
+            bool(hit) and not escaped)
+        result.compare(
+            f"{prefix}: automatic rollback within the soak window",
+            f"last canary rolled back <= {ROLLOUT_SOAK:.0f}s after "
+            f"the corrupt publish",
+            ("no rollback happened" if rollback_s is None
+             else f"rollback complete after {rollback_s:.1f}s"),
+            rollback_s is not None and rollback_s <= ROLLOUT_SOAK)
+    if slo.expect_reject:
+        result.metrics[f"{prefix}.rejections"] = float(
+            outcome.rollout_rejections)
+        result.compare(
+            f"{prefix}: validator rejects every bad release up front",
+            f"{slo.expect_reject} rejected, zero wrong answers served",
+            (f"{outcome.rollout_rejections} rejected, "
+             f"{len(outcome.blast)} machine(s) served wrong answers"),
+            outcome.rollout_rejections == slo.expect_reject
+            and not outcome.blast)
     ttd = outcome.detection_seconds
     if slo.expect_dip:
         # Client-visible degradation must also be *operator*-visible:
@@ -394,11 +552,22 @@ def assemble(fragments: list[ExperimentResult]) -> ExperimentResult:
 
 
 def run(params: ScorecardParams | None = None,
-        verbose: bool = False) -> ExperimentResult:
-    """Run the standard suite and emit the pass/fail scorecard."""
+        verbose: bool = False,
+        only: str | None = None) -> ExperimentResult:
+    """Run the standard suite and emit the pass/fail scorecard.
+
+    ``only`` restricts the suite to campaigns whose name contains the
+    given substring (``SystemExit`` if nothing matches).
+    """
     params = params or ScorecardParams()
+    indices = list(range(unit_count(params)))
+    if only is not None:
+        suite = standard_campaigns(build_deployment(params), params.seed)
+        indices = [i for i in indices if only in suite[i][0].name]
+        if not indices:
+            raise SystemExit(f"no campaign matches {only!r}")
     return assemble([run_unit(params, index, verbose)
-                     for index in range(unit_count(params))])
+                     for index in indices])
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -408,10 +577,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--seed", type=int, default=42)
     parser.add_argument("--verbose", action="store_true",
                         help="print per-campaign fault logs to stderr")
+    parser.add_argument("--campaign", default=None, metavar="SUBSTR",
+                        help="run only campaigns whose name contains "
+                             "this substring")
     args = parser.parse_args(argv)
     params = ScorecardParams.fast(args.seed) if args.fast \
         else ScorecardParams(seed=args.seed)
-    result = run(params, verbose=args.verbose)
+    result = run(params, verbose=args.verbose, only=args.campaign)
     print(result.render())
     return 0 if result.all_hold else 1
 

@@ -67,6 +67,7 @@ class _Testbed:
                 "@ IN NS ns1.tax.example.\n"
                 + "".join(f"h{i} IN A 10.4.{i // 250}.{i % 250 + 1}\n"
                           for i in range(N_HOSTS)))
+        # reprolint: disable-next=ROB001 -- synthetic testbed bootstrap
         store.add(parse_zone_text(text))
         self.resolvers = [f"10.60.0.{i + 1}" for i in range(N_RESOLVERS)]
         self.filters = {

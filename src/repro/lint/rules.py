@@ -14,6 +14,9 @@ Three families, mirroring the determinism contract in
 * ``OBS0xx`` — observability discipline: library code reports through
   ``repro.telemetry`` (or returns data to its caller); only CLI entry
   points talk to stdout/stderr directly.
+* ``ROB0xx`` — robustness discipline: zone updates go through the
+  guarded install seam (validator + last-known-good retention), never
+  straight into a ``ZoneStore``.
 """
 
 from __future__ import annotations
@@ -350,6 +353,54 @@ class BarePrintRule(Rule):
         self.generic_visit(node)
 
 
+#: The one module allowed to drive zone installs directly: the
+#: safe-rollout release train (validation lives inside
+#: ``NameserverMachine.install_zone``, which rollout deliveries use).
+_ZONE_INSTALL_EXEMPT = (
+    "src/repro/control/rollout.py",
+)
+
+#: Receiver names that identify a zone-store ``add`` call site.
+_ZONE_STORE_NAMES = frozenset({"store", "zone_store"})
+
+
+class ZoneInstallRule(Rule):
+    code = "ROB001"
+    name = "unguarded-zone-install"
+    severity = Severity.ERROR
+    description = ("Direct ZoneStore.add() calls skip the safe-rollout "
+                   "validator (dnscore.validate) and the last-known-good "
+                   "retention that makes rollback possible; route zone "
+                   "updates through NameserverMachine.install_zone or "
+                   "the rollout train. Build-time bootstrap sites carry "
+                   "an inline suppression.")
+    scopes = ("src/repro/",)
+
+    @classmethod
+    def applies_to(cls, path: str) -> bool:
+        if not super().applies_to(path):
+            return False
+        norm = "/" + path.replace("\\", "/").lstrip("/")
+        return not any(f"/{entry}" in norm
+                       for entry in _ZONE_INSTALL_EXEMPT)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr == "add":
+            receiver = func.value
+            is_store = (
+                (isinstance(receiver, ast.Name)
+                 and receiver.id in _ZONE_STORE_NAMES)
+                or (isinstance(receiver, ast.Attribute)
+                    and receiver.attr in _ZONE_STORE_NAMES))
+            if is_store:
+                self.report(node, "direct zone-store add() bypasses the "
+                                  "rollout validator and last-known-good "
+                                  "retention; install through "
+                                  "NameserverMachine.install_zone")
+        self.generic_visit(node)
+
+
 ALL_RULES: tuple[type[Rule], ...] = (
     WallClockRule,
     GlobalRandomRule,
@@ -361,6 +412,7 @@ ALL_RULES: tuple[type[Rule], ...] = (
     LoopBypassRule,
     SeedParamRule,
     BarePrintRule,
+    ZoneInstallRule,
 )
 
 

@@ -26,6 +26,7 @@ from ..control.portal import ManagementPortal
 from ..control.pubsub import CDN_CHANNEL, MULTICAST_CHANNEL, MetadataBus
 from ..control.recovery import RecoverySystem
 from ..control.reporting import TrafficCollector
+from ..control.rollout import Release, RolloutCoordinator, RolloutParams
 from ..control.consensus import QuorumSuspensionCoordinator
 from ..dnscore.name import Name, name
 from ..dnscore.rdata import A, AAAA, CNAME, NS, SOA
@@ -95,6 +96,11 @@ class DeploymentParams:
     filters_enabled: bool = True
     machine_config: MachineConfig = field(default_factory=MachineConfig)
     queue_policy: QueuePolicy = field(default_factory=QueuePolicy)
+    #: When True, :meth:`AkamaiDNSDeployment.publish_zone_update` runs
+    #: updates through the safe-rollout release train (validate ->
+    #: canary -> soak -> promote/rollback) instead of fire-and-forget.
+    rollout_enabled: bool = False
+    rollout: RolloutParams | None = None
 
 
 @dataclass(slots=True)
@@ -171,6 +177,17 @@ class AkamaiDNSDeployment:
         self._build_fleet()
         self._build_infrastructure_hosts()
         self._build_lowlevel_fleet()
+
+        #: Safe-rollout release train (section 4.2.1 phased deployment);
+        #: None unless ``rollout_enabled``.
+        self.rollout: RolloutCoordinator | None = None
+        if p.rollout_enabled:
+            self.rollout = RolloutCoordinator(
+                self.loop, self.bus,
+                canaries=[d.machine for d in self.canary_deployments()],
+                fleet=self.machines(), params=p.rollout)
+            for zone in self.akamai_zones:
+                self.rollout.set_baseline(zone)
 
         # Data Collection/Aggregation (Figure 5): per-zone traffic
         # reports compiled for the portal.
@@ -324,9 +341,9 @@ class AkamaiDNSDeployment:
             # they delegate it — that split *is* the Two-Tier system.
             if zone.origin == self.names.lowlevel_zone:
                 continue
-            store.add(zone)
+            store.add(zone)  # reprolint: disable=ROB001 -- build bootstrap
         for zone in self.enterprise_zones.values():
-            store.add(zone)
+            store.add(zone)  # reprolint: disable=ROB001 -- build bootstrap
         view = MappingView(self._locate_client, random.Random(
             self.rng.randrange(2**31)))
         view.snapshot = self._initial_snapshot
@@ -339,10 +356,10 @@ class AkamaiDNSDeployment:
         machine = NameserverMachine(self.loop, machine_id, engine, pipeline,
                                     self.params.queue_policy, config)
         machine.metadata_handlers["mapping"] = view.apply
-        nxd = next((f for f in pipeline.filters
-                    if isinstance(f, NXDomainFilter)), None)
-        machine.metadata_handlers["zone"] = \
-            lambda msg, s=store, f=nxd: self._install_zone_update(s, msg, f)
+        # The machine's own guarded install seam validates (when the
+        # zone guard is on), retains last-known-good, and invalidates
+        # the NXDOMAIN filter's cached hostname tree.
+        machine.metadata_handlers["zone"] = machine.handle_zone_update
         self.bus.subscribe(MULTICAST_CHANNEL, machine,
                            extra_delay=(self.params.input_delay_seconds
                                         if config.input_delayed else 0.0))
@@ -351,17 +368,6 @@ class AkamaiDNSDeployment:
                                         if config.input_delayed else 0.0))
         self.recovery.register(machine)
         return machine, view
-
-    def _install_zone_update(self, store: ZoneStore, message,
-                             nxd_filter: NXDomainFilter | None = None
-                             ) -> None:
-        zone = message.payload
-        if isinstance(zone, Zone):
-            store.add(zone)
-            if nxd_filter is not None:
-                # Zone contents changed: any cached hostname tree for it
-                # is now wrong and must be rebuilt on demand.
-                nxd_filter.invalidate(zone.origin)
 
     def _build_fleet(self) -> None:
         p = self.params
@@ -416,7 +422,7 @@ class AkamaiDNSDeployment:
                      ) -> HostNameserver:
         store = ZoneStore()
         for zone in zones:
-            store.add(zone)
+            store.add(zone)  # reprolint: disable=ROB001 -- build bootstrap
         machine = NameserverMachine(
             self.loop, f"host-{address}", AuthoritativeEngine(store),
             ScoringPipeline([]), self.params.queue_policy,
@@ -431,7 +437,7 @@ class AkamaiDNSDeployment:
         lowlevel_zone = self.akamai_zones[1]
         for address in self.edge_addresses:
             store = ZoneStore()
-            store.add(lowlevel_zone)
+            store.add(lowlevel_zone)  # reprolint: disable=ROB001 -- bootstrap
             view = MappingView(self._locate_client, random.Random(
                 self.rng.randrange(2**31)))
             view.snapshot = self._initial_snapshot
@@ -481,9 +487,12 @@ class AkamaiDNSDeployment:
         zone = self.portal.submit_zone_text(enterprise_id, text)
         self.enterprise_zones[zone.origin] = zone
         # Immediate install (steady-state assumption) in addition to the
-        # bus publication the portal already made.
+        # bus publication the portal already made; routed through each
+        # machine's guarded seam so the audit log sees it.
         for deployment in self.deployments:
-            deployment.machine.engine.store.add(zone)
+            deployment.machine.install_zone(zone)
+        if self.rollout is not None:
+            self.rollout.set_baseline(zone)
         # Parent delegation: "adding the NS records to the parent zone
         # ensures that resolvers are directed to Akamai DNS".
         self.tld_zone.add_rrset(make_rrset(
@@ -612,6 +621,38 @@ class AkamaiDNSDeployment:
 
     def input_delayed_deployments(self) -> list[MachineDeployment]:
         return [d for d in self.deployments if d.input_delayed]
+
+    # -- safe rollout -------------------------------------------------------
+
+    def canary_deployments(self) -> list[MachineDeployment]:
+        """The rollout canary cohort (paper section 4.2.1/4.2.3).
+
+        The input-delayed deployments — already the platform's built-in
+        time-delayed canaries — plus every machine of the designated
+        canary cloud (the first deployed cloud), so a bad update is
+        observable on live-traffic machines within one delivery delay.
+        """
+        canaries = list(self.input_delayed_deployments())
+        designated = self.clouds[0]
+        for pop_id in self.cloud_pops[designated.index]:
+            for deployment in self.deployments_at(pop_id):
+                if not deployment.input_delayed:
+                    canaries.append(deployment)
+        return canaries
+
+    def publish_zone_update(self, zone: Zone) -> "Release | None":
+        """Publish a zone update to the fleet.
+
+        With the safe-rollout train enabled the update is validated,
+        canaried, and health-gated before promotion (returns the
+        :class:`Release`); otherwise it is published fire-and-forget on
+        the CDN channel, versioned so out-of-order deliveries are
+        dropped (returns None).
+        """
+        if self.rollout is not None:
+            return self.rollout.publish(zone)
+        self.bus.publish_zone(CDN_CHANNEL, str(zone.origin), zone)
+        return None
 
 
 def _copy_config(config: MachineConfig) -> MachineConfig:

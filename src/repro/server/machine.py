@@ -21,8 +21,12 @@ import enum
 from dataclasses import dataclass
 from typing import Callable
 
+from ..dnscore.errors import ZoneError
 from ..dnscore.message import Message, make_response
+from ..dnscore.name import Name
 from ..dnscore.rrtypes import RCode
+from ..dnscore.validate import ZoneUpdate, validate_update
+from ..dnscore.zone import Zone
 from ..filters.base import QueryContext, ScoringPipeline
 from ..filters.nxdomain import NXDomainFilter
 from ..filters.scoring import QueuePolicy
@@ -78,6 +82,11 @@ class MachineConfig:
     staleness_threshold: float = 30.0
     input_delayed: bool = False
     input_delay: float = 3600.0
+    #: When True, zone updates delivered over the metadata bus are
+    #: semantically validated against the served version and rejected
+    #: on any fatal issue (dnscore.validate). Rollback installs bypass
+    #: the check — last-known-good has an older serial by construction.
+    zone_guard_enabled: bool = False
 
 
 @dataclass(slots=True)
@@ -96,9 +105,20 @@ class MachineMetrics:
     attack_received: int = 0
     attack_answered: int = 0
     response_latency_sum: float = 0.0
+    zone_installs: int = 0
+    zone_rejects: int = 0
+    zone_rollbacks: int = 0
 
 
 ResponseCallback = Callable[[Datagram, Message], None]
+
+
+def _serial_of(zone: Zone) -> int:
+    """SOA serial for audit logs; -1 when the zone has no SOA."""
+    try:
+        return zone.serial
+    except ZoneError:
+        return -1
 
 
 class NameserverMachine:
@@ -129,6 +149,13 @@ class NameserverMachine:
         self.last_input_time = 0.0
         #: Dispatch table for metadata kinds ("mapping", "zone", ...).
         self.metadata_handlers: dict[str, Callable[[object], None]] = {}
+        #: Previous version of each installed zone, retained so a
+        #: corrupt update can be rolled back (serve-last-known-good,
+        #: paper section 4.2).
+        self.last_known_good: dict[Name, Zone] = {}
+        #: Audit log of zone transitions: (time, action, origin, serial)
+        #: with action in {"install", "reject", "rollback"}.
+        self.zone_install_log: list[tuple[float, str, str, int]] = []
         self._io_tokens = self.config.io_capacity_qps * self.config.io_burst_seconds
         self._io_last = 0.0
         self._busy = False
@@ -158,15 +185,95 @@ class NameserverMachine:
         if handler is not None:
             handler(message)
 
+    def handle_zone_update(self, message) -> None:
+        """Metadata-bus handler for ``kind="zone"`` deliveries.
+
+        Accepts both the typed :class:`ZoneUpdate` wrapper published by
+        the safe-rollout train and a bare :class:`Zone` payload from
+        legacy fire-and-forget publishes.
+        """
+        payload = message.payload
+        if isinstance(payload, ZoneUpdate):
+            self.install_zone(payload.zone, rollback=payload.rollback)
+        elif isinstance(payload, Zone):
+            self.install_zone(payload)
+
+    def install_zone(self, zone: Zone, *, rollback: bool = False) -> bool:
+        """Install a zone update; the machine's one guarded install seam.
+
+        Returns True if the zone is now served. With
+        ``config.zone_guard_enabled`` the update is validated against
+        the version currently served and rejected on any fatal issue;
+        guard on or off, a structurally invalid zone that the store
+        refuses is counted as a reject rather than raised into the
+        delivery path. The replaced version is retained as
+        last-known-good so :meth:`rollback_zone` can restore it.
+        ``rollback=True`` marks a last-known-good reinstall, which
+        skips validation (the restored serial is older by construction)
+        and does not overwrite the retained version.
+        """
+        store = self.engine.store
+        previous = store.get(zone.origin)
+        if (self.config.zone_guard_enabled and not rollback
+                and validate_update(zone, previous).fatal):
+            return self._reject_zone(zone)
+        try:
+            # reprolint: disable-next=ROB001 -- this *is* the guarded seam
+            store.add(zone)
+        except ZoneError:
+            return self._reject_zone(zone)
+        if previous is not None and previous is not zone and not rollback:
+            self.last_known_good[zone.origin] = previous
+        action = "rollback" if rollback else "install"
+        self.metrics.zone_installs += 1
+        if rollback:
+            self.metrics.zone_rollbacks += 1
+        self.zone_install_log.append(
+            (self.loop.now, action, str(zone.origin), _serial_of(zone)))
+        if self._nxdomain_filter is not None:
+            self._nxdomain_filter.invalidate(zone.origin)
+        _t = _telemetry.ACTIVE
+        if _t is not None:
+            _t.zone_update(self.machine_id, action, self.loop.now)
+        return True
+
+    def _reject_zone(self, zone: Zone) -> bool:
+        self.metrics.zone_rejects += 1
+        self.zone_install_log.append(
+            (self.loop.now, "reject", str(zone.origin), _serial_of(zone)))
+        _t = _telemetry.ACTIVE
+        if _t is not None:
+            _t.zone_update(self.machine_id, "reject", self.loop.now)
+        return False
+
+    def rollback_zone(self, origin: Name) -> bool:
+        """Restore the retained last-known-good version of ``origin``."""
+        good = self.last_known_good.get(origin)
+        if good is None:
+            return False
+        return self.install_zone(good, rollback=True)
+
     def is_stale(self, now: float) -> bool:
         """Whether critical inputs are older than the staleness threshold.
 
-        Input-delayed machines run intentionally stale and never report
-        staleness (section 4.2.3).
+        The comparison is strictly ``>``: a machine whose newest input
+        is *exactly* ``staleness_threshold`` seconds old is still
+        fresh, so a publisher running at exactly the threshold period
+        never flaps the check. Input-delayed machines run intentionally
+        stale and never report staleness (section 4.2.3).
+
+        Every positive check increments the ``machine_stale_total``
+        telemetry counter, so rollout soak windows can gate on fleet
+        staleness.
         """
         if self.config.input_delayed:
             return False
-        return now - self.last_input_time > self.config.staleness_threshold
+        stale = now - self.last_input_time > self.config.staleness_threshold
+        if stale:
+            _t = _telemetry.ACTIVE
+            if _t is not None:
+                _t.machine_stale(self.machine_id, now)
+        return stale
 
     # -- lifecycle ------------------------------------------------------------
 

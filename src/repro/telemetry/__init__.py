@@ -142,6 +142,18 @@ class Telemetry:
             "zone_responses_total",
             "per-zone responses, by rcode (feeds enterprise reports)",
             ("machine", "zone", "rcode"))
+        self._c_stale = reg.counter(
+            "machine_stale_total",
+            "positive staleness checks (inputs older than threshold)",
+            ("machine",))
+        self._c_zone_updates = reg.counter(
+            "zone_updates_total",
+            "zone installs/rejects/rollbacks at machines",
+            ("machine", "action"))
+        self._c_rollout = reg.counter(
+            "rollout_events_total",
+            "safe-rollout release phase transitions",
+            ("origin", "phase"))
         self._h_probe = reg.histogram(
             "probe_seconds", "SLO probe answer latency").labels()
 
@@ -230,6 +242,23 @@ class Telemetry:
         """``event``: "suspended", "resumed", "denied", "crashed"."""
         self._c_lifecycle.labels(machine_id, event).inc()
         self.alerts.observe("lifecycle", now)
+
+    def machine_stale(self, machine_id: str, now: float) -> None:
+        """A staleness check came back positive for this machine."""
+        self._c_stale.labels(machine_id).inc()
+        self.alerts.observe("machine_stale", now)
+
+    def zone_update(self, machine_id: str, action: str,
+                    now: float) -> None:
+        """``action``: "install", "reject", or "rollback"."""
+        self._c_zone_updates.labels(machine_id, action).inc()
+        self.alerts.observe("zone.reject", now,
+                            1.0 if action == "reject" else 0.0)
+
+    def rollout_event(self, origin: str, phase: str, now: float) -> None:
+        """A safe-rollout release changed phase (control.rollout)."""
+        self._c_rollout.labels(origin, phase).inc()
+        self.alerts.observe("rollout", now)
 
     # -- resolver hooks -----------------------------------------------------
 

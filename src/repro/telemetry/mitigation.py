@@ -99,6 +99,33 @@ class FirewallArm(Mitigator):
             self._signature = None
 
 
+class RollbackArm(Mitigator):
+    """Trigger a safe-rollout zone rollback while an alert is active.
+
+    Binds an alert (e.g. a SERVFAIL-ratio or probe-failure detector) to
+    :meth:`~repro.control.rollout.RolloutCoordinator.rollback_origin`
+    for one origin: an in-flight canary release is rolled back, and
+    with nothing in flight the last-known-good version is republished
+    fleet-wide. Rollback is not reversible, so the alert clearing does
+    nothing — re-promotion happens by publishing a fixed update through
+    the train, never by automation.
+    """
+
+    def __init__(self, alert_name: str, coordinator, origin) -> None:
+        super().__init__(alert_name)
+        self.coordinator = coordinator
+        self.origin = origin
+        self.rollbacks_triggered = 0
+
+    def engage(self, alert: Alert) -> None:
+        if self.coordinator.rollback_origin(
+                self.origin, reason=f"alert {alert.name!r} raised"):
+            self.rollbacks_triggered += 1
+
+    def stand_down(self, alert: Alert) -> None:
+        """Deliberate no-op: a rollback cannot be un-rolled-back."""
+
+
 def arm(telemetry: Telemetry, *mitigators: Mitigator) -> None:
     """Attach mitigators to a session's alert callbacks.
 

@@ -1,0 +1,175 @@
+"""Tests for semantic zone-update validation (the rollout gate)."""
+
+import pytest
+
+from repro.dnscore import (
+    A,
+    NS,
+    RType,
+    SOA,
+    ValidationLimits,
+    Zone,
+    ZoneUpdate,
+    content_digest,
+    make_rrset,
+    make_zone,
+    name,
+    validate_update,
+)
+
+
+def soa(serial):
+    return SOA(name("ns1.ex.com"), name("admin.ex.com"), serial,
+               7200, 3600, 1209600, 300)
+
+
+def good_zone(serial=5, extra=4):
+    z = make_zone(name("ex.com"), soa(serial),
+                  [name("a.ns.akam.net"), name("b.ns.akam.net")])
+    for i in range(extra):
+        z.add_rrset(make_rrset(name(f"h{i}.ex.com"), RType.A, 300,
+                               [A(f"192.0.2.{i + 1}")]))
+    return z
+
+
+class TestApexRules:
+    def test_clean_zone_passes(self):
+        report = validate_update(good_zone())
+        assert not report.fatal
+        assert report.issues == []
+        assert "clean" in report.describe()
+
+    def test_missing_soa_is_fatal(self):
+        z = Zone(name("ex.com"))
+        z.add_rrset(make_rrset(name("ex.com"), RType.NS, 300,
+                               [NS(name("a.ns.akam.net"))]))
+        report = validate_update(z)
+        assert report.fatal
+        assert "missing-soa" in report.fatal_rules()
+
+    def test_missing_apex_ns_is_fatal(self):
+        z = Zone(name("ex.com"))
+        z.add_rrset(make_rrset(name("ex.com"), RType.SOA, 300, [soa(1)]))
+        report = validate_update(z)
+        assert report.fatal_rules() == ["missing-apex-ns"]
+
+
+class TestSerialRules:
+    def test_first_install_skips_serial_checks(self):
+        assert not validate_update(good_zone(serial=1)).fatal
+
+    def test_advancing_serial_passes(self):
+        report = validate_update(good_zone(serial=6),
+                                 previous=good_zone(serial=5))
+        assert report.issues == []
+
+    def test_serial_regression_is_fatal(self):
+        report = validate_update(good_zone(serial=4),
+                                 previous=good_zone(serial=5))
+        assert report.fatal_rules() == ["serial-regression"]
+        assert "went backwards" in report.describe()
+
+    def test_rfc1982_wraparound_is_forward(self):
+        report = validate_update(good_zone(serial=1),
+                                 previous=good_zone(serial=0xFFFFFFFF))
+        assert not report.fatal
+
+    def test_same_serial_changed_content_is_fatal(self):
+        changed = good_zone(serial=5)
+        changed.add_rrset(make_rrset(name("new.ex.com"), RType.A, 300,
+                                     [A("198.51.100.1")]))
+        report = validate_update(changed, previous=good_zone(serial=5))
+        assert report.fatal_rules() == ["serial-regression"]
+        assert "never refresh" in report.describe()
+
+    def test_same_serial_same_content_is_advisory_noop(self):
+        report = validate_update(good_zone(), previous=good_zone())
+        assert not report.fatal
+        assert report.rules() == ["no-op-republish"]
+
+
+class TestRecordLoss:
+    def test_collapsed_zone_is_fatal(self):
+        report = validate_update(good_zone(serial=6, extra=0),
+                                 previous=good_zone(serial=5, extra=8))
+        assert "record-loss" in report.fatal_rules()
+
+    def test_tiny_previous_zone_may_shrink(self):
+        report = validate_update(good_zone(serial=6, extra=0),
+                                 previous=good_zone(serial=5, extra=1))
+        assert not report.fatal
+
+    def test_floor_is_tunable(self):
+        limits = ValidationLimits(record_loss_floor=0.95,
+                                  min_previous_rrsets=2)
+        report = validate_update(good_zone(serial=6, extra=2),
+                                 previous=good_zone(serial=5, extra=4),
+                                 limits=limits)
+        assert "record-loss" in report.fatal_rules()
+
+
+class TestDelegationRules:
+    def test_dangling_apex_ns_is_advisory(self):
+        z = make_zone(name("ex.com"), soa(1), [name("ns1.ex.com")])
+        report = validate_update(z)
+        assert not report.fatal
+        assert report.rules() == ["dangling-ns"]
+
+    def test_glued_in_zone_ns_is_clean(self):
+        z = make_zone(name("ex.com"), soa(1), [name("ns1.ex.com")])
+        z.add_rrset(make_rrset(name("ns1.ex.com"), RType.A, 300,
+                               [A("192.0.2.53")]))
+        assert validate_update(z).issues == []
+
+    def test_out_of_zone_ns_needs_no_glue(self):
+        assert validate_update(good_zone()).issues == []
+
+    def test_glueless_in_subtree_delegation_is_fatal(self):
+        z = good_zone()
+        z.add_rrset(make_rrset(name("sub.ex.com"), RType.NS, 300,
+                               [NS(name("ns.sub.ex.com"))]))
+        report = validate_update(z)
+        assert "broken-delegation" in report.fatal_rules()
+        assert "dangling-ns" in report.rules()
+
+    def test_glued_delegation_is_reachable(self):
+        z = good_zone()
+        z.add_rrset(make_rrset(name("sub.ex.com"), RType.NS, 300,
+                               [NS(name("ns.sub.ex.com"))]))
+        z.add_rrset(make_rrset(name("ns.sub.ex.com"), RType.A, 300,
+                               [A("203.0.113.1")]))
+        assert validate_update(z).issues == []
+
+    def test_delegation_to_outside_nameserver_is_fine(self):
+        z = good_zone()
+        z.add_rrset(make_rrset(name("sub.ex.com"), RType.NS, 300,
+                               [NS(name("ns.elsewhere.net"))]))
+        assert validate_update(z).issues == []
+
+
+class TestDigestAndPayload:
+    def test_digest_is_insertion_order_independent(self):
+        a = make_zone(name("ex.com"), soa(1), [name("a.ns.akam.net")])
+        a.add_rrset(make_rrset(name("x.ex.com"), RType.A, 300,
+                               [A("192.0.2.1")]))
+        a.add_rrset(make_rrset(name("y.ex.com"), RType.A, 300,
+                               [A("192.0.2.2")]))
+        b = make_zone(name("ex.com"), soa(1), [name("a.ns.akam.net")])
+        b.add_rrset(make_rrset(name("y.ex.com"), RType.A, 300,
+                               [A("192.0.2.2")]))
+        b.add_rrset(make_rrset(name("x.ex.com"), RType.A, 300,
+                               [A("192.0.2.1")]))
+        assert content_digest(a) == content_digest(b)
+
+    def test_digest_sees_content_changes(self):
+        changed = good_zone()
+        changed.add_rrset(make_rrset(name("new.ex.com"), RType.A, 300,
+                                     [A("198.51.100.1")]))
+        assert content_digest(changed) != content_digest(good_zone())
+
+    def test_zone_update_payload_defaults(self):
+        update = ZoneUpdate(good_zone())
+        assert update.rollback is False
+        assert update.release_id == 0
+        with pytest.raises(AttributeError):
+            update.rollback = True

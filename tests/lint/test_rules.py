@@ -260,6 +260,40 @@ class TestBarePrint:
         assert codes("print('debug')\n", path="tests/fake.py") == []
 
 
+class TestZoneInstall:
+    def test_store_add_flagged(self):
+        src = ("from repro.server import ZoneStore\n"
+               "store = ZoneStore()\n"
+               "store.add(zone)\n")
+        assert codes(src, path=SIM_PATH) == ["ROB001"]
+
+    def test_attribute_store_add_flagged(self):
+        src = "def f(engine, zone):\n    engine.store.add(zone)\n"
+        assert codes(src, path=SIM_PATH) == ["ROB001"]
+
+    def test_guarded_install_is_fine(self):
+        src = "def f(machine, zone):\n    machine.install_zone(zone)\n"
+        assert codes(src, path=SIM_PATH) == []
+
+    def test_unrelated_add_is_fine(self):
+        src = "def f(pipeline, x):\n    pipeline.add(x)\n    items.add(x)\n"
+        assert codes(src, path=SIM_PATH) == []
+
+    def test_rollout_module_exempt(self):
+        src = "def f(store, zone):\n    store.add(zone)\n"
+        assert codes(src, path="src/repro/control/rollout.py") == []
+
+    def test_tests_out_of_scope(self):
+        src = "def f(store, zone):\n    store.add(zone)\n"
+        assert codes(src, path="tests/server/fake.py") == []
+
+    def test_inline_suppression(self):
+        src = ("def f(store, zone):\n"
+               "    # reprolint: disable-next=ROB001 -- bootstrap\n"
+               "    store.add(zone)\n")
+        assert codes(src, path=SIM_PATH) == []
+
+
 class TestRuleCatalogue:
     def test_codes_unique(self):
         all_codes = [r.code for r in ALL_RULES]
