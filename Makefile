@@ -4,7 +4,7 @@ PY ?= python
 LINT_PYTHONPATH = src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: install test bench bench-check bench-pytest chaos rollout-demo \
-        report report-fast examples lint clean
+        defend-demo report report-fast examples lint clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -48,6 +48,9 @@ chaos:
 rollout-demo:
 	$(PY) examples/safe_rollout.py
 
+defend-demo:
+	$(PY) examples/defense_ladder.py
+
 report:
 	$(PY) -m repro.experiments.runner
 
@@ -62,6 +65,7 @@ examples:
 	$(PY) examples/ddos_mitigation.py
 	$(PY) examples/chaos_campaign.py
 	$(PY) examples/safe_rollout.py
+	$(PY) examples/defense_ladder.py
 
 clean:
 	rm -rf .pytest_cache .benchmarks src/*.egg-info

@@ -11,6 +11,7 @@ every run is a pure function of the campaign seed.
 from .engine import ChaosEngine, FaultEvent
 from .faults import Campaign, FaultKind, FaultSpec, Schedule
 from .injectors import (
+    AttackInjector,
     ControlInjector,
     FaultInjector,
     NetsimInjector,
@@ -20,6 +21,7 @@ from .injectors import (
 from .probe import ProbeOutcome, ProbeWindow, SLOProbe, SLOReport
 
 __all__ = [
+    "AttackInjector",
     "Campaign",
     "ChaosEngine",
     "ControlInjector",

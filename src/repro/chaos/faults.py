@@ -27,6 +27,10 @@ kind                      seam it drives
                           safe-rollout train (validator, canary soak,
                           rollback) is what stands between it and the
                           fleet; ``note`` picks the corruption mode
+``ATTACK_FLOOD``          a random-subdomain attack (section 4.3.4 class
+                          3) aimed at an anycast prefix; ``target`` is
+                          the prefix, ``note`` the victim zone origin,
+                          ``severity`` the rate in packets/sec
 ========================  =====================================================
 """
 
@@ -51,6 +55,7 @@ class FaultKind(enum.Enum):
     METADATA_FREEZE = "metadata_freeze"
     ZONE_CORRUPTION = "zone_corruption"
     BAD_ZONE_PUBLISH = "bad_zone_publish"
+    ATTACK_FLOOD = "attack_flood"
 
 
 @dataclass(frozen=True, slots=True)
@@ -120,9 +125,11 @@ class FaultSpec:
     """One fault: what to break, where, when, and how hard.
 
     ``target`` is injector-interpreted: a PoP router id, a machine id, a
-    link as ``"a|b"``, a zone origin string, or ``"platform"`` for
-    platform-wide faults. ``severity`` scales intensity: loss fraction
-    for ``LINK_DEGRADE``, capacity multiplier for ``SLOW_IO``.
+    link as ``"a|b"``, a zone origin string, an anycast prefix
+    (``ATTACK_FLOOD``), or ``"platform"`` for platform-wide faults.
+    ``severity`` scales intensity: loss fraction for ``LINK_DEGRADE``,
+    capacity multiplier for ``SLOW_IO``, packets/sec for
+    ``ATTACK_FLOOD``.
     """
 
     kind: FaultKind

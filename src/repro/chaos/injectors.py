@@ -19,6 +19,7 @@ Targets:
 
 from __future__ import annotations
 
+import random
 from dataclasses import replace
 from typing import Protocol
 
@@ -29,6 +30,7 @@ from ..dnscore.zone import Zone
 from ..netsim.clock import PeriodicTask
 from ..platform.deployment import AkamaiDNSDeployment, MachineDeployment
 from ..server.machine import MachineState
+from ..workload.attacks import RandomSubdomainAttack
 from .faults import FaultKind, FaultSpec
 
 
@@ -263,6 +265,59 @@ class ControlInjector:
             raise ValueError(f"{spec.kind} is not a control fault")
 
 
+class AttackInjector:
+    """Attack traffic as a declarative fault (section 4.3.4, class 3).
+
+    ``inject`` starts a random-subdomain flood at the anycast prefix
+    named by ``spec.target``, with ``spec.note`` as the victim zone
+    origin and ``spec.severity`` as the aggregate rate in packets/sec;
+    ``clear`` stops it (the attacker gives up). Sources are a
+    deterministic slice of the Internet's stub networks — real
+    topology nodes, so the flood routes exactly like legitimate
+    resolver traffic and anycast traffic engineering genuinely moves
+    it. The generator draws from its own seeded RNG (derived from the
+    deployment seed and a launch counter), never from a sim stream.
+    """
+
+    kinds = frozenset({FaultKind.ATTACK_FLOOD})
+
+    def __init__(self, deployment: AkamaiDNSDeployment,
+                 source_count: int = 8) -> None:
+        self.deployment = deployment
+        self.source_count = source_count
+        self._attacks: dict[tuple[str, str], RandomSubdomainAttack] = {}
+        self._launched = 0
+
+    def attack_sources(self) -> list[str]:
+        """The stub-router ids the flood is sourced from (stable order)."""
+        stubs = sorted(self.deployment.internet.stubs)
+        return stubs[:self.source_count]
+
+    def inject(self, spec: FaultSpec) -> None:
+        key = (spec.target, spec.note)
+        if key in self._attacks:
+            return
+        if not spec.note:
+            raise ValueError("ATTACK_FLOOD needs the victim zone origin "
+                             "in spec.note")
+        deployment = self.deployment
+        rng = random.Random(deployment.params.seed * 1_000_003
+                            + self._launched * 7919 + 11)
+        self._launched += 1
+        attack = RandomSubdomainAttack(
+            deployment.loop, rng, deployment.network.send,
+            spec.severity, 10.0 ** 9,
+            target=spec.target, victim_zone=name(spec.note),
+            sources=self.attack_sources())
+        attack.start()
+        self._attacks[key] = attack
+
+    def clear(self, spec: FaultSpec) -> None:
+        attack = self._attacks.pop((spec.target, spec.note), None)
+        if attack is not None:
+            attack.stop()
+
+
 def _corrupted_copy(zone: Zone) -> Zone:
     """A truncated transfer: only the apex survives, contents are lost.
 
@@ -347,7 +402,8 @@ def default_injectors(deployment: AkamaiDNSDeployment
     """The standard kind -> injector dispatch table."""
     table: dict[FaultKind, FaultInjector] = {}
     for injector in (NetsimInjector(deployment), ServerInjector(deployment),
-                     ControlInjector(deployment)):
+                     ControlInjector(deployment),
+                     AttackInjector(deployment)):
         for kind in injector.kinds:
             table[kind] = injector
     return table

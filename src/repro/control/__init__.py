@@ -6,6 +6,18 @@ quorum-limited suspension coordinator.
 """
 
 from .consensus import QuorumSuspensionCoordinator
+from .defense import (
+    DefenseController,
+    DefenseParams,
+    DefenseRung,
+    DefenseTransition,
+    FilterInsertRung,
+    FirewallRuleRung,
+    GuardrailParams,
+    QueueTightenRung,
+    TrafficEngRung,
+    known_resolver_estimator,
+)
 from .mapping import (
     CDN_ANSWER_TTL,
     EdgeServer,
@@ -46,12 +58,17 @@ from .reporting import (
 
 __all__ = [
     "Alert", "CDN_ANSWER_TTL", "CDN_CHANNEL", "ChannelProfile",
-    "EdgeServer", "Enterprise", "FleetSnapshot", "GTMProperty",
-    "MULTICAST_CHANNEL", "ManagementPortal", "MapSnapshot",
+    "DefenseController", "DefenseParams", "DefenseRung",
+    "DefenseTransition", "EdgeServer", "Enterprise",
+    "FilterInsertRung", "FirewallRuleRung", "FleetSnapshot",
+    "GTMProperty", "GuardrailParams", "MULTICAST_CHANNEL",
+    "ManagementPortal", "MapSnapshot",
     "MappingIntelligence", "MappingView", "MetadataBus", "MetadataMessage",
-    "CanaryHealthGate", "PortalLimits", "QuorumSuspensionCoordinator",
+    "CanaryHealthGate", "PortalLimits", "QueueTightenRung",
+    "QuorumSuspensionCoordinator",
     "RecoverySystem", "Release", "RolloutCoordinator", "RolloutEvent",
-    "RolloutParams", "RolloutPhase",
-    "TrafficCollector", "ValidationError", "ZoneCounter",
-    "ZoneTrafficReport", "ZoneTrafficSample", "nearest_edges",
+    "RolloutParams", "RolloutPhase", "TrafficCollector", "TrafficEngRung",
+    "ValidationError", "ZoneCounter",
+    "ZoneTrafficReport", "ZoneTrafficSample",
+    "known_resolver_estimator", "nearest_edges",
 ]

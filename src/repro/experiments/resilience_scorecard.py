@@ -34,16 +34,47 @@ from ..chaos import (
     SLOProbe,
     SLOReport,
 )
+from ..control.defense import (
+    DefenseController,
+    DefenseParams,
+    FilterInsertRung,
+    FirewallRuleRung,
+    GuardrailParams,
+    QueueTightenRung,
+    TrafficEngRung,
+    known_resolver_estimator,
+)
 from ..control.rollout import RolloutParams, RolloutPhase
 from ..dnscore.name import name
 from ..dnscore.rrtypes import RCode, RType
+from ..filters.ratelimit import RateLimitFilter
 from ..netsim.builder import InternetParams
 from ..platform.deployment import AkamaiDNSDeployment, DeploymentParams
+from ..platform.traffic_eng import AttackSituation, TrafficEngineer
 from ..server.machine import MachineConfig
-from ..telemetry import RatioDetector, Telemetry, TelemetryConfig
+from ..telemetry import (
+    AlertSeverity,
+    RateDetector,
+    RatioDetector,
+    Telemetry,
+    TelemetryConfig,
+)
 from ..telemetry import state as _telemetry_state
 
 PROBE_ZONE = "slozone.net"
+#: Zone a chaos-campaign flood pretends to resolve: provisioned (so the
+#: attack is the paper's pseudo-random-subdomain class — real zone,
+#: nonexistent names) but never probed, so a firewall rung targeting it
+#: has zero probe collateral.
+VICTIM_ZONE = "victim.net"
+#: The defense ladder's driving signal: a QPS-spike detector on the
+#: fleet's ``query_received`` feed, which fires *before* any shedding —
+#: so the alert persists while mitigations hold and clears only when
+#: the flood actually stops.
+ATTACK_QPS_ALERT = "attack-qps"
+#: Soak of the deliberately over-broad firewall rung in the guardrail
+#: campaign; the auto-revert must land within it.
+OVERBLOCK_SOAK = 8.0
 WARMUP = 20.0              # healthy baseline before the first fault
 COOLDOWN = 30.0            # post-campaign window so recovery is observable
 #: Canary soak window of the rollout campaigns. Long enough that the
@@ -118,6 +149,22 @@ class CampaignSLO:
     #: Grade validator rejection: exactly this many releases must be
     #: rejected up front, with zero machines serving a wrong answer.
     expect_reject: int = 0
+    #: Arm the closed-loop defense ladder (control.defense) on this
+    #: campaign's deployment and grade detection, climb, the
+    #: legitimate-availability floor while mitigations hold, and the
+    #: full symmetric unwind after the attack ends.
+    defense: bool = False
+    #: Escalation levels the ladder must reach under sustained attack.
+    defense_min_climb: int = 3
+    #: Known-resolver availability floor from the first rung engaging
+    #: to the attack ending.
+    defense_floor: float = 0.60
+    #: Budget from the flood stopping to the ladder back at level 0.
+    defense_unwind_seconds: float = 30.0
+    #: Prepend a deliberately over-broad firewall rung (it drops the
+    #: probe zone itself) and grade that the collateral-damage guardrail
+    #: auto-reverts and latches it within its soak window.
+    defense_overblock: bool = False
 
 
 @dataclass(slots=True)
@@ -142,6 +189,20 @@ class CampaignOutcome:
     rollback_complete_seconds: float | None = None
     #: Releases the rollout validator rejected before any publish.
     rollout_rejections: int = 0
+    #: Defense-ladder measurements (defense campaigns only).
+    defense_max_level: int = 0
+    defense_final_level: int = 0
+    defense_reverts: int = 0
+    #: Seconds from the first flood inject to the attack-qps alert.
+    defense_attack_detect_seconds: float | None = None
+    #: When the first rung engaged / the last flood cleared / the
+    #: ladder last returned to level 0 (loop-absolute seconds).
+    defense_engaged_at: float | None = None
+    defense_attack_end: float | None = None
+    defense_unwound_at: float | None = None
+    #: Engage-to-revert delta of the first guardrail-reverted rung.
+    defense_revert_after: float | None = None
+    defense_timeline: list[str] = field(default_factory=list)
 
     @property
     def worst_recovery(self) -> float | None:
@@ -242,6 +303,39 @@ def standard_campaigns(deployment: AkamaiDNSDeployment,
     suite.append((c, CampaignSLO(min_overall=0.80, min_worst_window=0.30,
                                  expect_dip=True)))
 
+    c = Campaign("defense-ladder", duration=110.0, seed=seed,
+                 description="escalating random-subdomain flood at the "
+                             "probe zone's cloud; the defense ladder "
+                             "detects, climbs rung by rung, contains the "
+                             "attack, then fully unwinds")
+    c.add(FaultSpec(FaultKind.ATTACK_FLOOD, slo_zone_cloud.prefix,
+                    Schedule.once(WARMUP, 30.0), severity=250.0,
+                    note=VICTIM_ZONE))
+    c.add(FaultSpec(FaultKind.ATTACK_FLOOD, slo_zone_cloud.prefix,
+                    Schedule.once(WARMUP + 30.0, 30.0), severity=500.0,
+                    note=VICTIM_ZONE))
+    suite.append((c, CampaignSLO(min_overall=0.70, min_worst_window=0.0,
+                                 defense=True)))
+
+    # A cloud *outside* the probe zone's delegation: attacking it leaves
+    # legitimate traffic untouched (attack damage ~0), so an over-broad
+    # mitigation is the only thing shedding good traffic — the cleanest
+    # possible guardrail trip.
+    offside_cloud = next((c for c in deployment.clouds
+                          if c not in delegation), slo_zone_cloud)
+    c = Campaign("defense-guardrail", duration=90.0, seed=seed,
+                 description="flood at a cloud outside the probe zone's "
+                             "delegation; a deliberately over-broad "
+                             "firewall rung sheds good traffic and the "
+                             "collateral-damage guardrail reverts and "
+                             "latches it, then the safe rungs climb")
+    c.add(FaultSpec(FaultKind.ATTACK_FLOOD, offside_cloud.prefix,
+                    Schedule.once(WARMUP, 40.0), severity=300.0,
+                    note=VICTIM_ZONE))
+    suite.append((c, CampaignSLO(min_overall=0.80, min_worst_window=0.0,
+                                 expect_dip=True, defense=True,
+                                 defense_overblock=True)))
+
     c = Campaign("rollout-containment", duration=90.0, seed=seed,
                  description="semantically valid but content-corrupt zone "
                              "rides the rollout train; canary probes trip "
@@ -303,13 +397,26 @@ class _BlastRecorder:
 
 
 def build_deployment(params: ScorecardParams, *,
-                     rollout: bool = False) -> AkamaiDNSDeployment:
+                     rollout: bool = False,
+                     defense: bool = False) -> AkamaiDNSDeployment:
     """A fresh platform with the probe zone (wildcard answers) live.
 
     With ``rollout`` the safe-rollout train is wired in (canary cohort,
     health gate, ``ROLLOUT_SOAK`` soak) and every machine validates
     zone updates before install.
+
+    With ``defense`` the machines are deliberately under-provisioned
+    (a few hundred qps of compute, a short queue) so a chaos-campaign
+    flood genuinely saturates them — the regime the defense ladder is
+    graded in — and the flood's victim zone is provisioned so the
+    attack is the paper's pseudo-random-subdomain class.
     """
+    machine_config = MachineConfig(zone_guard_enabled=rollout)
+    if defense:
+        machine_config = MachineConfig(zone_guard_enabled=rollout,
+                                       compute_capacity_qps=150.0,
+                                       io_capacity_qps=3_000.0,
+                                       queue_depth=500)
     deployment = AkamaiDNSDeployment(DeploymentParams(
         seed=params.seed, internet=params.internet,
         n_pops=params.n_pops, deployed_clouds=params.deployed_clouds,
@@ -320,11 +427,68 @@ def build_deployment(params: ScorecardParams, *,
         rollout_enabled=rollout,
         rollout=RolloutParams(soak_seconds=ROLLOUT_SOAK,
                               check_period=1.0) if rollout else None,
-        machine_config=MachineConfig(zone_guard_enabled=rollout)))
+        machine_config=machine_config))
     deployment.provision_enterprise(
         "slo-enterprise", PROBE_ZONE, "* IN A 203.0.113.53\n")
+    if defense:
+        deployment.provision_enterprise("victim-enterprise", VICTIM_ZONE)
     deployment.settle(30)
     return deployment
+
+
+def _wire_defense(deployment: AkamaiDNSDeployment, telemetry: Telemetry,
+                  campaign: Campaign,
+                  slo: CampaignSLO) -> DefenseController:
+    """Arm the standard four-rung ladder for an attack campaign.
+
+    Wired after ``settle`` so warm-up traffic never feeds the attack
+    detector. The ladder is mildest-first: tighten penalty-queue bands,
+    insert per-source rate limiting, firewall the flooded zone's shape,
+    and finally withdraw a fraction of peering links at the attacked
+    cloud's first PoP (Figure 9 action III). With
+    ``slo.defense_overblock`` a rung that firewalls the *probe* zone is
+    prepended — deliberate collateral, which the guardrail must revert.
+    """
+    machines = deployment.machines()
+    for machine in machines:
+        machine.known_sources.add("slo-resolver")
+    telemetry.alerts.add(
+        RateDetector(ATTACK_QPS_ALERT, window=1.0, threshold=120.0,
+                     for_windows=2, clear_windows=2,
+                     severity=AlertSeverity.CRITICAL), "qps")
+    spec = next(f for f in campaign.faults
+                if f.kind is FaultKind.ATTACK_FLOOD)
+    cloud = next(c for c in deployment.clouds if c.prefix == spec.target)
+    pop_router = deployment.cloud_pops[cloud.index][0]
+    engineer = TrafficEngineer(deployment.network, cloud.prefix)
+    te_plan = engineer.plan(
+        AttackSituation(resolvers_dosed=True,
+                        peering_links_congested=False,
+                        compute_saturated=True,
+                        can_spread_attack=False),
+        pop_router_id=pop_router,
+        attack_peers=deployment.network.topology.bgp_neighbors(pop_router),
+        fraction=0.34)
+    ladder: list = [
+        QueueTightenRung(machines, factor=0.5),
+        FilterInsertRung(machines, lambda machine: RateLimitFilter(),
+                         name="rate-limit"),
+        FirewallRuleRung(machines, name(f"x.{VICTIM_ZONE}"), RType.A,
+                         name="victim-firewall"),
+        TrafficEngRung(engineer, te_plan),
+    ]
+    if slo.defense_overblock:
+        ladder.insert(0, FirewallRuleRung(
+            machines, name(f"x.{PROBE_ZONE}"), RType.A,
+            name="overblock-firewall", soak_seconds=OVERBLOCK_SOAK,
+            cool_off_seconds=300.0))
+    controller = DefenseController(
+        deployment.loop, ladder, alert_name=ATTACK_QPS_ALERT,
+        params=DefenseParams(guardrail=GuardrailParams(margin=0.25,
+                                                       min_samples=4)),
+        estimator=known_resolver_estimator(machines),
+        machines=machines)
+    return controller.arm(telemetry)
 
 
 def run_campaign(params: ScorecardParams, campaign: Campaign,
@@ -337,8 +501,14 @@ def run_campaign(params: ScorecardParams, campaign: Campaign,
     pipeline *noticed* (time-to-detection). Telemetry is passive: the
     session changes no simulation behaviour, only what gets recorded.
     """
+    rollout = slo is not None and slo.rollout
+    defense = slo is not None and slo.defense
+    # Defense campaigns arm mitigations: the controller mutates sim
+    # state (policies, filters, firewall rules, BGP exports) by design.
+    # Every other campaign keeps the session passive.
     telemetry = Telemetry(TelemetryConfig(seed=params.seed,
-                                          trace_sample_rate=0.0))
+                                          trace_sample_rate=0.0,
+                                          arm_mitigations=defense))
     # Fires when a detector window's failure ratio crosses 25% — i.e.
     # availability dips below 75%, well under any campaign's healthy
     # baseline but above the worst dips the SLO targets tolerate.
@@ -346,10 +516,12 @@ def run_campaign(params: ScorecardParams, campaign: Campaign,
                              window=params.probe_window,
                              threshold=0.25, min_count=2)
     telemetry.alerts.add(detector, "probe.fail")
-    rollout = slo is not None and slo.rollout
     with _telemetry_state.session(telemetry):
-        deployment = build_deployment(params, rollout=rollout)
+        deployment = build_deployment(params, rollout=rollout,
+                                      defense=defense)
         recorder = _BlastRecorder(deployment) if rollout else None
+        controller = (_wire_defense(deployment, telemetry, campaign, slo)
+                      if defense else None)
         resolver = deployment.add_resolver("slo-resolver")
         probe = SLOProbe(deployment.loop, resolver, PROBE_ZONE,
                          period=params.probe_period,
@@ -401,13 +573,47 @@ def run_campaign(params: ScorecardParams, campaign: Campaign,
         if rolled and rollback_installs:
             rollback_complete = (max(rollback_installs)
                                  - min(r.published_at for r in rolled))
-    return CampaignOutcome(campaign=campaign, report=report,
-                           recoveries=recoveries,
-                           fault_log=engine.describe_log(),
-                           detection_seconds=detection,
-                           blast=blast, canary_ids=canary_ids,
-                           rollback_complete_seconds=rollback_complete,
-                           rollout_rejections=rejections)
+
+    outcome = CampaignOutcome(campaign=campaign, report=report,
+                              recoveries=recoveries,
+                              fault_log=engine.describe_log(),
+                              detection_seconds=detection,
+                              blast=blast, canary_ids=canary_ids,
+                              rollback_complete_seconds=rollback_complete,
+                              rollout_rejections=rejections)
+    if controller is not None:
+        outcome.defense_max_level = controller.max_level
+        outcome.defense_final_level = controller.level
+        outcome.defense_reverts = controller.reverts
+        outcome.defense_unwound_at = controller.unwound_at()
+        outcome.defense_timeline = controller.timeline()
+        flood_injects = [e.time for e in engine.events
+                         if e.action == "inject"
+                         and e.spec.kind is FaultKind.ATTACK_FLOOD]
+        flood_clears = [e.time for e in engine.clears()
+                        if e.spec.kind is FaultKind.ATTACK_FLOOD]
+        if flood_clears:
+            outcome.defense_attack_end = max(flood_clears)
+        if flood_injects:
+            alert = telemetry.alerts.first_raise_after(
+                min(flood_injects), name=ATTACK_QPS_ALERT)
+            if alert is not None:
+                outcome.defense_attack_detect_seconds = (
+                    alert.raised_at - min(flood_injects))
+        engages = [t for t in controller.transitions
+                   if t.action == "engage"]
+        if engages:
+            outcome.defense_engaged_at = engages[0].time
+        for i, transition in enumerate(controller.transitions):
+            if transition.action != "revert":
+                continue
+            prior = [p for p in controller.transitions[:i]
+                     if p.rung == transition.rung and p.action == "engage"]
+            if prior:
+                outcome.defense_revert_after = (transition.time
+                                                - prior[-1].time)
+            break
+    return outcome
 
 
 _TITLE = "Platform resilience scorecard (section 4.2 failure modes)"
@@ -436,6 +642,8 @@ def run_unit(params: ScorecardParams, index: int,
         print(f"-- {campaign.name}: {campaign.description}",
               file=sys.stderr)
         print(outcome.fault_log, file=sys.stderr)
+        for line in outcome.defense_timeline:
+            print(line, file=sys.stderr)
 
     prefix = campaign.name
     result.metrics[f"{prefix}.availability"] = \
@@ -519,6 +727,70 @@ def run_unit(params: ScorecardParams, index: int,
              f"{len(outcome.blast)} machine(s) served wrong answers"),
             outcome.rollout_rejections == slo.expect_reject
             and not outcome.blast)
+    if slo.defense:
+        result.metrics[f"{prefix}.defense_max_level"] = float(
+            outcome.defense_max_level)
+        result.metrics[f"{prefix}.defense_reverts"] = float(
+            outcome.defense_reverts)
+        attack_ttd = outcome.defense_attack_detect_seconds
+        if attack_ttd is not None:
+            result.metrics[f"{prefix}.attack_ttd_s"] = attack_ttd
+        result.compare(
+            f"{prefix}: attack detected on the qps surface",
+            f"{ATTACK_QPS_ALERT} alert within "
+            f"{params.max_detection_seconds:.0f}s of the first flood",
+            ("no alert" if attack_ttd is None
+             else f"TTD {attack_ttd:.1f}s"),
+            attack_ttd is not None
+            and attack_ttd <= params.max_detection_seconds)
+        result.compare(
+            f"{prefix}: ladder climbs under sustained attack",
+            f">= {slo.defense_min_climb} rungs engaged",
+            f"max level {outcome.defense_max_level}",
+            outcome.defense_max_level >= slo.defense_min_climb)
+        floor = None
+        if (outcome.defense_engaged_at is not None
+                and outcome.defense_attack_end is not None):
+            floor = report.availability_between(
+                outcome.defense_engaged_at, outcome.defense_attack_end)
+            result.metrics[f"{prefix}.mitigation_availability"] = floor
+        result.compare(
+            f"{prefix}: legitimate availability floor while mitigating",
+            f">= {slo.defense_floor:.0%} from first rung to attack end",
+            ("ladder never engaged" if floor is None
+             else f"{floor:.1%}"),
+            floor is not None and floor >= slo.defense_floor)
+        unwind_s = None
+        if (outcome.defense_unwound_at is not None
+                and outcome.defense_attack_end is not None):
+            unwind_s = (outcome.defense_unwound_at
+                        - outcome.defense_attack_end)
+            result.metrics[f"{prefix}.unwind_s"] = unwind_s
+        result.compare(
+            f"{prefix}: every mitigation unwinds after the attack",
+            f"ladder back to level 0 <= {slo.defense_unwind_seconds:.0f}s "
+            f"after the flood stops",
+            (f"still at level {outcome.defense_final_level}"
+             if outcome.defense_final_level else
+             ("never engaged" if unwind_s is None
+              else f"unwound {unwind_s:.1f}s after the attack ended")),
+            outcome.defense_final_level == 0
+            and unwind_s is not None
+            and unwind_s <= slo.defense_unwind_seconds)
+        if slo.defense_overblock:
+            revert_after = outcome.defense_revert_after
+            if revert_after is not None:
+                result.metrics[f"{prefix}.revert_after_s"] = revert_after
+            result.compare(
+                f"{prefix}: guardrail reverts the over-blocking rung",
+                f"auto-revert + latch within its {OVERBLOCK_SOAK:.0f}s "
+                f"soak window",
+                ("no revert happened" if revert_after is None
+                 else f"{outcome.defense_reverts} revert(s), first "
+                      f"{revert_after:.1f}s after engage"),
+                outcome.defense_reverts >= 1
+                and revert_after is not None
+                and revert_after <= OVERBLOCK_SOAK)
     ttd = outcome.detection_seconds
     if slo.expect_dip:
         # Client-visible degradation must also be *operator*-visible:

@@ -57,9 +57,14 @@ class RateLimitFilter:
 
     def prime(self, source: str, typical_qps: float) -> None:
         """Seed the learned rate from offline history (the paper's
-        'historically-observed query rates')."""
+        'historically-observed query rates').
+
+        Negative history is clamped to zero: a primed-at-zero source
+        still gets the ``min_limit_qps`` floor, it is never penalized
+        for merely existing.
+        """
         bucket = self._buckets.setdefault(source, _Bucket())
-        bucket.learned_rate = typical_qps
+        bucket.learned_rate = max(0.0, typical_qps)
         bucket.observed = self.config.warmup_queries
 
     def learned_rate(self, source: str) -> float:

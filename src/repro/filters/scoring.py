@@ -36,3 +36,18 @@ class QueuePolicy:
                 return index
         # Above every bound but below s_max: worst queue.
         return len(self.max_scores) - 1
+
+    def tightened(self, factor: float) -> "QueuePolicy":
+        """A stricter policy with every boundary (and ``s_max``) scaled.
+
+        Keeps the queue count unchanged so a live
+        :class:`~repro.server.queues.PenaltyQueueRuntime` can swap
+        policies without restructuring its queues. ``factor`` must be in
+        (0, 1]: scaling down both demotes borderline scores into worse
+        queues and lowers the outright-discard threshold.
+        """
+        if not 0.0 < factor <= 1.0:
+            raise ValueError("tightening factor must be in (0, 1]")
+        return QueuePolicy(
+            max_scores=tuple(bound * factor for bound in self.max_scores),
+            s_max=self.s_max * factor)

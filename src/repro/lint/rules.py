@@ -16,7 +16,9 @@ Three families, mirroring the determinism contract in
   points talk to stdout/stderr directly.
 * ``ROB0xx`` — robustness discipline: zone updates go through the
   guarded install seam (validator + last-known-good retention), never
-  straight into a ``ZoneStore``.
+  straight into a ``ZoneStore``; mitigations engage through the
+  alert-driven paths (``telemetry.mitigation.arm``, the
+  ``control.defense`` ladder), never by direct ``engage()`` calls.
 """
 
 from __future__ import annotations
@@ -401,6 +403,66 @@ class ZoneInstallRule(Rule):
         self.generic_visit(node)
 
 
+#: The modules allowed to drive mitigations directly: the alert-bound
+#: mitigator arms themselves, and the defense ladder's controller
+#: (which owns hysteresis, soak, ordering, and the collateral-damage
+#: guardrail).
+_ENGAGE_EXEMPT = (
+    "src/repro/control/defense.py",
+    "src/repro/telemetry/mitigation.py",
+)
+
+#: Receiver names that identify a mitigation-engage call site.
+_MITIGATOR_NAMES = frozenset({"mitigator", "arm", "rung"})
+
+
+def _is_mitigator_name(identifier: str) -> bool:
+    return (identifier in _MITIGATOR_NAMES
+            or identifier.endswith("_mitigator")
+            or identifier.endswith("_arm")
+            or identifier.endswith("_rung"))
+
+
+class MitigatorEngageRule(Rule):
+    code = "ROB002"
+    name = "unguarded-mitigation-engage"
+    severity = Severity.ERROR
+    description = ("Direct Mitigator/DefenseRung engage() calls skip the "
+                   "hysteresis, soak ordering, symmetric unwind and "
+                   "collateral-damage guardrail that keep mitigations "
+                   "from flapping or getting stuck; drive them through "
+                   "telemetry.mitigation.arm or control.defense."
+                   "DefenseController. Legitimate test/bootstrap sites "
+                   "carry an inline suppression.")
+    scopes = ("src/repro/", "tests/", "benchmarks/")
+
+    @classmethod
+    def applies_to(cls, path: str) -> bool:
+        if not super().applies_to(path):
+            return False
+        norm = "/" + path.replace("\\", "/").lstrip("/")
+        return not any(f"/{entry}" in norm
+                       for entry in _ENGAGE_EXEMPT)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (isinstance(func, ast.Attribute)
+                and func.attr in ("engage", "stand_down")):
+            receiver = func.value
+            is_mitigator = (
+                (isinstance(receiver, ast.Name)
+                 and _is_mitigator_name(receiver.id))
+                or (isinstance(receiver, ast.Attribute)
+                    and _is_mitigator_name(receiver.attr)))
+            if is_mitigator:
+                self.report(node, f"direct mitigation `{func.attr}()` "
+                                  f"bypasses the alert-driven engage "
+                                  f"path (hysteresis, soak, guardrail); "
+                                  f"arm it via telemetry.mitigation.arm "
+                                  f"or control.defense.DefenseController")
+        self.generic_visit(node)
+
+
 ALL_RULES: tuple[type[Rule], ...] = (
     WallClockRule,
     GlobalRandomRule,
@@ -413,6 +475,7 @@ ALL_RULES: tuple[type[Rule], ...] = (
     SeedParamRule,
     BarePrintRule,
     ZoneInstallRule,
+    MitigatorEngageRule,
 )
 
 

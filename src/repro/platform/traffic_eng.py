@@ -68,6 +68,11 @@ class TrafficEngineer:
         self.network = network
         self.prefix = prefix
         self.applied: list[TEPlan] = []
+        # Reference counts per (router, peer) withdrawal. Overlapping
+        # plans may suppress the same export; it stays blocked until the
+        # *last* plan holding it is reverted, so reverting a superseded
+        # plan never clobbers a newer one.
+        self._holds: dict[tuple[str, str], int] = {}
 
     def plan(self, situation: AttackSituation, *,
              pop_router_id: str,
@@ -92,14 +97,41 @@ class TrafficEngineer:
         return plan
 
     def apply(self, plan: TEPlan) -> None:
-        """Push the plan's withdrawals into BGP."""
-        for router_id, peer_id in plan.withdrawals:
-            self.network.speaker(router_id).set_export_blocked(
-                peer_id, self.prefix, True)
+        """Push the plan's withdrawals into BGP.
+
+        Idempotent per plan: re-applying an already-applied plan is a
+        no-op (it does not double-count its withdrawals).
+        """
+        if any(existing is plan for existing in self.applied):
+            return
+        for pair in plan.withdrawals:
+            count = self._holds.get(pair, 0)
+            self._holds[pair] = count + 1
+            if count == 0:
+                router_id, peer_id = pair
+                self.network.speaker(router_id).set_export_blocked(
+                    peer_id, self.prefix, True)
         self.applied.append(plan)
 
     def revert(self, plan: TEPlan) -> None:
-        """Restore every export the plan suppressed (attack over)."""
-        for router_id, peer_id in plan.withdrawals:
-            self.network.speaker(router_id).set_export_blocked(
-                peer_id, self.prefix, False)
+        """Restore the exports the plan suppressed (attack over).
+
+        Safe under overlap: a withdrawal is only unblocked once no
+        still-applied plan holds it, and reverting a plan that was never
+        applied (or already reverted) is a no-op.
+        """
+        index = next((i for i, existing in enumerate(self.applied)
+                      if existing is plan), None)
+        if index is None:
+            return
+        del self.applied[index]
+        for pair in plan.withdrawals:
+            count = self._holds.get(pair, 0) - 1
+            if count > 0:
+                self._holds[pair] = count
+                continue
+            self._holds.pop(pair, None)
+            if count == 0:
+                router_id, peer_id = pair
+                self.network.speaker(router_id).set_export_blocked(
+                    peer_id, self.prefix, False)

@@ -40,7 +40,17 @@ class QoDSignature:
 
 
 class QoDFirewall:
-    """Expiring firewall rules derived from crash payloads."""
+    """Expiring firewall rules derived from crash payloads.
+
+    Expiry is **strict**: a rule installed at time ``t`` is dead exactly
+    at ``t + t_qod`` — :meth:`should_drop` prunes rules whose deadline is
+    ``<= now``, and :meth:`active_rules` counts only ``deadline > now``.
+    A query arriving precisely at the deadline is therefore *not*
+    dropped (the nameserver re-attempts it, per the once-per-``t_qod``
+    crash-rate bound above). Re-installing a rule for an expired (or
+    still-live) signature simply refreshes its deadline to
+    ``now + t_qod``.
+    """
 
     def __init__(self, t_qod: float = 300.0) -> None:
         self.t_qod = t_qod

@@ -18,7 +18,7 @@ queries until its rule expires (section 4.2.4).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable
 
 from ..dnscore.errors import ZoneError
@@ -108,6 +108,15 @@ class MachineMetrics:
     zone_installs: int = 0
     zone_rejects: int = 0
     zone_rollbacks: int = 0
+    #: Traffic from sources in ``machine.known_sources`` (known
+    #: resolvers / allowlisted clients) — the defense ladder's
+    #: collateral-damage guardrail compares these two.
+    known_received: int = 0
+    known_answered: int = 0
+    #: Queries shed (firewall/io/queue drops and discards) while a
+    #: defense-ladder rung held the machine in degraded mode, keyed by
+    #: the rung's label.
+    shed_by_rung: dict[str, int] = field(default_factory=dict)
 
 
 ResponseCallback = Callable[[Datagram, Message], None]
@@ -166,6 +175,17 @@ class NameserverMachine:
         self._nxdomain_filter: NXDomainFilter | None = next(
             (f for f in pipeline.filters if isinstance(f, NXDomainFilter)),
             None)
+        #: Source addresses of known-legitimate resolvers (allowlist /
+        #: probe clients). Purely observational: queries from these
+        #: sources tick ``metrics.known_received``/``known_answered`` so
+        #: the defense ladder can estimate legitimate-traffic loss.
+        self.known_sources: set[str] = set()
+        #: Label of the defense-ladder rung currently holding this
+        #: machine in degraded mode, or None when serving normally.
+        self.degraded_rung: str | None = None
+        #: Zone updates deferred while degraded: latest pending
+        #: (zone, rollback) per origin, replayed on exit_degraded().
+        self._deferred_zones: dict[Name, tuple[Zone, bool]] = {}
 
     # -- metadata ------------------------------------------------------------
 
@@ -191,12 +211,24 @@ class NameserverMachine:
         Accepts both the typed :class:`ZoneUpdate` wrapper published by
         the safe-rollout train and a bare :class:`Zone` payload from
         legacy fire-and-forget publishes.
+
+        While the machine is held in degraded mode by the defense
+        ladder, updates are *deferred* rather than installed — the
+        machine keeps serving its last-known-good content under attack
+        (section 4.2's serve-stale posture) and replays the newest
+        pending update per origin on :meth:`exit_degraded`.
         """
         payload = message.payload
         if isinstance(payload, ZoneUpdate):
-            self.install_zone(payload.zone, rollback=payload.rollback)
+            zone, rollback = payload.zone, payload.rollback
         elif isinstance(payload, Zone):
-            self.install_zone(payload)
+            zone, rollback = payload, False
+        else:
+            return
+        if self.degraded_rung is not None:
+            self._deferred_zones[zone.origin] = (zone, rollback)
+            return
+        self.install_zone(zone, rollback=rollback)
 
     def install_zone(self, zone: Zone, *, rollback: bool = False) -> bool:
         """Install a zone update; the machine's one guarded install seam.
@@ -274,6 +306,51 @@ class NameserverMachine:
             if _t is not None:
                 _t.machine_stale(self.machine_id, now)
         return stale
+
+    # -- degraded mode (defense ladder) ---------------------------------------
+
+    def enter_degraded(self, rung_label: str) -> None:
+        """Hold the machine in degraded mode under a defense rung.
+
+        Degraded mode is graceful, not a lifecycle change: the machine
+        keeps answering, but zone updates are deferred (serve from the
+        content it had when the attack started) and every shed query is
+        attributed to ``rung_label`` in ``metrics.shed_by_rung``.
+        Re-entering under a different rung just relabels the attribution.
+        """
+        was_normal = self.degraded_rung is None
+        self.degraded_rung = rung_label
+        if was_normal:
+            _t = _telemetry.ACTIVE
+            if _t is not None:
+                _t.machine_lifecycle(self.machine_id, "degraded",
+                                     self.loop.now)
+
+    def exit_degraded(self) -> None:
+        """Leave degraded mode and replay deferred zone updates.
+
+        Only the newest pending update per origin is installed — the
+        intermediate versions were superseded while the machine served
+        from last-known-good.
+        """
+        if self.degraded_rung is None:
+            return
+        self.degraded_rung = None
+        pending = sorted(self._deferred_zones.items(),
+                         key=lambda item: str(item[0]))
+        self._deferred_zones.clear()
+        for _, (zone, rollback) in pending:
+            self.install_zone(zone, rollback=rollback)
+        _t = _telemetry.ACTIVE
+        if _t is not None:
+            _t.machine_lifecycle(self.machine_id, "restored",
+                                 self.loop.now)
+
+    def _count_shed(self) -> None:
+        rung = self.degraded_rung
+        if rung is not None:
+            shed = self.metrics.shed_by_rung
+            shed[rung] = shed.get(rung, 0) + 1
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -361,6 +438,8 @@ class NameserverMachine:
             metrics.attack_received += 1
         else:
             metrics.legit_received += 1
+        if dgram.src in self.known_sources:
+            metrics.known_received += 1
         _t = _telemetry.ACTIVE
         if _t is not None:
             _t.query_received(self.machine_id, self.loop.now)
@@ -378,12 +457,14 @@ class NameserverMachine:
         if (self.config.qod_firewall_enabled
                 and self.firewall.should_drop(qname, qtype, now)):
             metrics.dropped_firewall += 1
+            self._count_shed()
             if _t is not None:
                 _t.query_dropped(self.machine_id, "firewall")
             return
 
         if not self._io_admit():
             metrics.dropped_io += 1
+            self._count_shed()
             if _t is not None:
                 _t.query_dropped(self.machine_id, "io")
             return
@@ -396,6 +477,7 @@ class NameserverMachine:
         breakdown = self.pipeline.score(ctx)
         if not self.queues.enqueue((dgram, envelope), breakdown.total):
             metrics.dropped_queue += 1
+            self._count_shed()
             if _t is not None:
                 _t.query_dropped(self.machine_id, "queue")
             return
@@ -461,6 +543,8 @@ class NameserverMachine:
             metrics.attack_answered += 1
         else:
             metrics.legit_answered += 1
+        if dgram.src in self.known_sources:
+            metrics.known_answered += 1
         _t = _telemetry.ACTIVE
         if _t is not None:
             now = self.loop.now

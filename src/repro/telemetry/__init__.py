@@ -156,6 +156,13 @@ class Telemetry:
             ("origin", "phase"))
         self._h_probe = reg.histogram(
             "probe_seconds", "SLO probe answer latency").labels()
+        self._c_defense = reg.counter(
+            "defense_transitions_total",
+            "defense-ladder rung transitions",
+            ("controller", "rung", "action"))
+        self._g_defense = reg.gauge(
+            "defense_ladder_rung",
+            "current defense-ladder escalation level", ("controller",))
 
     # -- clock / epoch ------------------------------------------------------
 
@@ -239,7 +246,8 @@ class Telemetry:
 
     def machine_lifecycle(self, machine_id: str, event: str,
                           now: float) -> None:
-        """``event``: "suspended", "resumed", "denied", "crashed"."""
+        """``event``: "suspended", "resumed", "denied", "crashed",
+        "degraded", or "restored"."""
         self._c_lifecycle.labels(machine_id, event).inc()
         self.alerts.observe("lifecycle", now)
 
@@ -259,6 +267,22 @@ class Telemetry:
         """A safe-rollout release changed phase (control.rollout)."""
         self._c_rollout.labels(origin, phase).inc()
         self.alerts.observe("rollout", now)
+
+    def defense_transition(self, controller: str, rung: str, action: str,
+                           level: int, now: float,
+                           trace_id: int | None = None) -> None:
+        """The defense ladder moved (control.defense).
+
+        ``action``: "engage", "disengage", or "revert" (guardrail trip);
+        ``level`` is the ladder's escalation level *after* the move, so
+        the gauge tracks the ladder and reads 0 once fully unwound.
+        """
+        self._c_defense.labels(controller, rung, action).inc()
+        self._g_defense.labels(controller).set(float(level))
+        self.alerts.observe("defense", now, float(level))
+        if trace_id is not None:
+            self.tracer.instant(trace_id, f"defense.{action}", "defense",
+                                now, rung=rung, level=level)
 
     # -- resolver hooks -----------------------------------------------------
 

@@ -32,6 +32,12 @@ class Mitigator:
         self.alert_name = alert_name
         self.engaged = 0
         self.stood_down = 0
+        #: Whether the arm is currently engaged. Alert flapping (or a
+        #: misbehaving caller) can deliver raise/clear edges out of
+        #: step; the wiring below makes a second engage — and a
+        #: stand-down with nothing engaged — a no-op rather than letting
+        #: an arm double-apply or double-withdraw its action.
+        self.active = False
 
     def engage(self, alert: Alert) -> None:
         raise NotImplementedError
@@ -42,14 +48,18 @@ class Mitigator:
     # -- wiring --------------------------------------------------------------
 
     def _on_raise(self, alert: Alert) -> None:
-        if alert.name == self.alert_name:
-            self.engaged += 1
-            self.engage(alert)
+        if alert.name != self.alert_name or self.active:
+            return
+        self.active = True
+        self.engaged += 1
+        self.engage(alert)
 
     def _on_clear(self, alert: Alert) -> None:
-        if alert.name == self.alert_name:
-            self.stood_down += 1
-            self.stand_down(alert)
+        if alert.name != self.alert_name or not self.active:
+            return
+        self.active = False
+        self.stood_down += 1
+        self.stand_down(alert)
 
 
 class PipelineArm(Mitigator):

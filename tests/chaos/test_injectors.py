@@ -296,3 +296,57 @@ class TestEngine:
         events = engine.run(campaign)
         assert all(e.error for e in events)
         assert engine.clears() == []
+
+
+class TestAttackInjector:
+    def test_flood_requires_victim_zone_note(self, shared):
+        from repro.chaos.injectors import AttackInjector
+        injector = AttackInjector(shared)
+        flood = spec(FaultKind.ATTACK_FLOOD, shared.clouds[0].prefix,
+                     severity=100.0)
+        with pytest.raises(ValueError):
+            injector.inject(flood)
+
+    def test_inject_is_keyed_and_idempotent(self, shared):
+        from repro.chaos.injectors import AttackInjector
+        injector = AttackInjector(shared)
+        flood = FaultSpec(FaultKind.ATTACK_FLOOD, shared.clouds[0].prefix,
+                          Schedule.once(0.0, 5.0), severity=100.0,
+                          note="ex.net")
+        injector.inject(flood)
+        injector.inject(flood)      # same (target, note): no second flood
+        assert len(injector._attacks) == 1
+        injector.clear(flood)
+        injector.clear(flood)       # already stopped: no-op
+        assert injector._attacks == {}
+
+    def test_flood_traffic_reaches_machines_and_stops(self, shared):
+        from repro.chaos.injectors import AttackInjector
+        injector = AttackInjector(shared)
+        flood = FaultSpec(FaultKind.ATTACK_FLOOD, shared.clouds[0].prefix,
+                          Schedule.once(0.0, 5.0), severity=200.0,
+                          note="ex.net")
+        def attack_received():
+            return sum(m.metrics.attack_received
+                       for m in shared.machines())
+
+        before = attack_received()
+        injector.inject(flood)
+        shared.settle(3.0)
+        during = attack_received()
+        assert during > before
+        injector.clear(flood)
+        shared.settle(2.0)          # in-flight packets drain
+        settled = attack_received()
+        shared.settle(3.0)
+        assert attack_received() == settled
+
+    def test_sources_are_real_stub_routers(self, shared):
+        from repro.chaos.injectors import AttackInjector
+        injector = AttackInjector(shared, source_count=4)
+        sources = injector.attack_sources()
+        assert len(sources) == 4
+        assert set(sources) <= set(shared.internet.stubs)
+        # Deterministic slice: same deployment, same sources.
+        assert sources == AttackInjector(shared, source_count=4) \
+            .attack_sources()

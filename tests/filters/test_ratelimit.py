@@ -128,3 +128,78 @@ class TestEgregiousDiscard:
         for i in range(500):
             penalty = f.score(ctx("warm", i * 0.05))  # 20 qps vs 10
             assert policy.queue_for(penalty) is not None
+
+
+class TestColdStartEdges:
+    """Edge cases the defense ladder's mid-attack insertion hits."""
+
+    def test_unseen_source_gets_min_limit_floor(self):
+        # A fresh filter dropped into an attack in progress: an unseen
+        # well-behaved source rides the min_limit floor un-penalized
+        # once warmup passes.
+        config = RateLimitConfig(min_limit_qps=10.0, burst_seconds=1.0,
+                                 warmup_queries=0)
+        f = RateLimitFilter(config)
+        assert all(f.score(ctx("fresh", i * 0.5)) == 0.0
+                   for i in range(100))   # 2 qps << 10 qps floor
+
+    def test_unseen_flood_penalized_after_capacity(self):
+        config = RateLimitConfig(min_limit_qps=10.0, headroom=4.0,
+                                 burst_seconds=5.0, warmup_queries=0)
+        f = RateLimitFilter(config)
+        # 1000 qps from a source with no history: the first ~50
+        # arrivals fit the floor's bucket, the rest are penalized.
+        penalties = [f.score(ctx("flood", i * 0.001)) for i in range(200)]
+        assert penalties[0] == 0.0
+        assert penalties[-1] > 0.0
+        assert sum(1 for p in penalties if p) >= 140
+
+    def test_prime_zero_qps_keeps_floor(self):
+        config = RateLimitConfig(min_limit_qps=10.0, headroom=4.0,
+                                 burst_seconds=1.0, warmup_queries=20)
+        f = RateLimitFilter(config)
+        f.prime("idle", 0.0)
+        assert f.learned_rate("idle") == 0.0
+        # Primed-at-zero still gets the floor: 2 qps is never penalized.
+        assert all(f.score(ctx("idle", i * 0.5)) == 0.0
+                   for i in range(40))
+
+    def test_prime_negative_qps_clamped(self):
+        f = RateLimitFilter()
+        f.prime("weird", -25.0)
+        assert f.learned_rate("weird") == 0.0
+        assert f.score(ctx("weird", 0.0)) == 0.0
+
+
+class TestLearnedRateDecayVsBands:
+    def test_quiet_period_decays_learned_rate(self):
+        # A source that stops talking decays toward zero via the EWMA,
+        # window by window, rather than keeping its old entitlement.
+        config = RateLimitConfig(min_limit_qps=1.0, headroom=1.0,
+                                 burst_seconds=1.0, warmup_queries=0,
+                                 learning_window=10.0, learning_alpha=0.5)
+        f = RateLimitFilter(config)
+        f.prime("fading", 64.0)
+        # One query per window: ~0.1 qps observed.
+        for i in range(6):
+            f.score(ctx("fading", i * 10.0 + 10.0))
+        assert f.learned_rate("fading") < 64.0 * 0.5 ** 4
+
+    def test_decayed_source_lands_in_penalty_band_not_discard(self):
+        from repro.filters import QueuePolicy
+        # After decay, a moderate burst draws the standard penalty —
+        # deprioritized into a penalty queue, never discarded outright.
+        config = RateLimitConfig(min_limit_qps=1.0, headroom=1.0,
+                                 burst_seconds=1.0, warmup_queries=0,
+                                 learning_window=10.0, learning_alpha=0.5,
+                                 penalty=20.0)
+        f = RateLimitFilter(config)
+        f.prime("fading", 50.0)
+        for i in range(6):
+            f.score(ctx("fading", i * 10.0 + 10.0))
+        policy = QueuePolicy()
+        scores = [f.score(ctx("fading", 70.0 + i * 0.1))
+                  for i in range(40)]  # 10 qps vs decayed ~1-2 qps limit
+        assert any(s == config.penalty for s in scores)
+        for s in scores:
+            assert policy.queue_for(s) is not None

@@ -294,6 +294,52 @@ class TestZoneInstall:
         assert codes(src, path=SIM_PATH) == []
 
 
+class TestMitigatorEngage:
+    def test_direct_engage_flagged(self):
+        src = "def f(mitigator, alert):\n    mitigator.engage(alert)\n"
+        assert codes(src, path=SIM_PATH) == ["ROB002"]
+
+    def test_stand_down_flagged(self):
+        src = "def f(nx_arm, alert):\n    nx_arm.stand_down(alert)\n"
+        assert codes(src, path=SIM_PATH) == ["ROB002"]
+
+    def test_rung_attribute_receiver_flagged(self):
+        src = "def f(self, now):\n    self.rung.engage(now)\n"
+        assert codes(src, path=SIM_PATH) == ["ROB002"]
+
+    def test_suffixed_receiver_flagged(self):
+        src = "def f(firewall_rung, now):\n    firewall_rung.engage(now)\n"
+        assert codes(src, path=SIM_PATH) == ["ROB002"]
+
+    def test_tests_in_scope(self):
+        src = "def f(mitigator, alert):\n    mitigator.engage(alert)\n"
+        assert codes(src, path="tests/telemetry/fake.py") == ["ROB002"]
+
+    def test_defense_module_exempt(self):
+        src = "def f(rung, now):\n    rung.engage(now)\n"
+        assert codes(src, path="src/repro/control/defense.py") == []
+
+    def test_mitigation_module_exempt(self):
+        src = "def f(mitigator, alert):\n    mitigator.engage(alert)\n"
+        assert codes(src, path="src/repro/telemetry/mitigation.py") == []
+
+    def test_unrelated_receiver_is_fine(self):
+        src = ("def f(clutch, gear):\n"
+               "    clutch.engage(gear)\n"
+               "    gear.stand_down(clutch)\n")
+        assert codes(src, path=SIM_PATH) == []
+
+    def test_armed_controller_is_fine(self):
+        src = "def f(controller, telemetry):\n    controller.arm(telemetry)\n"
+        assert codes(src, path=SIM_PATH) == []
+
+    def test_inline_suppression(self):
+        src = ("def f(mitigator, alert):\n"
+               "    # reprolint: disable-next=ROB002 -- exercised directly\n"
+               "    mitigator.engage(alert)\n")
+        assert codes(src, path=SIM_PATH) == []
+
+
 class TestRuleCatalogue:
     def test_codes_unique(self):
         all_codes = [r.code for r in ALL_RULES]

@@ -127,3 +127,67 @@ class TestPlans:
         loop.run_until(loop.now + 40)
         route_after = network.speaker(target).best_route(prefix)
         assert route_after is None or route_after.next_hop != pop
+
+
+class TestOverlapSafety:
+    """Reference-counted apply/revert: idempotent and overlap-safe."""
+
+    def test_double_apply_is_idempotent(self, engineered_world):
+        loop, network, pop, prefix = engineered_world
+        engineer = TrafficEngineer(network, prefix)
+        peers = network.topology.bgp_neighbors(pop)
+        plan = engineer.plan(situation(congested=True, spread=True),
+                             pop_router_id=pop, attack_peers=peers)
+        engineer.apply(plan)
+        engineer.apply(plan)      # no double-count
+        assert engineer.applied.count(plan) == 1
+        engineer.revert(plan)
+        speaker = network.speaker(pop)
+        # One revert fully restores: the second apply held no extra ref.
+        for _, peer in plan.withdrawals:
+            assert not speaker.export_blocked(peer, prefix)
+        assert engineer.applied == []
+
+    def test_overlapping_plans_hold_shared_withdrawal(self,
+                                                      engineered_world):
+        loop, network, pop, prefix = engineered_world
+        engineer = TrafficEngineer(network, prefix)
+        peers = network.topology.bgp_neighbors(pop)
+        wide = engineer.plan(situation(congested=True, spread=True),
+                             pop_router_id=pop, attack_peers=peers)
+        narrow = engineer.plan(situation(congested=True, spread=True),
+                               pop_router_id=pop, attack_peers=peers[:1])
+        shared = narrow.withdrawals[0]
+        assert shared in wide.withdrawals
+        engineer.apply(wide)
+        engineer.apply(narrow)
+        speaker = network.speaker(pop)
+        # Reverting the superseded wide plan must not clobber the
+        # narrow plan's hold on the shared peering link.
+        engineer.revert(wide)
+        assert speaker.export_blocked(shared[1], prefix)
+        only_wide = set(wide.withdrawals) - set(narrow.withdrawals)
+        for _, peer in only_wide:
+            assert not speaker.export_blocked(peer, prefix)
+        engineer.revert(narrow)
+        assert not speaker.export_blocked(shared[1], prefix)
+
+    def test_revert_of_never_applied_plan_is_noop(self, engineered_world):
+        loop, network, pop, prefix = engineered_world
+        engineer = TrafficEngineer(network, prefix)
+        peers = network.topology.bgp_neighbors(pop)
+        applied = engineer.plan(situation(congested=True, spread=True),
+                                pop_router_id=pop, attack_peers=peers)
+        ghost = engineer.plan(situation(congested=True, spread=True),
+                              pop_router_id=pop, attack_peers=peers)
+        engineer.apply(applied)
+        # Same withdrawals, distinct plan object never applied: revert
+        # is identity-keyed, so this must not release applied's holds.
+        engineer.revert(ghost)
+        speaker = network.speaker(pop)
+        for _, peer in applied.withdrawals:
+            assert speaker.export_blocked(peer, prefix)
+        engineer.revert(applied)      # clean up
+        engineer.revert(applied)      # double revert: also a no-op
+        for _, peer in applied.withdrawals:
+            assert not speaker.export_blocked(peer, prefix)

@@ -223,3 +223,85 @@ class TestFaults:
         m.receive_query(query_dgram())
         loop.run_until(1.0)
         assert responses[0].rcode == RCode.SERVFAIL
+
+
+class TestDegradedMode:
+    """Defense-ladder degraded mode: serve-from-LKG, shed attribution."""
+
+    @staticmethod
+    def updated_zone(serial, address):
+        text = ZONE.replace("1 7200", f"{serial} 7200") \
+                   .replace("10.0.0.1", address)
+        return parse_zone_text(text)
+
+    def test_zone_update_deferred_until_exit(self):
+        from types import SimpleNamespace
+        loop = EventLoop()
+        m = make_machine(loop)
+        m.enter_degraded("rate-limit")
+        m.handle_zone_update(SimpleNamespace(
+            payload=self.updated_zone(2, "10.0.0.2")))
+        # Still serving last-known-good content under attack.
+        assert m.engine.store.get(name("m.example")).serial == 1
+        m.exit_degraded()
+        assert m.degraded_rung is None
+        assert m.engine.store.get(name("m.example")).serial == 2
+
+    def test_only_newest_deferred_update_replays(self):
+        from types import SimpleNamespace
+        loop = EventLoop()
+        m = make_machine(loop)
+        installed = []
+        original = m.install_zone
+
+        def spying_install(zone, rollback=False):
+            installed.append(zone.serial)
+            return original(zone, rollback=rollback)
+
+        m.install_zone = spying_install
+        m.enter_degraded("qod-firewall")
+        for serial in (2, 3):
+            m.handle_zone_update(SimpleNamespace(
+                payload=self.updated_zone(serial, "10.0.0.9")))
+        m.exit_degraded()
+        # The intermediate serial was superseded while degraded.
+        assert installed == [3]
+        assert m.engine.store.get(name("m.example")).serial == 3
+
+    def test_shed_attributed_to_current_rung(self):
+        loop = EventLoop()
+        m = make_machine(loop)
+        m.known_sources.add("10.1.1.1")
+        m.enter_degraded("victim-firewall")
+        # A firewall rule sheds matching queries; the drop is charged
+        # to the rung holding the machine degraded.
+        m.firewall.install_rule(name("x.m.example"), RType.A, loop.now)
+        m.receive_query(query_dgram(qname="www.m.example"))
+        assert m.metrics.shed_by_rung == {"victim-firewall": 1}
+        assert m.metrics.known_received == 1
+        assert m.metrics.known_answered == 0
+        # Re-entering under a new rung relabels the attribution.
+        m.enter_degraded("rate-limit")
+        m.receive_query(query_dgram(qname="www2.m.example"))
+        assert m.metrics.shed_by_rung == {"victim-firewall": 1,
+                                          "rate-limit": 1}
+
+    def test_known_source_counters_track_answers(self):
+        loop = EventLoop()
+        responses = []
+        m = make_machine(loop, responses=responses)
+        m.known_sources.add("10.1.1.1")
+        m.receive_query(query_dgram(src="10.1.1.1"))
+        m.receive_query(query_dgram(src="99.9.9.9", msg_id=2))
+        loop.run_until(1.0)
+        assert len(responses) == 2
+        assert m.metrics.known_received == 1
+        assert m.metrics.known_answered == 1
+
+    def test_shed_not_counted_when_not_degraded(self):
+        loop = EventLoop()
+        m = make_machine(loop)
+        m.firewall.install_rule(name("x.m.example"), RType.A, loop.now)
+        m.receive_query(query_dgram(qname="www.m.example"))
+        assert m.metrics.dropped_firewall == 1
+        assert m.metrics.shed_by_rung == {}

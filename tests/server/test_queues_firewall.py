@@ -105,3 +105,54 @@ class TestQoDFirewall:
         fw.should_drop(name("q.z.example"), RType.TXT, 1.0)
         fw.should_drop(name("r.z.example"), RType.TXT, 2.0)
         assert fw.dropped == 2
+
+
+class TestQoDExpiryBoundary:
+    """Strict expiry: a rule installed at t is dead exactly at t + t_qod."""
+
+    def test_query_exactly_at_deadline_passes(self):
+        fw = QoDFirewall(t_qod=60.0)
+        fw.install_rule(name("bad.zone.example"), RType.TXT, now=10.0)
+        assert fw.should_drop(name("bad.zone.example"), RType.TXT, 69.999)
+        # deadline <= now prunes: the boundary query is re-attempted.
+        assert not fw.should_drop(name("bad.zone.example"), RType.TXT,
+                                  70.0)
+
+    def test_active_rules_boundary(self):
+        fw = QoDFirewall(t_qod=60.0)
+        fw.install_rule(name("bad.zone.example"), RType.TXT, now=0.0)
+        assert fw.active_rules(59.999) == 1
+        assert fw.active_rules(60.0) == 0
+
+    def test_should_drop_prunes_expired_rules(self):
+        fw = QoDFirewall(t_qod=60.0)
+        fw.install_rule(name("bad.zone.example"), RType.TXT, now=0.0)
+        # A non-matching query past the deadline still prunes the rule
+        # from the table entirely (not merely filters it out).
+        fw.should_drop(name("other.thing.example"), RType.A, 61.0)
+        assert fw.active_rules(0.0) == 0
+
+    def test_reinstall_of_expired_signature_refreshes_deadline(self):
+        fw = QoDFirewall(t_qod=60.0)
+        fw.install_rule(name("bad.zone.example"), RType.TXT, now=0.0)
+        assert not fw.should_drop(name("bad.zone.example"), RType.TXT,
+                                  60.0)
+        fw.install_rule(name("bad.zone.example"), RType.TXT, now=60.0)
+        assert fw.should_drop(name("bad.zone.example"), RType.TXT, 119.0)
+        assert not fw.should_drop(name("bad.zone.example"), RType.TXT,
+                                  120.0)
+
+    def test_reinstall_of_live_signature_extends_deadline(self):
+        fw = QoDFirewall(t_qod=60.0)
+        fw.install_rule(name("bad.zone.example"), RType.TXT, now=0.0)
+        fw.install_rule(name("bad.zone.example"), RType.TXT, now=30.0)
+        assert fw.active_rules(0.0) == 1          # same signature, one rule
+        assert fw.should_drop(name("bad.zone.example"), RType.TXT, 89.0)
+
+    def test_remove_rule_twice_is_noop(self):
+        fw = QoDFirewall(t_qod=60.0)
+        sig = fw.install_rule(name("bad.zone.example"), RType.TXT,
+                              now=0.0)
+        fw.remove_rule(sig)
+        fw.remove_rule(sig)
+        assert fw.active_rules(1.0) == 0

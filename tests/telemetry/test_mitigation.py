@@ -86,3 +86,52 @@ class TestFirewallArm:
         assert not firewall.should_drop(qname, RType.A, 3.1)
         assert mitigator.engaged == 1
         assert mitigator.stood_down == 1
+
+
+class TestReentrancy:
+    """Out-of-step raise/clear edges must not double-apply an arm."""
+
+    @staticmethod
+    def alert(name="queue-depth"):
+        from repro.telemetry.alerts import Alert, AlertSeverity
+        return Alert(name=name, severity=AlertSeverity.WARNING, epoch=0,
+                     raised_at=1.0, value=50.0, threshold=10.0,
+                     message="test")
+
+    def test_duplicate_raise_engages_once(self):
+        pipeline = ScoringPipeline()
+        mitigator = PipelineArm("queue-depth", pipeline, _StubFilter())
+        mitigator._on_raise(self.alert())
+        mitigator._on_raise(self.alert())   # flapping detector, same arm
+        assert mitigator.engaged == 1
+        assert mitigator.active
+        assert len(pipeline.filters) == 1
+
+    def test_clear_without_engage_is_noop(self):
+        pipeline = ScoringPipeline()
+        mitigator = PipelineArm("queue-depth", pipeline, _StubFilter())
+        mitigator._on_clear(self.alert())
+        assert mitigator.stood_down == 0
+        assert not mitigator.active
+        assert pipeline.filters == []
+
+    def test_full_cycle_rearms(self):
+        pipeline = ScoringPipeline()
+        mitigator = PipelineArm("queue-depth", pipeline, _StubFilter())
+        for _ in range(2):
+            mitigator._on_raise(self.alert())
+            mitigator._on_clear(self.alert())
+        assert (mitigator.engaged, mitigator.stood_down) == (2, 2)
+        assert pipeline.filters == []
+
+    def test_firewall_arm_survives_duplicate_edges(self):
+        firewall = QoDFirewall(t_qod=300.0)
+        mitigator = FirewallArm("queue-depth", firewall,
+                                name("attack.victim.example"), RType.A)
+        mitigator._on_raise(self.alert())
+        mitigator._on_raise(self.alert())
+        assert firewall.active_rules(2.0) == 1
+        mitigator._on_clear(self.alert())
+        mitigator._on_clear(self.alert())
+        assert firewall.active_rules(2.0) == 0
+        assert mitigator.stood_down == 1
