@@ -4,7 +4,7 @@ PY ?= python
 LINT_PYTHONPATH = src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: install test bench bench-check bench-pytest chaos rollout-demo \
-        defend-demo report report-fast examples lint clean
+        defend-demo report report-fast examples lint lint-flow clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -13,11 +13,12 @@ test:
 	$(PY) -m pytest tests/
 
 # reprolint (the in-tree determinism/event-loop/seed-hygiene checker)
-# always runs; ruff and mypy run when installed (pip install -e .[lint])
-# and are skipped with a notice otherwise, so `make lint` works in
-# minimal containers.
+# always runs, including the whole-program flow analyses (FLOW001-3);
+# ruff and mypy run when installed (pip install -e .[lint]) and are
+# skipped with a notice otherwise, so `make lint` works in minimal
+# containers.
 lint:
-	PYTHONPATH=$(LINT_PYTHONPATH) $(PY) -m repro.lint src tests benchmarks
+	PYTHONPATH=$(LINT_PYTHONPATH) $(PY) -m repro.lint --flow src tests benchmarks
 	@if command -v ruff >/dev/null 2>&1; then \
 		ruff check src tests benchmarks examples; \
 	else \
@@ -28,6 +29,11 @@ lint:
 	else \
 		echo "mypy not installed; skipping (pip install -e .[lint])"; \
 	fi
+
+# Just the whole-program flow analyses (call-graph RNG provenance,
+# hot-path purity, parallel safety) over the simulator sources.
+lint-flow:
+	PYTHONPATH=$(LINT_PYTHONPATH) $(PY) -m repro.lint --flow --select FLOW001,FLOW002,FLOW003 src
 
 # Refresh the committed performance baseline (BENCH_micro.json and
 # BENCH_experiments.json at the repo root).

@@ -116,3 +116,28 @@ def test_bgp_convergence_cost(benchmark):
 
     reached = benchmark.pedantic(converge, rounds=3, iterations=1)
     assert reached > 50
+
+
+def test_flow_analysis_walltime():
+    """Whole-program lint stays fast enough for every CI run.
+
+    The flow analyses parse and model the entire ``src`` tree; this
+    guards against a superlinear regression in the call-graph builder
+    or the taint/reachability passes. The budget is deliberately
+    generous (the full analysis takes ~1-2 s on a laptop); tripping it
+    means something is quadratic, not that CI is slow today.
+    """
+    import time
+    from pathlib import Path
+
+    from repro.lint import lint_paths
+
+    repo_root = Path(__file__).resolve().parents[1]
+    start = time.perf_counter()
+    result = lint_paths([repo_root / "src"], root=repo_root, flow=True)
+    elapsed = time.perf_counter() - start
+    assert result.files_checked > 100
+    assert elapsed < 30.0, (
+        f"flow analysis took {elapsed:.1f}s over "
+        f"{result.files_checked} files — investigate a complexity "
+        f"regression in repro.lint.flow")

@@ -239,7 +239,10 @@ def name(text: str) -> Name:
     cached = _PARSE_CACHE.get(text)
     if cached is None:
         cached = Name.from_text(text)
+        # Idempotent memo: the value is a pure function of the key, so
+        # per-worker caches converge and no result depends on which
+        # entries happen to be cached (FLOW003-safe by construction).
         if len(_PARSE_CACHE) >= _PARSE_CACHE_MAX:
-            _PARSE_CACHE.clear()
-        _PARSE_CACHE[text] = cached
+            _PARSE_CACHE.clear()  # reprolint: disable=FLOW003
+        _PARSE_CACHE[text] = cached  # reprolint: disable=FLOW003
     return cached

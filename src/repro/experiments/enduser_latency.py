@@ -74,7 +74,8 @@ def run(params: EndUserParams | None = None) -> ExperimentResult:
                                attach_to=resolver_stub)
             clients.append(StubClient(
                 deployment.loop, deployment.network, host,
-                f"eu-resolver-{r}", rng=random.Random(1000 + r * 10 + c)))
+                f"eu-resolver-{r}",
+                rng=random.Random(params.seed + 1000 + r * 10 + c)))
 
     # Each client issues Zipf-popular lookups with exponential think time.
     for client in clients:

@@ -27,16 +27,22 @@ from __future__ import annotations
 from .baseline import Baseline, fingerprint
 from .core import Finding, ModuleContext, Rule, Severity
 from .engine import LintResult, lint_paths, lint_source
+from .flow import FLOW_CODES, FLOW_RULES, FlowConfig
+from .flow import analyze as analyze_flow
 from .rules import ALL_RULES, rule_by_code
 
 __all__ = [
     "ALL_RULES",
     "Baseline",
+    "FLOW_CODES",
+    "FLOW_RULES",
     "Finding",
+    "FlowConfig",
     "LintResult",
     "ModuleContext",
     "Rule",
     "Severity",
+    "analyze_flow",
     "fingerprint",
     "lint_paths",
     "lint_source",

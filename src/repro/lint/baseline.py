@@ -11,6 +11,12 @@ Entries match on a fingerprint of ``(path, code, stripped source
 line)`` rather than on line numbers, so unrelated edits above a
 grandfathered finding do not invalidate it. Identical findings are
 counted: if a baselined line is duplicated, the new copy is reported.
+
+Whole-program (FLOW) findings additionally fingerprint their
+call-chain witness — qualified function names, never line numbers — so
+moving an unrelated function (or the whole offending function within
+its file) does not churn the baseline, while rewiring the call chain
+that justifies the finding does.
 """
 
 from __future__ import annotations
@@ -28,8 +34,14 @@ DEFAULT_BASELINE_NAME = "reprolint.baseline.json"
 
 
 def fingerprint(finding: Finding) -> str:
-    """Stable identity for a finding, independent of line numbers."""
+    """Stable identity for a finding, independent of line numbers.
+
+    The witness chain (function ids, no line numbers) participates for
+    flow findings; per-file findings keep their historical fingerprint.
+    """
     key = f"{finding.path}::{finding.code}::{finding.source}"
+    if finding.witness:
+        key += f"::{'->'.join(finding.witness)}"
     return hashlib.sha256(key.encode("utf-8")).hexdigest()[:16]
 
 
@@ -69,6 +81,8 @@ class Baseline:
                 "message": finding.message,
                 "source": finding.source,
             }
+            if finding.witness:
+                baseline.details[fp]["witness"] = list(finding.witness)
         return baseline
 
     def save(self, path: str | Path) -> None:

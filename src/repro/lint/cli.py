@@ -14,9 +14,12 @@ from pathlib import Path
 from .baseline import DEFAULT_BASELINE_NAME, Baseline
 from .core import Severity
 from .engine import LintResult, lint_paths
+from .flow import FLOW_RULES
 from .rules import ALL_RULES
 
-JSON_SCHEMA_VERSION = 1
+#: v2: findings carry a ``witness`` call-chain list (empty for
+#: per-file rules) and FLOW codes may appear.
+JSON_SCHEMA_VERSION = 2
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -29,6 +32,11 @@ def _build_parser() -> argparse.ArgumentParser:
                              "(default: src)")
     parser.add_argument("--json", action="store_true",
                         help="emit machine-readable JSON on stdout")
+    parser.add_argument("--flow", action="store_true",
+                        help="also run the whole-program flow analyses "
+                             "(FLOW001 RNG provenance, FLOW002 hot-path "
+                             "purity, FLOW003 parallel safety) over the "
+                             "project call graph")
     parser.add_argument("--baseline", metavar="PATH", default=None,
                         help=f"baseline file (default: "
                              f"./{DEFAULT_BASELINE_NAME} when present)")
@@ -50,7 +58,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
 def _list_rules() -> str:
     lines = []
-    for rule in ALL_RULES:
+    for rule in ALL_RULES + FLOW_RULES:
         scopes = ", ".join(rule.scopes)
         lines.append(f"{rule.code}  {rule.name}  "
                      f"[{rule.severity.value}]  (scopes: {scopes})")
@@ -99,15 +107,21 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     rules = ALL_RULES
+    flow_enabled = args.flow
+    flow_codes: set[str] | None = None
     if args.select:
         wanted = {code.strip() for code in args.select.split(",")
                   if code.strip()}
         rules = tuple(r for r in ALL_RULES if r.code in wanted)
-        unknown = wanted - {r.code for r in rules}
+        flow_codes = {r.code for r in FLOW_RULES} & wanted
+        unknown = wanted - {r.code for r in rules} - flow_codes
         if unknown:
             print(f"reprolint: unknown rule code(s): "
                   f"{', '.join(sorted(unknown))}", file=sys.stderr)
             return 2
+        # Selecting a FLOW code implies flow mode; --flow with a
+        # selection that names no FLOW code runs none of them.
+        flow_enabled = args.flow or bool(flow_codes)
 
     baseline_path: Path | None = None
     if not args.no_baseline:
@@ -123,7 +137,8 @@ def main(argv: list[str] | None = None) -> int:
                 baseline_path = default
 
     if args.update_baseline:
-        result = lint_paths(args.paths, rules=rules, baseline=None)
+        result = lint_paths(args.paths, rules=rules, baseline=None,
+                            flow=flow_enabled, flow_codes=flow_codes)
         target = baseline_path or Path(DEFAULT_BASELINE_NAME)
         Baseline.from_findings(result.findings).save(target)
         print(f"reprolint: wrote {len(result.findings)} finding(s) to "
@@ -139,7 +154,8 @@ def main(argv: list[str] | None = None) -> int:
                   file=sys.stderr)
             return 2
 
-    result = lint_paths(args.paths, rules=rules, baseline=baseline)
+    result = lint_paths(args.paths, rules=rules, baseline=baseline,
+                        flow=flow_enabled, flow_codes=flow_codes)
 
     if args.json:
         print(json.dumps(_to_json(result), indent=2))

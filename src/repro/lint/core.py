@@ -39,6 +39,10 @@ class Finding:
     #: Stripped text of the offending source line (baseline fingerprint
     #: input; keeps baselines stable across pure line-number drift).
     source: str = ""
+    #: Call-chain witness for whole-program (FLOW) findings: qualified
+    #: function ids from the analysis entry point down to the function
+    #: containing the offending call. Empty for per-file findings.
+    witness: tuple[str, ...] = ()
 
     def sort_key(self) -> tuple[str, int, int, str]:
         return (self.path, self.line, self.col, self.code)
@@ -52,11 +56,15 @@ class Finding:
             "severity": self.severity.value,
             "message": self.message,
             "source": self.source,
+            "witness": list(self.witness),
         }
 
     def render(self) -> str:
-        return (f"{self.path}:{self.line}:{self.col}: "
+        text = (f"{self.path}:{self.line}:{self.col}: "
                 f"{self.code} [{self.severity.value}] {self.message}")
+        if self.witness:
+            text += f"\n    via: {' -> '.join(self.witness)}"
+        return text
 
 
 class ImportTable:

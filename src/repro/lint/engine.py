@@ -5,6 +5,12 @@ runs every in-scope rule over it, drops inline-suppressed findings, and
 (optionally) splits the remainder against a baseline. Paths are
 normalized relative to a root (default: the current working directory)
 so baselines and scope patterns are machine-independent.
+
+With ``flow=True`` the same parsed contexts feed the whole-program
+analyses in :mod:`repro.lint.flow` (call-graph reachability, RNG seed
+provenance, parallel safety); their findings merge into the normal
+stream so suppressions, the baseline, and output modes apply
+uniformly.
 """
 
 from __future__ import annotations
@@ -21,6 +27,9 @@ from .suppress import parse_suppressions
 _SKIP_DIRS = frozenset({
     "__pycache__", ".git", ".pytest_cache", ".venv", "venv",
     "build", "dist", ".mypy_cache", ".ruff_cache",
+    # Flow-analysis fixture packages: deliberately violating test data,
+    # linted only by the flow unit tests that load them explicitly.
+    "fixtures_flow",
 })
 
 
@@ -68,6 +77,20 @@ def _logical_path(path: Path, root: Path) -> str:
         return resolved.as_posix()
 
 
+def _rules_findings(ctx: ModuleContext, suppressions,
+                    rules: tuple[type[Rule], ...],
+                    respect_scopes: bool) -> list[Finding]:
+    """Run the per-file rules over one parsed module."""
+    findings: list[Finding] = []
+    for rule_cls in rules:
+        if respect_scopes and not rule_cls.applies_to(ctx.path):
+            continue
+        for finding in rule_cls(ctx).run():
+            if not suppressions.is_suppressed(finding.code, finding.line):
+                findings.append(finding)
+    return findings
+
+
 def lint_source(source: str, path: str = "src/repro/<string>.py",
                 rules: tuple[type[Rule], ...] = ALL_RULES,
                 respect_scopes: bool = True) -> list[Finding]:
@@ -86,24 +109,28 @@ def lint_source(source: str, path: str = "src/repro/<string>.py",
                         message=f"syntax error: {exc.msg}")]
     ctx = ModuleContext(path=path, tree=tree, source_lines=source_lines)
     suppressions = parse_suppressions(source_lines)
-    findings: list[Finding] = []
-    for rule_cls in rules:
-        if respect_scopes and not rule_cls.applies_to(path):
-            continue
-        for finding in rule_cls(ctx).run():
-            if not suppressions.is_suppressed(finding.code, finding.line):
-                findings.append(finding)
+    findings = _rules_findings(ctx, suppressions, rules, respect_scopes)
     return sorted(findings, key=Finding.sort_key)
 
 
 def lint_paths(paths: list[str | Path],
                rules: tuple[type[Rule], ...] = ALL_RULES,
                baseline: Baseline | None = None,
-               root: str | Path | None = None) -> LintResult:
-    """Lint every ``*.py`` under ``paths`` and apply the baseline."""
+               root: str | Path | None = None,
+               flow: bool = False,
+               flow_codes: set[str] | None = None,
+               flow_config=None) -> LintResult:
+    """Lint every ``*.py`` under ``paths`` and apply the baseline.
+
+    ``flow=True`` additionally runs the whole-program analyses
+    (restricted to ``flow_codes`` when given) over the same parsed
+    ASTs; ``flow_config`` overrides the project defaults (used by the
+    fixture tests).
+    """
     root_path = Path(root) if root is not None else Path.cwd()
     result = LintResult()
     collected: list[Finding] = []
+    contexts: list[ModuleContext] = []
     for file_path in iter_python_files(paths):
         logical = _logical_path(file_path, root_path)
         try:
@@ -115,11 +142,26 @@ def lint_paths(paths: list[str | Path],
                 message=f"cannot read file: {exc}"))
             continue
         result.files_checked += 1
-        for finding in lint_source(source, path=logical, rules=rules):
-            if finding.code == "E999":
-                result.parse_errors.append(finding)
-            else:
-                collected.append(finding)
+        source_lines = source.splitlines()
+        try:
+            tree = ast.parse(source, filename=logical)
+        except SyntaxError as exc:
+            result.parse_errors.append(Finding(
+                path=logical, line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1, code="E999",
+                severity=Rule.severity,
+                message=f"syntax error: {exc.msg}"))
+            continue
+        ctx = ModuleContext(path=logical, tree=tree,
+                            source_lines=source_lines)
+        contexts.append(ctx)
+        suppressions = parse_suppressions(source_lines)
+        collected.extend(_rules_findings(ctx, suppressions, rules, True))
+    if flow:
+        from .flow import DEFAULT_CONFIG, analyze
+        collected.extend(analyze(
+            contexts, config=flow_config or DEFAULT_CONFIG,
+            codes=flow_codes))
     if baseline is not None:
         result.findings, result.grandfathered = baseline.filter(collected)
         result.stale_baseline = baseline.stale_entries(collected)

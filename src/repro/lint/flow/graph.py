@@ -1,0 +1,972 @@
+"""Project model and call graph for whole-program analysis.
+
+The per-file rules in :mod:`repro.lint.rules` see one AST at a time;
+the flow analyses need to know *who calls whom* across the whole tree.
+This module builds that picture from the same ASTs the engine already
+parses:
+
+* a **symbol table** per module — top-level functions, classes (with
+  methods and resolvable base classes), module-level globals, and
+  imports absolutized against the module's package (so relative
+  imports and ``__init__`` re-exports resolve to real definitions);
+* a **call graph** — for every function, the statically certain call
+  edges (direct calls, imported callables, ``self`` method dispatch,
+  class instantiation to ``__init__``, attribute access through
+  inferred instance types) plus **ref edges** for function references
+  passed as arguments (the event-loop ``call_later(delay, self._fire)``
+  idiom: the callback will run, so reachability must flow into it);
+* **primitive records** — calls that resolve to something outside the
+  project (``time.time``, ``open``, ``os.urandom``) keep their dotted
+  name so the purity analysis can classify them;
+* **write events** — mutations of module-level state (``global``
+  rebinding, subscript/attribute stores, mutator-method calls on
+  module globals, including cross-module ``state.ACTIVE = ...``).
+
+Resolution is deliberately conservative: an edge exists only when the
+target is statically certain. Dynamic dispatch through unknown object
+types produces no edge — analyses over-approximate via ref edges and
+entry-point roots instead of guessing receiver types.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from fnmatch import fnmatchcase
+
+from ..core import ModuleContext
+
+#: Methods that mutate their receiver in place; a call on a
+#: module-level global is a write event.
+_MUTATOR_METHODS = frozenset({
+    "append", "appendleft", "extend", "insert", "remove", "discard",
+    "add", "update", "setdefault", "pop", "popitem", "clear",
+    "sort", "reverse", "rotate",
+})
+
+#: Builtins whose calls the analyses care about even though they are
+#: not imported names.
+_BUILTIN_PRIMITIVES = frozenset({
+    "open", "input", "print", "eval", "exec", "breakpoint",
+    "__import__",
+})
+
+#: Constructor calls producing module-level mutable containers.
+_MUTABLE_FACTORIES = frozenset({
+    "dict", "list", "set", "bytearray",
+    "collections.Counter", "collections.defaultdict",
+    "collections.deque", "collections.OrderedDict",
+})
+
+
+def module_name_for(path: str) -> str | None:
+    """Dotted module name for a repo path (``src/`` layout).
+
+    ``src/repro/netsim/clock.py`` -> ``repro.netsim.clock``;
+    ``src/repro/netsim/__init__.py`` -> ``repro.netsim``. Returns
+    ``None`` for paths that cannot name an importable module.
+    """
+    norm = path.replace("\\", "/").lstrip("/")
+    if norm.startswith("src/"):
+        norm = norm[4:]
+    if not norm.endswith(".py"):
+        return None
+    parts = norm[:-3].split("/")
+    if parts[-1] == "__init__":
+        parts = parts[:-1]
+    if not parts or not all(p.isidentifier() for p in parts):
+        return None
+    return ".".join(parts)
+
+
+@dataclass(slots=True)
+class CallSite:
+    """One outgoing edge (or external primitive call) from a function."""
+
+    caller: str
+    #: Project function id when resolved (``module:qualname``).
+    callee: str | None
+    #: Dotted external name when the call leaves the project
+    #: (``time.time``, ``os.urandom``, ``open``).
+    primitive: str | None
+    lineno: int
+    col: int
+    #: ``call`` for a direct invocation, ``ref`` for a function
+    #: reference passed as an argument (scheduled callbacks).
+    kind: str
+    #: The AST call node for ``call`` sites (argument taint analysis).
+    node: ast.Call | None = None
+
+
+@dataclass(slots=True)
+class WriteEvent:
+    """A mutation of module-level state performed inside a function."""
+
+    #: Module owning the written global and the global's name.
+    target_module: str
+    target_name: str
+    lineno: int
+    col: int
+    #: ``rebind`` | ``item`` | ``attr`` | ``mutate``
+    kind: str
+
+
+@dataclass(slots=True)
+class FunctionInfo:
+    """One function or method in the project."""
+
+    fid: str
+    module: str
+    qualname: str
+    path: str
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    class_fid: str | None = None
+    sites: list[CallSite] = field(default_factory=list)
+    writes: list[WriteEvent] = field(default_factory=list)
+
+    @property
+    def lineno(self) -> int:
+        return self.node.lineno
+
+    @property
+    def is_method(self) -> bool:
+        return self.class_fid is not None
+
+    def param_names(self) -> list[str]:
+        """Positional parameter names, ``self`` stripped for methods."""
+        args = self.node.args
+        names = [a.arg for a in args.posonlyargs + args.args]
+        if self.is_method and names:
+            names = names[1:]
+        return names
+
+    def kwonly_names(self) -> list[str]:
+        return [a.arg for a in self.node.args.kwonlyargs]
+
+    def default_for(self, name: str) -> ast.expr | None:
+        """Default expression for a parameter, if it has one."""
+        args = self.node.args
+        positional = [a.arg for a in args.posonlyargs + args.args]
+        if name in positional:
+            offset = len(positional) - len(args.defaults)
+            index = positional.index(name) - offset
+            if 0 <= index < len(args.defaults):
+                return args.defaults[index]
+            return None
+        for arg, default in zip(args.kwonlyargs, args.kw_defaults):
+            if arg.arg == name:
+                return default
+        return None
+
+
+@dataclass(slots=True)
+class ClassInfo:
+    """A class definition with resolved bases and inferred attr types."""
+
+    cid: str
+    module: str
+    name: str
+    node: ast.ClassDef
+    bases: list[str] = field(default_factory=list)
+    #: method name -> function id
+    methods: dict[str, str] = field(default_factory=dict)
+    #: ``self.<attr>`` -> class id inferred from constructor-style
+    #: assignments and annotated parameters.
+    attr_types: dict[str, str] = field(default_factory=dict)
+
+
+@dataclass(slots=True)
+class GlobalVar:
+    """A module-level binding."""
+
+    module: str
+    name: str
+    lineno: int
+    mutable: bool
+
+
+@dataclass(slots=True)
+class ModuleInfo:
+    """Symbol table for one project module."""
+
+    name: str
+    ctx: ModuleContext
+    is_package: bool
+    #: local alias -> absolute dotted target
+    imports: dict[str, str] = field(default_factory=dict)
+    functions: dict[str, str] = field(default_factory=dict)
+    classes: dict[str, str] = field(default_factory=dict)
+    globals: dict[str, GlobalVar] = field(default_factory=dict)
+
+
+class ProjectModel:
+    """Whole-program symbol tables plus the call graph."""
+
+    def __init__(self) -> None:
+        self.modules: dict[str, ModuleInfo] = {}
+        self.functions: dict[str, FunctionInfo] = {}
+        self.classes: dict[str, ClassInfo] = {}
+        #: callee fid -> call sites targeting it (reverse edges).
+        self.callers: dict[str, list[CallSite]] = {}
+
+    # -- symbol resolution -------------------------------------------------
+
+    def resolve_dotted(self, dotted: str,
+                       _depth: int = 0) -> tuple[str, str] | None:
+        """Resolve an absolute dotted path to a project symbol.
+
+        Returns ``(kind, id)`` with kind in ``module`` / ``func`` /
+        ``class`` / ``global``, chasing re-exports through package
+        ``__init__`` import tables; ``None`` means the name lives
+        outside the project (an external primitive).
+        """
+        if _depth > 24:
+            return None
+        parts = dotted.split(".")
+        for i in range(len(parts), 0, -1):
+            mod = ".".join(parts[:i])
+            info = self.modules.get(mod)
+            if info is None:
+                continue
+            rest = parts[i:]
+            if not rest:
+                return ("module", mod)
+            head = rest[0]
+            if len(rest) == 1:
+                if head in info.functions:
+                    return ("func", info.functions[head])
+                if head in info.classes:
+                    return ("class", info.classes[head])
+                if head in info.globals:
+                    return ("global", f"{mod}:{head}")
+                if head in info.imports:
+                    return self.resolve_dotted(info.imports[head],
+                                               _depth + 1)
+                return None
+            if head in info.classes:
+                method = self.lookup_method(info.classes[head], rest[1])
+                return ("func", method) if method else None
+            if head in info.imports:
+                tail = ".".join(rest[1:])
+                return self.resolve_dotted(f"{info.imports[head]}.{tail}",
+                                           _depth + 1)
+            return None
+        return None
+
+    def lookup_method(self, cid: str, name: str,
+                      _seen: frozenset = frozenset()) -> str | None:
+        """Resolve a method on a class, walking project-visible bases."""
+        if cid in _seen:
+            return None
+        cls = self.classes.get(cid)
+        if cls is None:
+            return None
+        if name in cls.methods:
+            return cls.methods[name]
+        for base in cls.bases:
+            found = self.lookup_method(base, name, _seen | {cid})
+            if found:
+                return found
+        return None
+
+    def attr_type(self, cid: str, attr: str,
+                  _seen: frozenset = frozenset()) -> str | None:
+        """Inferred class of ``self.<attr>``, walking bases."""
+        if cid in _seen:
+            return None
+        cls = self.classes.get(cid)
+        if cls is None:
+            return None
+        if attr in cls.attr_types:
+            return cls.attr_types[attr]
+        for base in cls.bases:
+            found = self.attr_type(base, attr, _seen | {cid})
+            if found:
+                return found
+        return None
+
+    def match_functions(self, patterns: tuple[str, ...]) -> list[str]:
+        """Function ids matching any ``module:qualname`` fnmatch pattern."""
+        matched = []
+        for fid in sorted(self.functions):
+            if any(fnmatchcase(fid, pat) for pat in patterns):
+                matched.append(fid)
+        return matched
+
+    # -- reachability ------------------------------------------------------
+
+    def reachable_from(self, roots: list[str]
+                       ) -> dict[str, tuple[str, ...]]:
+        """BFS over call+ref edges; fid -> witness chain from its root.
+
+        The chain starts at the root and ends at the function itself;
+        roots map to a single-element chain. Deterministic: roots and
+        adjacency are processed in sorted order, so every function
+        keeps its first (shortest, lexicographically stable) witness.
+        """
+        chains: dict[str, tuple[str, ...]] = {}
+        frontier: list[str] = []
+        for fid in sorted(roots):
+            if fid in self.functions and fid not in chains:
+                chains[fid] = (fid,)
+                frontier.append(fid)
+        while frontier:
+            next_frontier: list[str] = []
+            for fid in frontier:
+                info = self.functions[fid]
+                targets = sorted({site.callee for site in info.sites
+                                  if site.callee is not None})
+                for callee in targets:
+                    if callee in self.functions and callee not in chains:
+                        chains[callee] = chains[fid] + (callee,)
+                        next_frontier.append(callee)
+            frontier = next_frontier
+        return chains
+
+
+def _absolute_imports(tree: ast.Module, module: str,
+                      is_package: bool) -> dict[str, str]:
+    """Alias -> absolute dotted target, relative imports resolved."""
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    aliases[alias.asname] = alias.name
+                else:
+                    root = alias.name.split(".")[0]
+                    aliases[root] = root
+        elif isinstance(node, ast.ImportFrom):
+            base = node.module or ""
+            if node.level:
+                pkg = module.split(".")
+                if not is_package:
+                    pkg = pkg[:-1]
+                drop = node.level - 1
+                if drop >= len(pkg) + 1:
+                    continue
+                if drop:
+                    pkg = pkg[:len(pkg) - drop]
+                prefix = ".".join(pkg)
+                base = f"{prefix}.{base}" if base else prefix
+            if not base:
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                aliases[local] = f"{base}.{alias.name}"
+    return aliases
+
+
+def _is_mutable_binding(value: ast.expr | None,
+                        imports: dict[str, str]) -> bool:
+    """Does a module-level assignment bind a mutable container?"""
+    if value is None:
+        return False
+    if isinstance(value, (ast.Dict, ast.List, ast.Set, ast.ListComp,
+                          ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(value, ast.Call):
+        func = value.func
+        if isinstance(func, ast.Name):
+            dotted = imports.get(func.id, func.id)
+            return dotted in _MUTABLE_FACTORIES
+        if isinstance(func, ast.Attribute):
+            parts = []
+            inner: ast.expr = func
+            while isinstance(inner, ast.Attribute):
+                parts.append(inner.attr)
+                inner = inner.value
+            if isinstance(inner, ast.Name):
+                base = imports.get(inner.id, inner.id)
+                parts.append(base)
+                return ".".join(reversed(parts)) in _MUTABLE_FACTORIES
+    return False
+
+
+def _annotation_name(node: ast.expr | None) -> str | None:
+    """Extract a usable class name from an annotation expression."""
+    if node is None:
+        return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            node = ast.parse(node.value, mode="eval").body
+        except SyntaxError:
+            return None
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        parts = []
+        inner: ast.expr = node
+        while isinstance(inner, ast.Attribute):
+            parts.append(inner.attr)
+            inner = inner.value
+        if isinstance(inner, ast.Name):
+            parts.append(inner.id)
+            return ".".join(reversed(parts))
+        return None
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        # ``X | None`` and friends: prefer the side that names a class.
+        left = _annotation_name(node.left)
+        if left is not None and left != "None":
+            return left
+        return _annotation_name(node.right)
+    if isinstance(node, ast.Subscript):
+        # Optional[X] / list[X]: look at the container name only when
+        # it is Optional; element types are not receiver types.
+        outer = _annotation_name(node.value)
+        if outer in ("Optional", "typing.Optional"):
+            return _annotation_name(node.slice)
+        return None
+    return None
+
+
+class _FunctionWalker(ast.NodeVisitor):
+    """Extracts call sites, ref edges, and write events for a function."""
+
+    def __init__(self, model: ProjectModel, minfo: ModuleInfo,
+                 finfo: FunctionInfo,
+                 inherited_types: dict[str, str] | None = None) -> None:
+        self.model = model
+        self.minfo = minfo
+        self.finfo = finfo
+        #: local name -> class id
+        self.local_types: dict[str, str] = dict(inherited_types or {})
+        #: names typed by visit-time inference (``x = ClassName(...)``)
+        #: — trusted even though they are assignment targets, because
+        #: the inference runs in program order and is invalidated on
+        #: any later assignment it cannot type.
+        self.inferred_locals: set[str] = set()
+        #: local name -> function id (nested defs)
+        self.local_funcs: dict[str, str] = {}
+        self.declared_globals: set[str] = set()
+        self.assigned_locals: set[str] = set()
+        args = finfo.node.args
+        self.params: set[str] = {
+            a.arg for a in (args.posonlyargs + args.args + args.kwonlyargs)}
+        for star in (args.vararg, args.kwarg):
+            if star is not None:
+                self.params.add(star.arg)
+        if finfo.is_method:
+            self.local_types["self"] = finfo.class_fid
+        self._seed_param_types()
+        self._collect_scope()
+
+    # -- scope setup -------------------------------------------------------
+
+    def _seed_param_types(self) -> None:
+        args = self.finfo.node.args
+        for arg in args.posonlyargs + args.args + args.kwonlyargs:
+            if arg.arg == "self":
+                continue
+            name = _annotation_name(arg.annotation)
+            if name is None:
+                continue
+            resolved = self._resolve_name_or_dotted(name)
+            if resolved and resolved[0] == "class":
+                self.local_types[arg.arg] = resolved[1]
+
+    def _collect_scope(self) -> None:
+        """Pre-pass: local assignment targets and nested defs."""
+        for node in ast.walk(self.finfo.node):
+            if isinstance(node, ast.Global):
+                self.declared_globals.update(node.names)
+            elif isinstance(node, (ast.Assign, ast.AnnAssign,
+                                   ast.AugAssign)):
+                targets = (node.targets
+                           if isinstance(node, ast.Assign)
+                           else [node.target])
+                for target in targets:
+                    if isinstance(target, ast.Name):
+                        self.assigned_locals.add(target.id)
+            elif isinstance(node, (ast.For, ast.comprehension)):
+                target = node.target
+                for leaf in ast.walk(target):
+                    if isinstance(leaf, ast.Name):
+                        self.assigned_locals.add(leaf.id)
+            elif isinstance(node, ast.withitem) and node.optional_vars:
+                for leaf in ast.walk(node.optional_vars):
+                    if isinstance(leaf, ast.Name):
+                        self.assigned_locals.add(leaf.id)
+
+    # -- resolution helpers ------------------------------------------------
+
+    def _resolve_name_or_dotted(self, name: str
+                                ) -> tuple[str, str] | None:
+        """Resolve a (possibly dotted) source-level name in this module."""
+        head, _, tail = name.partition(".")
+        if head in self.minfo.classes and not tail:
+            return ("class", self.minfo.classes[head])
+        if head in self.minfo.functions and not tail:
+            return ("func", self.minfo.functions[head])
+        if head in self.minfo.imports:
+            dotted = self.minfo.imports[head] + (f".{tail}" if tail else "")
+            return self.model.resolve_dotted(dotted)
+        return None
+
+    def _attr_chain(self, node: ast.expr) -> tuple[ast.expr, list[str]]:
+        """Split ``a.b.c`` into (root expr, [``b``, ``c``])."""
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        parts.reverse()
+        return node, parts
+
+    def _class_of_expr(self, node: ast.expr) -> str | None:
+        """Inferred class id for an expression, when certain."""
+        if isinstance(node, ast.Name):
+            if (node.id in self.local_types
+                    and node.id not in self.local_funcs):
+                return self.local_types[node.id]
+            return None
+        if isinstance(node, ast.Attribute):
+            root, attrs = self._attr_chain(node)
+            cid = self._class_of_expr(root)
+            if cid is None:
+                return None
+            for attr in attrs:
+                cid = self.model.attr_type(cid, attr)
+                if cid is None:
+                    return None
+            return cid
+        if isinstance(node, ast.Call):
+            resolved = self._resolve_callable(node.func)
+            if resolved and resolved[0] == "class":
+                return resolved[1]
+            return None
+        return None
+
+    def _resolve_callable(self, func: ast.expr
+                          ) -> tuple[str, str] | None:
+        """Resolve a call target to (kind, id); kind func/class/prim."""
+        if isinstance(func, ast.Name):
+            name = func.id
+            if name in self.local_funcs:
+                return ("func", self.local_funcs[name])
+            if name in self.assigned_locals or name in self.params \
+                    or name in self.local_types:
+                return None
+            if name in self.minfo.functions:
+                return ("func", self.minfo.functions[name])
+            if name in self.minfo.classes:
+                return ("class", self.minfo.classes[name])
+            if name in self.minfo.imports:
+                dotted = self.minfo.imports[name]
+                resolved = self.model.resolve_dotted(dotted)
+                if resolved and resolved[0] in ("func", "class"):
+                    return resolved
+                if resolved is None:
+                    return ("prim", dotted)
+                return None
+            if name in _BUILTIN_PRIMITIVES:
+                return ("prim", name)
+            return None
+        if isinstance(func, ast.Attribute):
+            root, attrs = self._attr_chain(func)
+            if isinstance(root, ast.Name):
+                rid = root.id
+                # Instance receiver with a known class.
+                if (rid in self.local_types
+                        and (rid not in self.assigned_locals
+                             or rid in self.inferred_locals)) \
+                        or rid == "self":
+                    cid = self.local_types.get(rid)
+                    if cid is not None:
+                        return self._resolve_on_class(cid, attrs)
+                    return None
+                # Module alias or class named in this module.
+                if rid in self.minfo.imports:
+                    dotted = self.minfo.imports[rid] + "." + ".".join(attrs)
+                    resolved = self.model.resolve_dotted(dotted)
+                    if resolved and resolved[0] in ("func", "class"):
+                        return resolved
+                    if resolved is None:
+                        return ("prim", dotted)
+                    return None
+                if rid in self.minfo.classes and len(attrs) == 1:
+                    method = self.model.lookup_method(
+                        self.minfo.classes[rid], attrs[0])
+                    return ("func", method) if method else None
+                return None
+            cid = self._class_of_expr(root)
+            if cid is not None:
+                return self._resolve_on_class(cid, attrs)
+            return None
+        return None
+
+    def _resolve_on_class(self, cid: str,
+                          attrs: list[str]) -> tuple[str, str] | None:
+        for attr in attrs[:-1]:
+            cid = self.model.attr_type(cid, attr)
+            if cid is None:
+                return None
+        method = self.model.lookup_method(cid, attrs[-1])
+        return ("func", method) if method else None
+
+    def _class_init(self, cid: str) -> str | None:
+        return self.model.lookup_method(cid, "__init__")
+
+    def _func_ref(self, node: ast.expr) -> str | None:
+        """Function id for a bare function reference (no call)."""
+        if isinstance(node, ast.Name):
+            name = node.id
+            if name in self.local_funcs:
+                return self.local_funcs[name]
+            if name in self.assigned_locals or name in self.params \
+                    or name in self.local_types:
+                return None
+            if name in self.minfo.functions:
+                return self.minfo.functions[name]
+            if name in self.minfo.imports:
+                resolved = self.model.resolve_dotted(
+                    self.minfo.imports[name])
+                if resolved and resolved[0] == "func":
+                    return resolved[1]
+            return None
+        if isinstance(node, ast.Attribute):
+            resolved = self._resolve_callable(node)
+            if resolved and resolved[0] == "func":
+                return resolved[1]
+        return None
+
+    def _global_ref(self, node: ast.expr) -> tuple[str, str] | None:
+        """(module, name) when an expression reads a module global."""
+        if isinstance(node, ast.Name):
+            name = node.id
+            if name in self.declared_globals:
+                return (self.minfo.name, name)
+            if (name in self.minfo.globals
+                    and name not in self.assigned_locals
+                    and name not in self.params):
+                return (self.minfo.name, name)
+            return None
+        if isinstance(node, ast.Attribute):
+            root, attrs = self._attr_chain(node)
+            if isinstance(root, ast.Name) and root.id in self.minfo.imports:
+                dotted = self.minfo.imports[root.id] + "." + ".".join(attrs)
+                resolved = self.model.resolve_dotted(dotted)
+                if resolved and resolved[0] == "global":
+                    mod, _, name = resolved[1].partition(":")
+                    return (mod, name)
+        return None
+
+    def _record_write(self, target: tuple[str, str], node: ast.AST,
+                      kind: str) -> None:
+        self.finfo.writes.append(WriteEvent(
+            target_module=target[0], target_name=target[1],
+            lineno=getattr(node, "lineno", self.finfo.lineno),
+            col=getattr(node, "col_offset", 0) + 1, kind=kind))
+
+    # -- visitors ----------------------------------------------------------
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        # Nested def: ref edge (closures are invoked eventually), no
+        # descent — the nested function is walked with its own scope.
+        fid = f"{self.finfo.fid}.{node.name}"
+        if fid in self.model.functions:
+            self.local_funcs[node.name] = fid
+            self.finfo.sites.append(CallSite(
+                caller=self.finfo.fid, callee=fid, primitive=None,
+                lineno=node.lineno, col=node.col_offset + 1, kind="ref"))
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        pass  # classes local to a function are out of model scope
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_store(target, node)
+        # Forward type inference: ``x = ClassName(...)``; any later
+        # assignment the inference cannot type invalidates the entry.
+        if len(node.targets) == 1 and isinstance(node.targets[0], ast.Name):
+            tid = node.targets[0].id
+            cid = self._class_of_expr(node.value)
+            if cid is not None:
+                self.local_types[tid] = cid
+                self.inferred_locals.add(tid)
+            elif tid in self.inferred_locals:
+                self.local_types.pop(tid, None)
+                self.inferred_locals.discard(tid)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self._check_store(node.target, node)
+        if isinstance(node.target, ast.Name):
+            cid = None
+            if node.value is not None:
+                cid = self._class_of_expr(node.value)
+            if cid is None:
+                name = _annotation_name(node.annotation)
+                if name:
+                    resolved = self._resolve_name_or_dotted(name)
+                    if resolved and resolved[0] == "class":
+                        cid = resolved[1]
+            if cid is not None:
+                self.local_types[node.target.id] = cid
+                self.inferred_locals.add(node.target.id)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_store(node.target, node)
+        self.generic_visit(node)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            self._check_store(target, node)
+        self.generic_visit(node)
+
+    def _check_store(self, target: ast.expr, node: ast.AST) -> None:
+        if isinstance(target, ast.Name):
+            if target.id in self.declared_globals:
+                self._record_write((self.minfo.name, target.id),
+                                   node, "rebind")
+        elif isinstance(target, ast.Subscript):
+            ref = self._global_ref(target.value)
+            if ref is not None:
+                self._record_write(ref, node, "item")
+        elif isinstance(target, ast.Attribute):
+            # ``state.ACTIVE = ...`` (import alias) or ``GLOBAL.x = ...``.
+            root, attrs = self._attr_chain(target)
+            if isinstance(root, ast.Name):
+                if root.id in self.minfo.imports:
+                    dotted = (self.minfo.imports[root.id] + "."
+                              + ".".join(attrs))
+                    resolved = self.model.resolve_dotted(dotted)
+                    if resolved and resolved[0] == "global":
+                        mod, _, name = resolved[1].partition(":")
+                        self._record_write((mod, name), node, "attr")
+                    elif resolved and resolved[0] == "module" \
+                            and len(attrs) >= 1:
+                        self._record_write((resolved[1], attrs[-1]),
+                                           node, "attr")
+                else:
+                    ref = self._global_ref(root)
+                    if ref is not None:
+                        self._record_write(ref, node, "attr")
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._check_store(elt, node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        resolved = self._resolve_callable(node.func)
+        callee = primitive = None
+        if resolved is not None:
+            kind, ident = resolved
+            if kind == "func":
+                callee = ident
+            elif kind == "class":
+                callee = self._class_init(ident)
+            else:
+                primitive = ident
+        if callee is not None or primitive is not None:
+            self.finfo.sites.append(CallSite(
+                caller=self.finfo.fid, callee=callee, primitive=primitive,
+                lineno=node.lineno, col=node.col_offset + 1,
+                kind="call", node=node))
+        # Mutator-method write detection: ``GLOBAL.append(...)``.
+        if isinstance(node.func, ast.Attribute) \
+                and node.func.attr in _MUTATOR_METHODS:
+            ref = self._global_ref(node.func.value)
+            if ref is not None:
+                self._record_write(ref, node, "mutate")
+        # Ref edges for function references passed as arguments.
+        for arg in list(node.args) + [kw.value for kw in node.keywords]:
+            fid = self._func_ref(arg)
+            if fid is not None:
+                self.finfo.sites.append(CallSite(
+                    caller=self.finfo.fid, callee=fid, primitive=None,
+                    lineno=node.lineno, col=node.col_offset + 1,
+                    kind="ref"))
+        self.generic_visit(node)
+
+    def visit_Return(self, node: ast.Return) -> None:
+        # ``return self._helper`` — a method handed out as a callback.
+        if node.value is not None:
+            fid = self._func_ref(node.value)
+            if fid is not None:
+                self.finfo.sites.append(CallSite(
+                    caller=self.finfo.fid, callee=fid, primitive=None,
+                    lineno=node.lineno, col=node.col_offset + 1,
+                    kind="ref"))
+        self.generic_visit(node)
+
+
+def _child_functions(node: ast.AST):
+    """Function defs directly inside ``node``'s statement tree.
+
+    Descends through compound statements (if/for/try/with) but stops
+    at nested function boundaries, so each def is yielded exactly once
+    by its immediate enclosing function.
+    """
+    for child in ast.iter_child_nodes(node):
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield child
+        elif isinstance(child, (ast.ClassDef, ast.Lambda)):
+            continue
+        else:
+            yield from _child_functions(child)
+
+
+def _register_function(model: ProjectModel, minfo: ModuleInfo,
+                       node: ast.FunctionDef | ast.AsyncFunctionDef,
+                       qualname: str, class_fid: str | None) -> FunctionInfo:
+    fid = f"{minfo.name}:{qualname}"
+    finfo = FunctionInfo(fid=fid, module=minfo.name, qualname=qualname,
+                         path=minfo.ctx.path, node=node,
+                         class_fid=class_fid)
+    model.functions[fid] = finfo
+    # Nested defs get their own entries (recursively, so a def inside
+    # a def keeps the full dotted qualname) so ref edges have targets.
+    for child in _child_functions(node):
+        _register_function(model, minfo, child,
+                           f"{qualname}.{child.name}", class_fid)
+    return finfo
+
+
+def _register_module(model: ProjectModel, ctx: ModuleContext,
+                     module: str) -> None:
+    is_package = ctx.path.replace("\\", "/").endswith("/__init__.py")
+    minfo = ModuleInfo(name=module, ctx=ctx, is_package=is_package)
+    minfo.imports = _absolute_imports(ctx.tree, module, is_package)
+    model.modules[module] = minfo
+    for stmt in ctx.tree.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            finfo = _register_function(model, minfo, stmt,
+                                       stmt.name, None)
+            minfo.functions[stmt.name] = finfo.fid
+        elif isinstance(stmt, ast.ClassDef):
+            cid = f"{module}:{stmt.name}"
+            cls = ClassInfo(cid=cid, module=module, name=stmt.name,
+                            node=stmt)
+            model.classes[cid] = cls
+            minfo.classes[stmt.name] = cid
+            for inner in stmt.body:
+                if isinstance(inner, (ast.FunctionDef,
+                                      ast.AsyncFunctionDef)):
+                    method = _register_function(
+                        model, minfo, inner,
+                        f"{stmt.name}.{inner.name}", cid)
+                    cls.methods[inner.name] = method.fid
+        elif isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+            targets = (stmt.targets if isinstance(stmt, ast.Assign)
+                       else [stmt.target])
+            value = stmt.value
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    minfo.globals[target.id] = GlobalVar(
+                        module=module, name=target.id,
+                        lineno=stmt.lineno,
+                        mutable=_is_mutable_binding(value, minfo.imports))
+
+
+def _resolve_bases_and_attrs(model: ProjectModel) -> None:
+    for cid in sorted(model.classes):
+        cls = model.classes[cid]
+        minfo = model.modules[cls.module]
+        for base in cls.node.bases:
+            name = _annotation_name(base)
+            if name is None:
+                continue
+            head, _, tail = name.partition(".")
+            resolved = None
+            if head in minfo.classes and not tail:
+                resolved = ("class", minfo.classes[head])
+            elif head in minfo.imports:
+                dotted = minfo.imports[head] + (f".{tail}" if tail else "")
+                resolved = model.resolve_dotted(dotted)
+            if resolved and resolved[0] == "class":
+                cls.bases.append(resolved[1])
+    # Attr types: ``self.x = ClassName(...)`` and annotated params
+    # assigned straight through (``self.loop = loop``).
+    for cid in sorted(model.classes):
+        cls = model.classes[cid]
+        minfo = model.modules[cls.module]
+        for method_fid in cls.methods.values():
+            finfo = model.functions[method_fid]
+            param_types: dict[str, str] = {}
+            args = finfo.node.args
+            for arg in args.posonlyargs + args.args + args.kwonlyargs:
+                name = _annotation_name(arg.annotation)
+                if name is None:
+                    continue
+                head, _, tail = name.partition(".")
+                resolved = None
+                if head in minfo.classes and not tail:
+                    resolved = ("class", minfo.classes[head])
+                elif head in minfo.imports:
+                    dotted = (minfo.imports[head]
+                              + (f".{tail}" if tail else ""))
+                    resolved = model.resolve_dotted(dotted)
+                if resolved and resolved[0] == "class":
+                    param_types[arg.arg] = resolved[1]
+            for node in ast.walk(finfo.node):
+                if not isinstance(node, ast.Assign):
+                    continue
+                for target in node.targets:
+                    if not (isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id == "self"):
+                        continue
+                    attr = target.attr
+                    inferred: str | None = None
+                    value = node.value
+                    if isinstance(value, ast.Call):
+                        func = value.func
+                        fname = None
+                        if isinstance(func, ast.Name):
+                            fname = func.id
+                        if fname and fname in minfo.classes:
+                            inferred = minfo.classes[fname]
+                        elif fname and fname in minfo.imports:
+                            resolved = model.resolve_dotted(
+                                minfo.imports[fname])
+                            if resolved and resolved[0] == "class":
+                                inferred = resolved[1]
+                    elif isinstance(value, ast.Name):
+                        inferred = param_types.get(value.id)
+                    if inferred is not None \
+                            and attr not in cls.attr_types:
+                        cls.attr_types[attr] = inferred
+
+
+def build_model(contexts: list[ModuleContext],
+                packages: tuple[str, ...]) -> ProjectModel:
+    """Build the whole-program model from parsed module contexts.
+
+    ``packages`` filters which dotted module roots participate (the
+    default configuration analyzes ``repro``); everything else —
+    tests, benchmarks, tools passed on the command line — is ignored.
+    """
+    model = ProjectModel()
+    in_scope = []
+    for ctx in sorted(contexts, key=lambda c: c.path):
+        module = module_name_for(ctx.path)
+        if module is None:
+            continue
+        if not any(module == pkg or module.startswith(pkg + ".")
+                   for pkg in packages):
+            continue
+        in_scope.append((module, ctx))
+    for module, ctx in in_scope:
+        _register_module(model, ctx, module)
+    _resolve_bases_and_attrs(model)
+    for module, _ctx in in_scope:
+        minfo = model.modules[module]
+        for fid in sorted(model.functions):
+            finfo = model.functions[fid]
+            if finfo.module != module:
+                continue
+            inherited = None
+            if finfo.class_fid is not None:
+                inherited = {"self": finfo.class_fid}
+            walker = _FunctionWalker(model, minfo, finfo, inherited)
+            for stmt in finfo.node.body:
+                walker.visit(stmt)
+    for fid in sorted(model.functions):
+        for site in model.functions[fid].sites:
+            if site.callee is not None:
+                model.callers.setdefault(site.callee, []).append(site)
+    return model

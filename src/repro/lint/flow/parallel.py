@@ -1,0 +1,66 @@
+"""FLOW003 — parallel safety of experiment work units.
+
+``--jobs 1`` vs ``--jobs N`` byte-identity rests on one structural
+property: a work unit builds its whole world from its params and never
+communicates through process-global state. A module-level dict that a
+unit mutates works fine serially (units run in order, state leaks
+forward) and silently diverges under a pool (each worker has its own
+copy, the merge sees none of it) — the exact class of bug no per-file
+rule can see, because the write site and the work-unit entry point live
+in different modules.
+
+This analysis finds every mutation of module-level state (``global``
+rebinding, subscript/attribute stores, mutator-method calls — including
+cross-module writes like ``state.ACTIVE = ...``) inside functions
+reachable from the experiment work-unit roots, and flags all of them
+except the explicit allowlist: ``repro.telemetry.state`` implements the
+guarded push/pop ``ACTIVE`` session pattern (LIFO-restored, observed
+behind ``ACTIVE is None`` guards, proven byte-identical on/off by the
+telemetry equivalence tests), which is the sanctioned way to hold
+process scope.
+"""
+
+from __future__ import annotations
+
+from ..core import Finding, Severity
+from .graph import ProjectModel
+
+CODE = "FLOW003"
+
+_KIND_VERB = {
+    "rebind": "rebinds",
+    "item": "stores into",
+    "attr": "sets an attribute on",
+    "mutate": "mutates",
+}
+
+
+def check_parallel_safety(model: ProjectModel,
+                          workunit_roots: tuple[str, ...],
+                          allowlist: tuple[str, ...]) -> list[Finding]:
+    """Run FLOW003 over every function reachable from a work unit."""
+    roots = model.match_functions(workunit_roots)
+    chains = model.reachable_from(roots)
+    findings: list[Finding] = []
+    for fid in sorted(chains):
+        finfo = model.functions[fid]
+        ctx = model.modules[finfo.module].ctx
+        for write in finfo.writes:
+            if write.target_module in allowlist:
+                continue
+            if finfo.module in allowlist:
+                continue
+            verb = _KIND_VERB.get(write.kind, "writes")
+            findings.append(Finding(
+                path=finfo.path, line=write.lineno, col=write.col,
+                code=CODE, severity=Severity.ERROR,
+                message=(f"work-unit-reachable code {verb} module-"
+                         f"level state `{write.target_module}."
+                         f"{write.target_name}` — worker processes do "
+                         f"not share it, so --jobs 1 and --jobs N "
+                         f"diverge; keep unit state on the objects the "
+                         f"unit builds (or allowlist a guarded "
+                         f"session pattern like telemetry.state)"),
+                source=ctx.line_text(write.lineno),
+                witness=chains[fid]))
+    return findings

@@ -1,0 +1,95 @@
+"""FLOW002 — transitive purity of the simulator hot paths.
+
+LOOP001/DET001 flag a blocking sleep or wall-clock read wherever it
+appears; they cannot tell whether it can actually *run* during a
+simulation. This analysis can: it computes the set of functions
+reachable from the event-loop tick / ``respond`` / probe entry points
+(call edges plus ref edges for scheduled callbacks) and flags every
+reachable call into the real world — wall clock, blocking sleep,
+ambient entropy, file/OS/socket I/O, console writes. Each finding
+carries the call-chain witness from the entry point down to the
+offending call, turning the import-level heuristics into a
+reachability proof: *this* impure primitive is on *this* hot path.
+
+The analysis is an over-approximation (ref edges assume a scheduled
+callback eventually fires) but never guesses receiver types, so a
+finding's witness chain is always a real chain of resolved calls.
+"""
+
+from __future__ import annotations
+
+from ..core import Finding, Severity
+from ..rules import _ENTROPY, _WALL_CLOCK
+from .graph import ProjectModel
+
+CODE = "FLOW002"
+
+#: Prefix-classified impure primitives beyond the exact sets.
+_PREFIX_CATEGORIES = (
+    ("secrets.", "ambient entropy"),
+    ("os.path.", None),             # pure path arithmetic: allowed
+    ("os.environ", "ambient environment"),
+    ("os.", "OS call"),
+    ("shutil.", "file I/O"),
+    ("subprocess.", "process I/O"),
+    ("socket.", "network I/O"),
+    ("http.", "network I/O"),
+    ("urllib.", "network I/O"),
+    ("sys.stdout", "console I/O"),
+    ("sys.stderr", "console I/O"),
+    ("pathlib.Path.", "file I/O"),
+    ("io.open", "file I/O"),
+    ("builtins.open", "file I/O"),
+    ("logging.", "log I/O"),
+)
+
+_EXACT_CATEGORIES = {
+    "time.sleep": "blocking sleep",
+    "asyncio.sleep": "blocking sleep",
+    "open": "file I/O",
+    "input": "console I/O",
+    "print": "console I/O",
+    "breakpoint": "debugger I/O",
+}
+
+
+def classify_impure(primitive: str) -> str | None:
+    """Category name when a primitive call is impure, else ``None``."""
+    if primitive in _WALL_CLOCK:
+        return "wall-clock read"
+    if primitive in _ENTROPY:
+        return "ambient entropy"
+    if primitive in _EXACT_CATEGORIES:
+        return _EXACT_CATEGORIES[primitive]
+    for prefix, category in _PREFIX_CATEGORIES:
+        if primitive.startswith(prefix):
+            return category
+    return None
+
+
+def check_hot_path_purity(model: ProjectModel,
+                          hot_roots: tuple[str, ...]) -> list[Finding]:
+    """Run FLOW002: no impure primitive reachable from a hot root."""
+    roots = model.match_functions(hot_roots)
+    chains = model.reachable_from(roots)
+    findings: list[Finding] = []
+    for fid in sorted(chains):
+        finfo = model.functions[fid]
+        ctx = model.modules[finfo.module].ctx
+        for site in finfo.sites:
+            if site.kind != "call" or site.primitive is None:
+                continue
+            category = classify_impure(site.primitive)
+            if category is None:
+                continue
+            findings.append(Finding(
+                path=finfo.path, line=site.lineno, col=site.col,
+                code=CODE, severity=Severity.ERROR,
+                message=(f"hot path reaches {category} "
+                         f"`{site.primitive}()` — the simulator tick/"
+                         f"respond/probe paths must stay side-effect-"
+                         f"free (schedule on the EventLoop, thread "
+                         f"seeded RNGs, report through telemetry)"),
+                source=ctx.line_text(site.lineno),
+                witness=chains[fid]))
+    return findings

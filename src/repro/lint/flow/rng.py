@@ -1,0 +1,311 @@
+"""FLOW001 — interprocedural RNG seed provenance.
+
+DET006 catches ``random.Random()`` with *no* argument; it cannot tell
+whether the seed that *is* passed actually derives from the deployment
+or experiment seed. This analysis can: it evaluates the taint of every
+seed expression at every RNG construction site, following local
+dataflow (assignments, arithmetic, tuple packing, derivation helpers)
+and — the part no per-file rule can do — **parameter taint across call
+edges**: a bare parameter is seed-derived only when every statically
+known call site passes a seed-derived argument, so a helper two hops
+from the entry point is judged by what its callers actually feed it.
+
+Seed-derived values (the allowed lattice top):
+
+* names/attributes spelled like a seed (``seed``, ``*_seed``,
+  ``params.seed``, ``self.seed``);
+* draws from an existing RNG (``self.rng.randrange(2**31)``) — the
+  parent RNG's own provenance is checked at *its* construction site;
+* any expression (arithmetic, calls, tuples, f-strings) with at least
+  one seed-derived operand.
+
+Everything else flags: a bare constant (deterministic, but silently
+independent of the deployment seed — the whole run ignores reseeding)
+or an opaque value (possibly OS entropy). Intentional fixed-seed sites
+carry a scoped inline suppression with a justification.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..core import Finding, Severity
+from .graph import FunctionInfo, ProjectModel
+
+CODE = "FLOW001"
+
+#: Constructors whose first argument is an RNG seed.
+RNG_CONSTRUCTORS = frozenset({
+    "random.Random",
+    "numpy.random.default_rng",
+    "numpy.random.RandomState",
+    "numpy.random.SeedSequence",
+})
+
+#: Keyword spellings of the seed argument per constructor family.
+_SEED_KEYWORDS = frozenset({"x", "seed", "entropy"})
+
+#: RNG methods whose return value is legitimate child-seed material.
+_DRAW_METHODS = frozenset({
+    "randrange", "randint", "getrandbits", "random", "randbytes",
+    "choice", "uniform",
+})
+
+#: Taint lattice values.
+SEED = "seed"
+CONST = "const"
+OPAQUE = "opaque"
+
+_MAX_DEPTH = 12
+
+
+def _is_seed_name(name: str) -> bool:
+    return name == "seed" or name.endswith("_seed")
+
+
+def _is_rng_name(name: str) -> bool:
+    return name == "rng" or name.endswith("_rng")
+
+
+def _combine(parts: list[str]) -> str:
+    """Join taints of sub-expressions: any seed wins, all-const stays
+    const, otherwise opaque."""
+    if any(p == SEED for p in parts):
+        return SEED
+    if parts and all(p == CONST for p in parts):
+        return CONST
+    return OPAQUE
+
+
+class _Tainter:
+    """Evaluates seed taint of expressions, interprocedurally."""
+
+    def __init__(self, model: ProjectModel) -> None:
+        self.model = model
+        #: (fid, param) -> (taint, witness-prefix) memo; cycle guard.
+        self._param_memo: dict[tuple[str, str], tuple[str, tuple[str, ...]]] = {}
+        self._param_stack: set[tuple[str, str]] = set()
+        #: fid -> {local name: last assigned expr}
+        self._env_cache: dict[str, dict[str, ast.expr]] = {}
+
+    def _env(self, finfo: FunctionInfo) -> dict[str, ast.expr]:
+        env = self._env_cache.get(finfo.fid)
+        if env is None:
+            env = {}
+            for node in ast.walk(finfo.node):
+                if isinstance(node, ast.Assign):
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            env.setdefault(target.id, node.value)
+                elif isinstance(node, ast.AnnAssign) \
+                        and node.value is not None \
+                        and isinstance(node.target, ast.Name):
+                    env.setdefault(node.target.id, node.value)
+            self._env_cache[finfo.fid] = env
+        return env
+
+    def taint(self, expr: ast.expr | None, finfo: FunctionInfo,
+              depth: int = 0) -> tuple[str, tuple[str, ...]]:
+        """(taint, witness) — witness is the caller chain that decided
+        a parameter's taint, ending nearest the construction site."""
+        if expr is None or depth > _MAX_DEPTH:
+            return OPAQUE, ()
+        if isinstance(expr, ast.Constant):
+            return CONST, ()
+        if isinstance(expr, ast.Name):
+            return self._taint_name(expr.id, finfo, depth)
+        if isinstance(expr, ast.Attribute):
+            if _is_seed_name(expr.attr):
+                return SEED, ()
+            return OPAQUE, ()
+        if isinstance(expr, ast.BinOp):
+            left, wl = self.taint(expr.left, finfo, depth + 1)
+            right, wr = self.taint(expr.right, finfo, depth + 1)
+            return _combine([left, right]), (wl or wr)
+        if isinstance(expr, ast.UnaryOp):
+            return self.taint(expr.operand, finfo, depth + 1)
+        if isinstance(expr, ast.Call):
+            return self._taint_call(expr, finfo, depth)
+        if isinstance(expr, (ast.Tuple, ast.List, ast.Set)):
+            parts, witness = [], ()
+            for elt in expr.elts:
+                taint, chain = self.taint(elt, finfo, depth + 1)
+                parts.append(taint)
+                witness = witness or chain
+            return _combine(parts), witness
+        if isinstance(expr, ast.IfExp):
+            body, wb = self.taint(expr.body, finfo, depth + 1)
+            orelse, wo = self.taint(expr.orelse, finfo, depth + 1)
+            return _combine([body, orelse]), (wb or wo)
+        if isinstance(expr, ast.BoolOp):
+            parts = [self.taint(v, finfo, depth + 1)[0]
+                     for v in expr.values]
+            return _combine(parts), ()
+        if isinstance(expr, ast.JoinedStr):
+            parts = []
+            for value in expr.values:
+                if isinstance(value, ast.FormattedValue):
+                    parts.append(self.taint(value.value, finfo,
+                                            depth + 1)[0])
+            return (SEED, ()) if SEED in parts else (OPAQUE, ())
+        if isinstance(expr, ast.Starred):
+            return self.taint(expr.value, finfo, depth + 1)
+        return OPAQUE, ()
+
+    def _taint_name(self, name: str, finfo: FunctionInfo,
+                    depth: int) -> tuple[str, tuple[str, ...]]:
+        if _is_seed_name(name):
+            return SEED, ()
+        env = self._env(finfo)
+        if name in env:
+            return self.taint(env[name], finfo, depth + 1)
+        if name in finfo.param_names() or name in finfo.kwonly_names():
+            return self._param_taint(finfo, name)
+        # Module-level constant?
+        minfo = self.model.modules.get(finfo.module)
+        if minfo is not None and name in minfo.globals:
+            return (OPAQUE if minfo.globals[name].mutable
+                    else CONST), ()
+        return OPAQUE, ()
+
+    def _taint_call(self, expr: ast.Call, finfo: FunctionInfo,
+                    depth: int) -> tuple[str, tuple[str, ...]]:
+        func = expr.func
+        # A draw from an existing RNG is seed material by definition.
+        if isinstance(func, ast.Attribute) and func.attr in _DRAW_METHODS:
+            receiver = func.value
+            if (isinstance(receiver, ast.Name)
+                    and _is_rng_name(receiver.id)) \
+                    or (isinstance(receiver, ast.Attribute)
+                        and _is_rng_name(receiver.attr)):
+                return SEED, ()
+        parts, witness = [], ()
+        for arg in list(expr.args) + [kw.value for kw in expr.keywords]:
+            taint, chain = self.taint(arg, finfo, depth + 1)
+            parts.append(taint)
+            witness = witness or chain
+        if SEED in parts:
+            return SEED, witness
+        return OPAQUE, witness
+
+    def _param_taint(self, finfo: FunctionInfo,
+                     param: str) -> tuple[str, tuple[str, ...]]:
+        """Join of the argument taints over all known call sites."""
+        key = (finfo.fid, param)
+        if key in self._param_memo:
+            return self._param_memo[key]
+        if key in self._param_stack:
+            return OPAQUE, ()  # recursion: refuse to assume
+        self._param_stack.add(key)
+        try:
+            sites = [s for s in self.model.callers.get(finfo.fid, ())
+                     if s.kind == "call" and s.node is not None]
+            if not sites:
+                result = (OPAQUE, ())
+                self._param_memo[key] = result
+                return result
+            worst, worst_witness = SEED, ()
+            for site in sites:
+                arg = self._argument_for(finfo, param, site.node)
+                if arg is _MISSING:
+                    default = finfo.default_for(param)
+                    if default is None:
+                        taint, chain = OPAQUE, ()
+                    else:
+                        taint, chain = self.taint(default, finfo, 1)
+                elif arg is _UNTRACKABLE:
+                    taint, chain = OPAQUE, ()
+                else:
+                    caller = self.model.functions[site.caller]
+                    taint, chain = self.taint(arg, caller, 1)
+                    chain = chain or (caller.fid,)
+                if taint != SEED:
+                    worst = taint
+                    worst_witness = chain
+                    break
+            result = (worst, worst_witness)
+            self._param_memo[key] = result
+            return result
+        finally:
+            self._param_stack.discard(key)
+
+    def _argument_for(self, finfo: FunctionInfo, param: str,
+                      call: ast.Call):
+        """The expression a call site passes for ``param``."""
+        for kw in call.keywords:
+            if kw.arg == param:
+                return kw.value
+            if kw.arg is None:
+                return _UNTRACKABLE  # **kwargs forwarding
+        positional = finfo.param_names()
+        if param in positional:
+            index = positional.index(param)
+            if any(isinstance(a, ast.Starred) for a in call.args):
+                return _UNTRACKABLE
+            if index < len(call.args):
+                return call.args[index]
+        return _MISSING
+
+
+_MISSING = object()
+_UNTRACKABLE = object()
+
+
+def seed_argument(call: ast.Call) -> ast.expr | None:
+    """The seed expression of an RNG constructor call, if supplied."""
+    if call.args:
+        first = call.args[0]
+        if isinstance(first, ast.Starred):
+            return first.value
+        return first
+    for kw in call.keywords:
+        if kw.arg in _SEED_KEYWORDS or kw.arg is None:
+            return kw.value
+    return None
+
+
+def check_rng_provenance(model: ProjectModel,
+                         exempt_modules: tuple[str, ...]) -> list[Finding]:
+    """Run FLOW001 over every RNG construction site in the model."""
+    tainter = _Tainter(model)
+    findings: list[Finding] = []
+    for fid in sorted(model.functions):
+        finfo = model.functions[fid]
+        if any(finfo.module == mod.rstrip(".")
+               or finfo.module.startswith(mod)
+               for mod in exempt_modules):
+            continue
+        for site in finfo.sites:
+            if site.kind != "call" or site.node is None:
+                continue
+            if site.primitive not in RNG_CONSTRUCTORS:
+                continue
+            seed_expr = seed_argument(site.node)
+            if seed_expr is None:
+                continue  # DET006's case: no argument at all
+            taint, chain = tainter.taint(seed_expr, finfo)
+            if taint == SEED:
+                continue
+            ctx = model.modules[finfo.module].ctx
+            witness = tuple(chain) + (finfo.fid,) \
+                if chain and chain[-1] != finfo.fid else (finfo.fid,)
+            try:
+                spelled = ast.unparse(seed_expr)
+            except Exception:  # pragma: no cover - unparse is total
+                spelled = "<expr>"
+            if taint == CONST:
+                message = (f"`{site.primitive}({spelled})` is seeded "
+                           f"with a fixed constant: deterministic, but "
+                           f"independent of the deployment seed — "
+                           f"reseeding the experiment will not reseed "
+                           f"this RNG. Derive the seed from params.seed")
+            else:
+                message = (f"`{site.primitive}({spelled})` seed is not "
+                           f"derived from the deployment seed (no "
+                           f"dataflow from a seed parameter, .seed "
+                           f"attribute, or parent-RNG draw reaches it)")
+            findings.append(Finding(
+                path=finfo.path, line=site.lineno, col=site.col,
+                code=CODE, severity=Severity.ERROR, message=message,
+                source=ctx.line_text(site.lineno), witness=witness))
+    return findings

@@ -14,7 +14,6 @@ with a mapping-driven :class:`TailoredDelegationProvider`.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 
 from ..dnscore.name import Name, name
@@ -118,7 +117,6 @@ class TailoredDelegationProvider:
         self.count = count
         self.lowlevel_zone = lowlevel_zone or TwoTierNames().lowlevel_zone
         self.delegation_ttl = delegation_ttl
-        self._fallback_rng = random.Random(20940)
 
     def delegation(self, cut: Name, client_key: str | None
                    ) -> tuple[RRset, list[RRset]] | None:

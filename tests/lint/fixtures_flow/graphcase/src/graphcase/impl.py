@@ -1,0 +1,26 @@
+"""Classes and helpers resolved through every lookup path."""
+
+
+def helper():
+    return 1
+
+
+class Base:
+    def ping(self):
+        return self.pong()
+
+    def pong(self):
+        return 0
+
+
+class Child(Base):
+    def run(self):
+        return self.ping()
+
+
+class Holder:
+    def __init__(self, child: Child):
+        self.child = child
+
+    def kick(self):
+        return self.child.run()

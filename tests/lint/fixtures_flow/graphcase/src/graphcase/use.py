@@ -1,0 +1,20 @@
+"""Call sites through aliases, re-exports, and nested defs."""
+
+import graphcase as gc
+from graphcase import helper as h
+
+from .impl import Child
+
+
+def caller():
+    h()                   # aliased re-export of impl.helper
+    gc.helper()           # module alias + __init__ re-export
+    child = Child()
+    return child.run()    # inferred instance type
+
+
+def outer(schedule):
+    def emit():
+        return h()
+
+    schedule(emit)        # nested def handed out as a callback

@@ -1,0 +1,1 @@
+"""FLOW002 fixture: hot-path purity."""

@@ -1,0 +1,23 @@
+"""A miniature respond path: one impure chain, one pure one."""
+
+from .stats import tally
+
+
+class Engine:
+    def respond(self, query, loop):
+        # Scheduled callback: reachability must flow through the ref
+        # edge even though the loop's type is unknown.
+        loop.call_later(0.1, self._emit)
+        return self._lookup(query)
+
+    def _lookup(self, query):
+        return tally(query)
+
+    def _emit(self):
+        print("late answer")
+
+    def probe(self):
+        return self._static_answer()
+
+    def _static_answer(self):
+        return 42

@@ -1,0 +1,8 @@
+"""Counter helper that (wrongly) reads the wall clock."""
+
+import time
+
+
+def tally(query):
+    stamp = time.time()
+    return (query, stamp)

@@ -1,0 +1,1 @@
+"""FLOW003 fixture: parallel safety of work units."""

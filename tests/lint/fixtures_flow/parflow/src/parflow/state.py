@@ -1,0 +1,8 @@
+"""Guarded session holder — the sanctioned pattern (allowlisted)."""
+
+ACTIVE = None
+
+
+def activate(session):
+    global ACTIVE
+    ACTIVE = session

@@ -1,0 +1,21 @@
+"""Work units: one leaking through a module global, one clean."""
+
+from . import state
+
+_RESULTS = {}
+
+
+def run_unit(params):
+    _RESULTS[params] = _compute(params)   # leaks across workers
+    state.activate(params)                # allowlisted session write
+    return _RESULTS[params]
+
+
+def run_clean(params):
+    local = {}
+    local[params] = _compute(params)      # unit-local: fine
+    return local[params]
+
+
+def _compute(params):
+    return params * 2

@@ -1,0 +1,1 @@
+"""FLOW001 fixture: seed provenance through call hops."""

@@ -1,0 +1,18 @@
+"""Entry points feeding the seed helpers."""
+
+import random
+
+from .seeds import fork_bad, fork_good
+
+
+def run(seed):
+    good = fork_good(seed)        # clean: SEED reaches make_good
+    bad = fork_bad(12345)         # tainted: CONST reaches make_bad
+    unseeded = random.Random()    # no argument: DET006's case, not FLOW001
+    direct = random.Random(42)    # tainted: direct constant
+    return good, bad, unseeded, direct
+
+
+def run_suppressed():
+    keep = random.Random(7)  # reprolint: disable=FLOW001
+    return keep

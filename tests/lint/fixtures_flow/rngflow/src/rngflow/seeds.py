@@ -1,0 +1,23 @@
+"""Helpers two call hops from the entry point.
+
+Parameter names deliberately do NOT look like seeds (``value``), so
+the analysis must judge each helper by what its callers pass it.
+"""
+
+import random
+
+
+def make_good(value):
+    return random.Random(value)
+
+
+def fork_good(value):
+    return make_good(value + 1)
+
+
+def make_bad(value):
+    return random.Random(value)
+
+
+def fork_bad(value):
+    return make_bad(value * 2)

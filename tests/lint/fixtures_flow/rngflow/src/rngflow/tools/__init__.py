@@ -1,0 +1,1 @@
+"""Offline tooling subtree (exercises the rng_exempt knob)."""

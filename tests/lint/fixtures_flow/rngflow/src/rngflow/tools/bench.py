@@ -1,0 +1,7 @@
+"""Bench CLI with a deliberate fixed seed."""
+
+import random
+
+
+def bench():
+    return random.Random(99)

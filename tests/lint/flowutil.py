@@ -1,0 +1,34 @@
+"""Shared loader for the flow-analysis fixture packages."""
+
+import ast
+from pathlib import Path
+
+from repro.lint.core import ModuleContext
+from repro.lint.flow.graph import build_model, module_name_for
+
+FIXTURES = Path(__file__).parent / "fixtures_flow"
+
+
+def load_contexts(fixture: str) -> list[ModuleContext]:
+    """Parse one fixture tree into ModuleContexts.
+
+    Paths are made relative to the fixture root, so each file gets the
+    ``src/<pkg>/...`` logical path that :func:`module_name_for`
+    expects — exactly what the engine produces for the real tree.
+    """
+    root = FIXTURES / fixture
+    contexts = []
+    for path in sorted(root.rglob("*.py")):
+        logical = path.relative_to(root).as_posix()
+        source = path.read_text(encoding="utf-8")
+        contexts.append(ModuleContext(
+            path=logical, tree=ast.parse(source, filename=logical),
+            source_lines=source.splitlines()))
+    return contexts
+
+
+def load_model(fixture: str, packages: tuple[str, ...]):
+    return build_model(load_contexts(fixture), packages)
+
+
+__all__ = ["FIXTURES", "load_contexts", "load_model", "module_name_for"]

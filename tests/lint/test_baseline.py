@@ -85,3 +85,48 @@ class TestFingerprint:
         finding = make_findings()[0]
         other = lint_source(VIOLATING, path="src/repro/other.py")[0]
         assert fingerprint(finding) != fingerprint(other)
+
+
+def make_flow_finding(line=5, witness=("pkg.app:run", "pkg.lib:fn")):
+    from repro.lint import Finding, Severity
+    return Finding(path="src/pkg/lib.py", line=line, col=12,
+                   code="FLOW001", severity=Severity.ERROR,
+                   message="seed is not derived from the deployment "
+                           "seed", source="rng = random.Random(x)",
+                   witness=witness)
+
+
+class TestWitnessFingerprint:
+    def test_witnessless_fingerprint_unchanged(self):
+        # Per-file findings keep their PR-2 fingerprints byte-for-byte
+        # (the witness segment only appears when non-empty), so an
+        # existing baseline file stays valid.
+        import hashlib
+        plain = make_findings()[0]
+        assert plain.witness == ()
+        key = f"{plain.path}::{plain.code}::{plain.source}"
+        assert fingerprint(plain) == \
+            hashlib.sha256(key.encode("utf-8")).hexdigest()[:16]
+
+    def test_line_drift_does_not_invalidate(self):
+        a = make_flow_finding(line=5)
+        b = make_flow_finding(line=50)
+        assert fingerprint(a) == fingerprint(b)
+
+    def test_rewired_call_chain_invalidates(self):
+        a = make_flow_finding()
+        b = make_flow_finding(
+            witness=("pkg.other:entry", "pkg.lib:fn"))
+        assert fingerprint(a) != fingerprint(b)
+
+    def test_round_trip_preserves_witness(self, tmp_path):
+        finding = make_flow_finding()
+        baseline = Baseline.from_findings([finding])
+        path = tmp_path / "baseline.json"
+        baseline.save(path)
+        raw = json.loads(path.read_text())
+        assert raw["findings"][0]["witness"] == list(finding.witness)
+        loaded = Baseline.load(path)
+        new, matched = loaded.filter([make_flow_finding(line=99)])
+        assert new == []
+        assert len(matched) == 1

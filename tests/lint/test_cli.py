@@ -51,8 +51,10 @@ class TestJsonOutput:
         assert payload["counts"]["error"] == 1
         finding = payload["findings"][0]
         assert set(finding) == {"path", "line", "col", "code",
-                                "severity", "message", "source"}
+                                "severity", "message", "source",
+                                "witness"}
         assert finding["code"] == "DET001"
+        assert finding["witness"] == []
         assert finding["path"].endswith("dirty.py")
         assert finding["severity"] in ("error", "warning")
 
@@ -92,5 +94,61 @@ class TestListRules:
         assert main(["--list-rules"]) == 0
         out = capsys.readouterr().out
         for code in ("DET001", "DET002", "DET003", "DET004", "DET005",
-                     "DET006", "LOOP001", "LOOP002", "API001"):
+                     "DET006", "LOOP001", "LOOP002", "API001",
+                     "FLOW001", "FLOW002", "FLOW003"):
             assert code in out
+
+
+FLOW_DIRTY = (
+    "import random\n"
+    "\n"
+    "\n"
+    "def helper(value):\n"
+    "    return random.Random(value)\n"
+    "\n"
+    "\n"
+    "def run(seed):\n"
+    "    helper(1234)\n"
+    "    return random.Random(seed)\n"
+)
+
+
+@pytest.fixture
+def flow_tree(tmp_path, monkeypatch):
+    pkg = tmp_path / "src" / "repro" / "demo"
+    pkg.mkdir(parents=True)
+    (pkg / "__init__.py").write_text("")
+    (pkg / "app.py").write_text(FLOW_DIRTY)
+    monkeypatch.chdir(tmp_path)
+    return tmp_path
+
+
+class TestFlowMode:
+    def test_off_by_default(self, flow_tree, capsys):
+        assert main(["src"]) == 0
+
+    def test_flow_flag_finds_tainted_helper(self, flow_tree, capsys):
+        assert main(["src", "--flow"]) == 1
+        out = capsys.readouterr().out
+        assert "FLOW001" in out
+        assert "via: repro.demo.app:run -> repro.demo.app:helper" in out
+
+    def test_selecting_flow_code_implies_flow(self, flow_tree, capsys):
+        assert main(["src", "--select", "FLOW001"]) == 1
+        # A selection naming only per-file codes runs no flow rule.
+        assert main(["src", "--select", "DET001"]) == 0
+
+    def test_json_carries_witness(self, flow_tree, capsys):
+        assert main(["src", "--flow", "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        flow = [f for f in payload["findings"]
+                if f["code"] == "FLOW001"]
+        assert flow
+        assert flow[0]["witness"] == [
+            "repro.demo.app:run", "repro.demo.app:helper"]
+
+    def test_flow_findings_baseline_like_any_other(self, flow_tree,
+                                                   capsys):
+        assert main(["src", "--flow", "--update-baseline"]) == 0
+        assert main(["src", "--flow"]) == 0
+        assert main(["src", "--flow", "--no-baseline"]) == 1

@@ -20,7 +20,7 @@ def run_full_lint():
     baseline = Baseline.load(BASELINE_PATH)
     return lint_paths(
         [REPO_ROOT / "src", REPO_ROOT / "tests", REPO_ROOT / "benchmarks"],
-        baseline=baseline, root=REPO_ROOT)
+        baseline=baseline, root=REPO_ROOT, flow=True)
 
 
 class TestCodebaseClean:
@@ -43,3 +43,31 @@ class TestCodebaseClean:
     def test_no_stale_baseline_entries(self):
         result = run_full_lint()
         assert result.stale_baseline == []
+
+    def test_flow_analyses_actually_ran(self):
+        # Guard against the flow layer silently matching zero entry
+        # points (a renamed hot root would make FLOW002/003 vacuous).
+        import ast
+
+        from repro.lint.core import ModuleContext
+        from repro.lint.engine import iter_python_files
+        from repro.lint.flow import DEFAULT_CONFIG
+        from repro.lint.flow.graph import build_model
+
+        contexts = []
+        for path in iter_python_files([REPO_ROOT / "src"]):
+            logical = path.relative_to(REPO_ROOT).as_posix()
+            source = path.read_text(encoding="utf-8")
+            contexts.append(ModuleContext(
+                path=logical, tree=ast.parse(source, filename=logical),
+                source_lines=source.splitlines()))
+        model = build_model(contexts, DEFAULT_CONFIG.packages)
+        hot = model.match_functions(DEFAULT_CONFIG.hot_roots)
+        units = model.match_functions(DEFAULT_CONFIG.workunit_roots)
+        assert len(hot) == len(DEFAULT_CONFIG.hot_roots), (
+            "a configured hot root no longer names a real function — "
+            "update FlowConfig.hot_roots")
+        assert len(units) >= len(DEFAULT_CONFIG.workunit_roots)
+        # The analyses cover a substantial slice of the tree.
+        assert len(model.reachable_from(hot)) > 50
+        assert len(model.reachable_from(units)) > 100

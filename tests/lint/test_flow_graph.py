@@ -1,0 +1,130 @@
+"""Call-graph construction: naming, resolution, reachability."""
+
+from .flowutil import load_model, module_name_for
+
+
+def model():
+    return load_model("graphcase", packages=("graphcase",))
+
+
+class TestModuleNaming:
+    def test_src_layout(self):
+        assert module_name_for("src/repro/netsim/clock.py") \
+            == "repro.netsim.clock"
+
+    def test_package_init(self):
+        assert module_name_for("src/repro/netsim/__init__.py") \
+            == "repro.netsim"
+
+    def test_non_python(self):
+        assert module_name_for("src/repro/data.json") is None
+
+    def test_invalid_identifier(self):
+        assert module_name_for("src/repro/not-a-module.py") is None
+
+    def test_no_src_prefix(self):
+        assert module_name_for("benchmarks/bench.py") == \
+            "benchmarks.bench"
+
+
+class TestResolution:
+    def test_reexport_through_init(self):
+        m = model()
+        assert m.resolve_dotted("graphcase.helper") == \
+            ("func", "graphcase.impl:helper")
+
+    def test_direct_module_symbol(self):
+        m = model()
+        assert m.resolve_dotted("graphcase.impl.helper") == \
+            ("func", "graphcase.impl:helper")
+
+    def test_class_and_method(self):
+        m = model()
+        assert m.resolve_dotted("graphcase.impl.Child") == \
+            ("class", "graphcase.impl:Child")
+        assert m.resolve_dotted("graphcase.impl.Child.ping") == \
+            ("func", "graphcase.impl:Base.ping")
+
+    def test_external_name_is_none(self):
+        assert model().resolve_dotted("os.path.join") is None
+
+    def test_method_lookup_walks_bases(self):
+        m = model()
+        assert m.lookup_method("graphcase.impl:Child", "ping") == \
+            "graphcase.impl:Base.ping"
+        assert m.lookup_method("graphcase.impl:Child", "run") == \
+            "graphcase.impl:Child.run"
+        assert m.lookup_method("graphcase.impl:Child", "nope") is None
+
+    def test_attr_type_from_annotated_param(self):
+        m = model()
+        assert m.attr_type("graphcase.impl:Holder", "child") == \
+            "graphcase.impl:Child"
+
+
+class TestCallEdges:
+    def test_aliased_imports_resolve(self):
+        m = model()
+        caller = m.functions["graphcase.use:caller"]
+        callees = {s.callee for s in caller.sites if s.kind == "call"}
+        # Both the `from graphcase import helper as h` alias and the
+        # `import graphcase as gc` attribute path land on impl.helper.
+        assert "graphcase.impl:helper" in callees
+
+    def test_method_call_on_inferred_instance(self):
+        m = model()
+        caller = m.functions["graphcase.use:caller"]
+        callees = {s.callee for s in caller.sites}
+        assert "graphcase.impl:Child.run" in callees
+
+    def test_self_dispatch_through_mro(self):
+        m = model()
+        run = m.functions["graphcase.impl:Child.run"]
+        assert {s.callee for s in run.sites} == \
+            {"graphcase.impl:Base.ping"}
+        ping = m.functions["graphcase.impl:Base.ping"]
+        assert {s.callee for s in ping.sites} == \
+            {"graphcase.impl:Base.pong"}
+
+    def test_attr_typed_receiver(self):
+        m = model()
+        kick = m.functions["graphcase.impl:Holder.kick"]
+        assert {s.callee for s in kick.sites} == \
+            {"graphcase.impl:Child.run"}
+
+    def test_nested_def_gets_ref_edge(self):
+        m = model()
+        assert "graphcase.use:outer.emit" in m.functions
+        outer = m.functions["graphcase.use:outer"]
+        refs = {s.callee for s in outer.sites if s.kind == "ref"}
+        assert "graphcase.use:outer.emit" in refs
+
+
+class TestReachability:
+    def test_witness_chains(self):
+        m = model()
+        chains = m.reachable_from(["graphcase.use:caller"])
+        assert chains["graphcase.use:caller"] == \
+            ("graphcase.use:caller",)
+        assert chains["graphcase.impl:Base.pong"] == (
+            "graphcase.use:caller", "graphcase.impl:Child.run",
+            "graphcase.impl:Base.ping", "graphcase.impl:Base.pong")
+
+    def test_ref_edges_extend_reachability(self):
+        m = model()
+        chains = m.reachable_from(["graphcase.use:outer"])
+        assert "graphcase.use:outer.emit" in chains
+        # The callback's own calls are reachable too.
+        assert "graphcase.impl:helper" in chains
+
+    def test_match_functions_fnmatch(self):
+        m = model()
+        assert m.match_functions(("graphcase.impl:Base.*",)) == [
+            "graphcase.impl:Base.ping", "graphcase.impl:Base.pong"]
+        assert m.match_functions(("nope.*:run",)) == []
+
+    def test_deterministic_across_builds(self):
+        a, b = model(), model()
+        ra = a.reachable_from(a.match_functions(("graphcase.use:*",)))
+        rb = b.reachable_from(b.match_functions(("graphcase.use:*",)))
+        assert ra == rb
