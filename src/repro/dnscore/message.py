@@ -237,3 +237,58 @@ def make_response(query: Message, rcode: RCode = RCode.NOERROR,
         response.edns = EDNSOptions(payload_size=query.edns.payload_size,
                                     client_subnet=query.edns.client_subnet)
     return response
+
+
+class ResponseTemplate:
+    """An immutable, reusable plan for answering one ``(qname, qtype)``.
+
+    Captures everything about a response that does not depend on the
+    individual query — the AA bit, the rcode, and frozen snapshots of the
+    three record sections — so a serving fast lane can answer repeated
+    questions by *stamping* the per-query fields (message id, opcode, RD
+    bit, question list, EDNS echo) onto fresh ``Message`` scaffolding
+    instead of re-walking the zone. :meth:`finalize` output is
+    dataclass-equal, and therefore wire-identical, to what
+    :func:`make_response` plus section assembly would have produced for
+    the same query. Records are shared, never copied: responses built by
+    the slow path alias zone records too, so aliasing semantics match.
+    """
+
+    __slots__ = ("aa", "rcode", "answers", "authority", "additional")
+
+    def __init__(self, aa: bool, rcode: RCode,
+                 answers: tuple[ResourceRecord, ...],
+                 authority: tuple[ResourceRecord, ...],
+                 additional: tuple[ResourceRecord, ...]) -> None:
+        self.aa = aa
+        self.rcode = rcode
+        self.answers = answers
+        self.authority = authority
+        self.additional = additional
+
+    @classmethod
+    def from_message(cls, response: Message) -> "ResponseTemplate":
+        """Snapshot an assembled response into a reusable template.
+
+        Must be taken before the response is handed to callers, which
+        may mutate the (mutable) section lists; the tuple snapshot is
+        unaffected by later list mutation.
+        """
+        flags = response.flags
+        return cls(flags.aa, flags.rcode, tuple(response.answers),
+                   tuple(response.authority), tuple(response.additional))
+
+    def finalize(self, query: Message) -> Message:
+        """Stamp this plan into a full response for ``query``."""
+        flags = Flags(qr=True, opcode=query.flags.opcode, aa=self.aa,
+                      rd=query.flags.rd, rcode=self.rcode)
+        response = Message(msg_id=query.msg_id, flags=flags,
+                           questions=list(query.questions),
+                           answers=list(self.answers),
+                           authority=list(self.authority),
+                           additional=list(self.additional))
+        edns = query.edns
+        if edns is not None:
+            response.edns = EDNSOptions(payload_size=edns.payload_size,
+                                        client_subnet=edns.client_subnet)
+        return response

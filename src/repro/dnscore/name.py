@@ -39,7 +39,7 @@ class Name:
     is the empty tuple of labels and renders as ``"."``.
     """
 
-    __slots__ = ("_labels", "_hash")
+    __slots__ = ("_labels", "_hash", "_wire_len", "_str")
 
     def __init__(self, labels: tuple[bytes, ...]) -> None:
         validated = tuple(_validate_label(lb) for lb in labels)
@@ -48,24 +48,53 @@ class Name:
             raise NameError_(f"name exceeds {MAX_NAME_LENGTH} octets")
         object.__setattr__(self, "_labels", validated)
         object.__setattr__(self, "_hash", hash(validated))
+        object.__setattr__(self, "_wire_len", wire_len)
+        object.__setattr__(self, "_str", None)
 
     def __setattr__(self, key: str, value: object) -> None:
         raise AttributeError("Name is immutable")
 
     @classmethod
-    def _from_validated(cls, labels: tuple[bytes, ...]) -> "Name":
+    def _from_validated(cls, labels: tuple[bytes, ...],
+                        wire_len: int | None = None) -> "Name":
         """Construct from labels already validated and case-folded.
 
         Internal fast path for derivations (parent walks, wildcard
         siblings, prepends) that would otherwise re-validate every
         label of an already-valid name; callers must guarantee the
         labels came out of an existing :class:`Name` and that the
-        total wire length stays legal.
+        total wire length stays legal. ``wire_len`` lets derivations
+        that can adjust the parent's stored length in O(1) skip the
+        O(labels) recomputation.
         """
         obj = object.__new__(cls)
         object.__setattr__(obj, "_labels", labels)
         object.__setattr__(obj, "_hash", hash(labels))
+        if wire_len is None:
+            wire_len = sum(len(lb) + 1 for lb in labels) + 1
+        object.__setattr__(obj, "_wire_len", wire_len)
+        object.__setattr__(obj, "_str", None)
         return obj
+
+    @classmethod
+    def intern(cls, labels: tuple[bytes, ...]) -> "Name":
+        """A shared instance for already-validated ``labels``.
+
+        Flyweight constructor: equal label tuples map to one shared
+        ``Name``, so downstream dict probes (zone trees, route caches,
+        resolver caches) hit the identity short-circuit instead of
+        calling ``__eq__``. Safe because Name is immutable and the memo
+        is a pure function of its key (FLOW003-safe like the parse
+        cache); bounded so unbounded distinct names cannot grow it
+        without limit.
+        """
+        cached = _INTERN.get(labels)
+        if cached is None:
+            cached = cls._from_validated(labels)
+            if len(_INTERN) >= _INTERN_MAX:
+                _INTERN.clear()  # reprolint: disable=FLOW003
+            _INTERN[labels] = cached  # reprolint: disable=FLOW003
+        return cached
 
     @classmethod
     def from_text(cls, text: str) -> "Name":
@@ -109,7 +138,17 @@ class Name:
             raise NameError_(f"empty label in {text!r}")
         if any(not lb for lb in labels):
             raise NameError_(f"empty label in {text!r}")
-        return cls(tuple(labels))
+        return cls(tuple(labels))._interned()
+
+    def _interned(self) -> "Name":
+        """Self, or the previously-interned equal instance if one exists."""
+        cached = _INTERN.get(self._labels)
+        if cached is not None:
+            return cached
+        if len(_INTERN) >= _INTERN_MAX:
+            _INTERN.clear()  # reprolint: disable=FLOW003
+        _INTERN[self._labels] = self  # reprolint: disable=FLOW003
+        return self
 
     @property
     def labels(self) -> tuple[bytes, ...]:
@@ -130,16 +169,22 @@ class Name:
 
     def wire_length(self) -> int:
         """Uncompressed wire length in octets, including the root byte."""
-        return sum(len(lb) + 1 for lb in self._labels) + 1
+        return self._wire_len
 
     def parent(self) -> "Name":
         """The name with the leftmost label removed.
 
         Raises :class:`NameError_` on the root name, which has no parent.
         """
-        if self.is_root:
+        labels = self._labels
+        if not labels:
             raise NameError_("the root name has no parent")
-        return Name._from_validated(self._labels[1:])
+        rest = labels[1:]
+        cached = _INTERN.get(rest)
+        if cached is not None:
+            return cached
+        return Name._from_validated(
+            rest, self._wire_len - len(labels[0]) - 1)._interned()
 
     def ancestors(self) -> Iterator["Name"]:
         """Yield ``self``, its parent, ..., down to the root name."""
@@ -166,29 +211,44 @@ class Name:
 
     def concatenate(self, suffix: "Name") -> "Name":
         """Join ``self`` (as a prefix) onto ``suffix``."""
-        if self.wire_length() + suffix.wire_length() - 1 > MAX_NAME_LENGTH:
+        wire_len = self._wire_len + suffix._wire_len - 1
+        if wire_len > MAX_NAME_LENGTH:
             raise NameError_(f"name exceeds {MAX_NAME_LENGTH} octets")
-        return Name._from_validated(self._labels + suffix._labels)
+        return Name._from_validated(self._labels + suffix._labels, wire_len)
 
     def prepend(self, label: str | bytes) -> "Name":
-        """Return a new name with one more label on the left."""
+        """Return a new name with one more label on the left.
+
+        Deliberately *not* interned: prepended labels are how attack
+        generators mint unbounded unique qnames, which would churn the
+        flyweight table.
+        """
         raw = label.encode("ascii") if isinstance(label, str) else label
         validated = _validate_label(raw)
-        if self.wire_length() + len(validated) + 1 > MAX_NAME_LENGTH:
+        wire_len = self._wire_len + len(validated) + 1
+        if wire_len > MAX_NAME_LENGTH:
             raise NameError_(f"name exceeds {MAX_NAME_LENGTH} octets")
-        return Name._from_validated((validated,) + self._labels)
+        return Name._from_validated((validated,) + self._labels, wire_len)
 
     def wildcard_sibling(self) -> "Name":
         """The ``*.parent`` name used for wildcard lookups (RFC 4592)."""
-        if self.is_root:
+        labels = self._labels
+        if not labels:
             raise NameError_("the root name has no wildcard sibling")
-        return Name._from_validated((b"*",) + self._labels[1:])
+        star = (b"*",) + labels[1:]
+        cached = _INTERN.get(star)
+        if cached is not None:
+            return cached
+        return Name._from_validated(
+            star, self._wire_len - len(labels[0]) + 1)._interned()
 
     def canonical_key(self) -> tuple[bytes, ...]:
         """Sort key for RFC 4034 canonical ordering (reversed label order)."""
         return tuple(reversed(self._labels))
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         if not isinstance(other, Name):
             return NotImplemented
         return self._labels == other._labels
@@ -202,29 +262,46 @@ class Name:
         return self._hash
 
     def __str__(self) -> str:
-        if self.is_root:
-            return "."
-        parts = []
-        for label in self._labels:
-            out = []
-            for b in label:
-                ch = chr(b)
-                if ch == ".":
-                    out.append("\\.")
-                elif ch == "\\":
-                    out.append("\\\\")
-                elif 0x21 <= b <= 0x7E:
-                    out.append(ch)
-                else:
-                    out.append(f"\\{b:03d}")
-            parts.append("".join(out))
-        return ".".join(parts) + "."
+        # Memoized: telemetry labels and log formatting stringify the
+        # same zone origins millions of times across a run.
+        cached = self._str
+        if cached is not None:
+            return cached
+        if not self._labels:
+            text = "."
+        else:
+            parts = []
+            for label in self._labels:
+                out = []
+                for b in label:
+                    ch = chr(b)
+                    if ch == ".":
+                        out.append("\\.")
+                    elif ch == "\\":
+                        out.append("\\\\")
+                    elif 0x21 <= b <= 0x7E:
+                        out.append(ch)
+                    else:
+                        out.append(f"\\{b:03d}")
+                parts.append("".join(out))
+            text = ".".join(parts) + "."
+        object.__setattr__(self, "_str", text)
+        return text
 
     def __repr__(self) -> str:
         return f"Name({str(self)!r})"
 
 
+#: Flyweight table: validated label tuple -> shared Name. Extends the
+#: parse cache one level down so *derived* names (parents, wildcard
+#: siblings, text spellings that differ only in case or trailing dot)
+#: also collapse to one instance, making hot dict probes identity hits.
+#: Bounded with clear-on-full, mirroring the parse cache.
+_INTERN: dict[tuple[bytes, ...], Name] = {}
+_INTERN_MAX = 8192
+
 ROOT = Name(())
+_INTERN[()] = ROOT
 
 #: Parse memo for :func:`name`. Experiments resolve the same handful of
 #: presentation-format strings millions of times; Name is immutable, so

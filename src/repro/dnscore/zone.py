@@ -59,6 +59,11 @@ class Zone:
     def __init__(self, origin: Name) -> None:
         self.origin = origin
         self._rrsets: dict[tuple[Name, RType], RRset] = {}
+        #: name -> rtypes present at that node. Maintained so authoring
+        #: checks (CNAME exclusivity, emptied-node detection) stay O(1)
+        #: per insert instead of scanning every rrset — zone builds are
+        #: O(records^2) without it.
+        self._types_by_name: dict[Name, set[RType]] = {}
         self._names: set[Name] = set()
         self._cuts: set[Name] = set()
         self.serial_history: list[int] = []
@@ -83,14 +88,19 @@ class Zone:
             raise ZoneError(f"{rrset.name} is outside zone {self.origin}")
         if rrset.rclass != RClass.IN:
             raise ZoneError("only class IN zones are supported")
-        node_types = {t for (n, t) in self._rrsets if n == rrset.name}
-        if rrset.rtype == RType.CNAME and node_types - {RType.CNAME}:
-            raise ZoneError(f"CNAME at {rrset.name} conflicts with other data")
-        if rrset.rtype != RType.CNAME and RType.CNAME in node_types:
-            raise ZoneError(f"{rrset.name} already holds a CNAME")
+        node_types = self._types_by_name.get(rrset.name)
+        if node_types:
+            if rrset.rtype == RType.CNAME and node_types - {RType.CNAME}:
+                raise ZoneError(
+                    f"CNAME at {rrset.name} conflicts with other data")
+            if rrset.rtype != RType.CNAME and RType.CNAME in node_types:
+                raise ZoneError(f"{rrset.name} already holds a CNAME")
         if rrset.rtype == RType.SOA and rrset.name != self.origin:
             raise ZoneError("SOA must live at the zone apex")
         self._rrsets[(rrset.name, rrset.rtype)] = rrset
+        if node_types is None:
+            node_types = self._types_by_name[rrset.name] = set()
+        node_types.add(rrset.rtype)
         self.version += 1
         self._answer_cache.clear()
         if rrset.rtype == RType.NS and rrset.name != self.origin:
@@ -122,8 +132,12 @@ class Zone:
             self._answer_cache.clear()
             if rtype == RType.NS:
                 self._cuts.discard(name)
-            if not any(n == name for (n, _) in self._rrsets):
-                self._reindex_names()
+            node_types = self._types_by_name.get(name)
+            if node_types is not None:
+                node_types.discard(rtype)
+                if not node_types:
+                    del self._types_by_name[name]
+                    self._reindex_names()
         return removed
 
     def _index_names(self, name: Name) -> None:

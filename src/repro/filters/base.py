@@ -64,17 +64,30 @@ class ScoringPipeline:
     def add(self, filter_: Filter) -> None:
         self.filters.append(filter_)
 
+    #: Shared zero-penalty result for clean queries; treated as
+    #: read-only by every consumer (the machine only reads ``total``).
+    _CLEAN = ScoreBreakdown(0.0, {})
+
     def score(self, ctx: QueryContext) -> ScoreBreakdown:
         """Total penalty and per-filter breakdown for one query."""
         self.scored += 1
-        contributions: dict[str, float] = {}
+        contributions: dict[str, float] | None = None
         total = 0.0
         for filter_ in self.filters:
             penalty = filter_.score(ctx)
             if penalty:
+                if contributions is None:
+                    contributions = {}
                 contributions[filter_.name] = penalty
-            total += penalty
+                total += penalty
         _t = _telemetry.ACTIVE
+        if contributions is None:
+            # Clean query: skip the per-query dict/breakdown allocation
+            # (the dominant cost under flood load, where nearly every
+            # query scores zero until a filter tree is built).
+            if _t is not None:
+                _t.filter_scored({}, 0.0)
+            return self._CLEAN
         if _t is not None:
             _t.filter_scored(contributions, total)
         return ScoreBreakdown(total, contributions)

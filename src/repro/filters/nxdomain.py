@@ -149,10 +149,15 @@ class NXDomainFilter:
     # -- scoring --------------------------------------------------------------
 
     def score(self, ctx: QueryContext) -> float:
+        trees = self._trees
+        if not trees:
+            # Armed but idle (no zone has crossed the flood threshold):
+            # nothing can score, so skip the per-query zone lookup.
+            return 0.0
         zone = self._zone_provider.find(ctx.qname)
         if zone is None:
             return 0.0
-        tree = self._trees.get(zone.origin)
+        tree = trees.get(zone.origin)
         if tree is None:
             return 0.0
         if tree.covers(ctx.qname):

@@ -17,8 +17,12 @@ from dataclasses import dataclass, field
 
 
 class Severity(str, enum.Enum):
-    """Finding severity; both fail the lint run by default."""
+    """Finding severity. ``WARNING`` and ``ERROR`` fail the lint run;
+    ``ADVICE`` findings are printed but never affect the exit code —
+    they exist for hygiene rules (PERF001) whose violations need a
+    human judgment call, not a build break."""
 
+    ADVICE = "advice"
     WARNING = "warning"
     ERROR = "error"
 

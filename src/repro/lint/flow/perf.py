@@ -1,0 +1,120 @@
+"""PERF001 — advisory: protocol-object construction on hot paths.
+
+The query-serving fast lane exists because building ``Message`` /
+``Name`` objects per packet is what made the slow path slow; the plan
+cache and the Name flyweight table amortize those constructions away.
+This analysis keeps them away: it reuses the FLOW002 hot-root
+reachability (event-loop tick, ``respond``, probe paths) and flags
+every reachable construction of a configured costly protocol object,
+with the call-chain witness showing how the hot root reaches it.
+
+Findings are :data:`~repro.lint.core.Severity.ADVICE`: construction on
+a hot path is sometimes the right call (the slow path itself assembles
+responses — that is its job), so a finding asks for a judgment —
+route through the cache, hoist the construction, or acknowledge the
+site with an inline ``# reprolint: disable=PERF001`` — rather than
+breaking the build.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..core import Finding, Severity
+from .graph import ModuleInfo, ProjectModel
+
+CODE = "PERF001"
+
+
+class _CallCollector(ast.NodeVisitor):
+    """Call nodes in one function body, stopping at nested defs.
+
+    Nested functions are separate :class:`FunctionInfo` entries and are
+    always ref-edge-reachable from their parent, so descending here
+    would double-report their sites.
+    """
+
+    def __init__(self) -> None:
+        self.calls: list[ast.Call] = []
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        pass
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    def visit_Call(self, node: ast.Call) -> None:
+        self.calls.append(node)
+        self.generic_visit(node)
+
+
+def _resolve_target(model: ProjectModel, minfo: ModuleInfo,
+                    func: ast.expr) -> str | None:
+    """Project id (``module:qualname``) a call expression constructs,
+    resolved through the module's own symbol table, its import table,
+    and package re-exports; ``None`` when dynamic or external."""
+    if isinstance(func, ast.Name):
+        local = minfo.classes.get(func.id) or minfo.functions.get(func.id)
+        if local is not None:
+            return local
+        dotted = minfo.imports.get(func.id)
+        if dotted is None:
+            return None
+    elif isinstance(func, ast.Attribute):
+        parts: list[str] = []
+        node: ast.expr = func
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        base = minfo.imports.get(node.id)
+        if base is None:
+            return None
+        dotted = base + "." + ".".join(reversed(parts))
+    else:
+        return None
+    resolved = model.resolve_dotted(dotted)
+    if resolved is None or resolved[0] not in ("class", "func"):
+        return None
+    return resolved[1]
+
+
+def _module_exempt(module: str, exempt: tuple[str, ...]) -> bool:
+    return any(module == prefix.rstrip(".") or module.startswith(prefix)
+               for prefix in exempt)
+
+
+def check_hot_construction(model: ProjectModel,
+                           hot_roots: tuple[str, ...],
+                           costly: tuple[str, ...],
+                           exempt: tuple[str, ...]) -> list[Finding]:
+    """Run PERF001: no costly construction reachable from a hot root."""
+    targets = set(costly)
+    roots = model.match_functions(hot_roots)
+    chains = model.reachable_from(roots)
+    findings: list[Finding] = []
+    for fid in sorted(chains):
+        finfo = model.functions[fid]
+        if _module_exempt(finfo.module, exempt):
+            continue
+        minfo = model.modules[finfo.module]
+        collector = _CallCollector()
+        for stmt in finfo.node.body:
+            collector.visit(stmt)
+        for call in collector.calls:
+            ident = _resolve_target(model, minfo, call.func)
+            if ident is None or ident not in targets:
+                continue
+            label = ident.split(":", 1)[1]
+            findings.append(Finding(
+                path=finfo.path, line=call.lineno,
+                col=call.col_offset + 1, code=CODE,
+                severity=Severity.ADVICE,
+                message=(f"hot path constructs `{label}` per call — "
+                         f"serve from the response plan cache / Name "
+                         f"flyweights, hoist the construction, or "
+                         f"acknowledge the site with an inline "
+                         f"disable comment"),
+                source=minfo.ctx.line_text(call.lineno),
+                witness=chains[fid]))
+    return findings

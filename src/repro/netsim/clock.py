@@ -36,6 +36,55 @@ _STATUS = 4
 #: *and* they outnumber the live ones (amortized O(1) per cancellation).
 _COMPACT_MIN = 64
 
+#: Sentinel marking a coalesced-batch member slot as consumed (run or
+#: cancelled); never a valid member argument.
+_TOMB = object()
+
+
+class BatchHandle:
+    """Handle for one member of a coalesced heap entry.
+
+    Supports the same ``cancel()`` contract as :class:`EventHandle`.
+    ``cancelled`` reads True once the slot is tombstoned, which happens
+    both on cancellation and after the member has run — callers that
+    need to distinguish must track execution themselves (the network
+    layer only cancels members that are still in flight).
+    """
+
+    __slots__ = ("_entry", "_members", "_live", "_index", "_loop")
+
+    def __init__(self, entry: list, members: list, live: list,
+                 index: int, loop: "EventLoop") -> None:
+        self._entry = entry
+        self._members = members
+        self._live = live
+        self._index = index
+        self._loop = loop
+
+    def cancel(self) -> None:
+        """Prevent this member from firing; safe to call repeatedly."""
+        members = self._members
+        index = self._index
+        if members[index] is _TOMB:
+            return
+        members[index] = _TOMB
+        self._live[0] -= 1
+        loop = self._loop
+        loop._alive -= 1
+        entry = self._entry
+        if entry[_STATUS] == _PENDING and self._live[0] == 0:
+            entry[_STATUS] = _CANCELLED
+            entry[_ACTION] = entry[_ARGS] = None
+            loop._entry_dead()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._members[self._index] is _TOMB
+
+    @property
+    def time(self) -> float:
+        return self._entry[_TIME]
+
 
 class EventHandle:
     """Handle returned by :meth:`EventLoop.call_at`; supports cancellation."""
@@ -77,6 +126,10 @@ class EventLoop:
         self._processed = 0
         self._alive = 0
         self._dead = 0
+        #: The most recently created coalesced entry (see
+        #: :meth:`call_at_coalesced`); stale references are harmless
+        #: because eligibility re-checks seq/status/time on every call.
+        self._last_batch: list | None = None
         # A new loop is a new simulated world: rebind any active
         # telemetry session's clock and start a fresh epoch. This is the
         # only clock instrumentation — per-event hooks would tax the
@@ -120,17 +173,99 @@ class EventLoop:
         """Schedule ``action(*args)`` after ``delay`` seconds."""
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        return self.call_at(self._now + delay, action, *args)
+        # Inlined call_at body (minus the when >= now check, which a
+        # non-negative delay guarantees): this is the hottest scheduling
+        # entry point, called once or more per simulated packet.
+        self._seq = seq = self._seq + 1
+        entry = [self._now + delay, seq, action, args, _PENDING]
+        heapq.heappush(self._queue, entry)
+        self._alive += 1
+        return EventHandle(entry, self)
 
     def _cancelled(self, entry: list) -> None:
         """Bookkeeping for a cancellation; compacts the heap lazily."""
         self._alive -= 1
+        self._entry_dead()
+
+    def _entry_dead(self) -> None:
+        """One heap entry became garbage; compact lazily."""
         self._dead += 1
         if self._dead >= _COMPACT_MIN and self._dead > self._alive:
             self._queue = [e for e in self._queue
                            if e[_STATUS] == _PENDING]
             heapq.heapify(self._queue)
             self._dead = 0
+
+    def call_at_coalesced(self, when: float, action: Callable[..., None],
+                          arg) -> BatchHandle:
+        """Schedule ``action(arg)``, coalescing consecutive same-time
+        schedules of the same action into one heap entry.
+
+        Coalescing is only ordering-safe for *consecutively scheduled*
+        events: same-time events fire in scheduling order, so a batch
+        may absorb a new member only while its entry is still the most
+        recently scheduled one (``seq`` unchanged) and still pending.
+        Under that rule one heap entry carries an entire same-tick burst
+        (e.g. a flood's deliveries on one link) and the firing order is
+        identical to individual ``call_at`` calls. ``pending`` and
+        ``events_processed`` count logical members, not heap entries.
+        """
+        last = self._last_batch
+        if (last is not None and last[_SEQ] == self._seq
+                and last[_STATUS] == _PENDING and last[_TIME] == when):
+            args = last[_ARGS]
+            if args[0] == action:
+                members = args[1]
+                live = args[2]
+                members.append(arg)
+                live[0] += 1
+                self._alive += 1
+                return BatchHandle(last, members, live,
+                                   len(members) - 1, self)
+        if when < self._now:
+            raise ValueError(f"cannot schedule at {when} < now {self._now}")
+        members = [arg]
+        live = [1]
+        self._seq = seq = self._seq + 1
+        entry = [when, seq, self._run_batch, (action, members, live),
+                 _PENDING]
+        heapq.heappush(self._queue, entry)
+        self._alive += 1
+        self._last_batch = entry
+        return BatchHandle(entry, members, live, 0, self)
+
+    def call_later_coalesced(self, delay: float,
+                             action: Callable[..., None],
+                             arg) -> BatchHandle:
+        """Coalescing variant of :meth:`call_later`."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        return self.call_at_coalesced(self._now + delay, action, arg)
+
+    def _run_batch(self, action: Callable[..., None], members: list,
+                   live: list) -> None:
+        """Fire a coalesced entry: run live members in append order.
+
+        The pop loop already accounted one processed event for the
+        entry; every additional live member is accounted here so the
+        counters match unbatched scheduling exactly. Each slot is
+        tombstoned *before* its action runs: cancelling an
+        already-started member is a no-op, while cancelling a
+        later member mid-batch still prevents it from running.
+        """
+        first = True
+        for i in range(len(members)):
+            arg = members[i]
+            if arg is _TOMB:
+                continue
+            members[i] = _TOMB
+            live[0] -= 1
+            if first:
+                first = False
+            else:
+                self._alive -= 1
+                self._processed += 1
+            action(arg)
 
     def run_until(self, deadline: float) -> None:
         """Process events with time <= deadline, then advance to deadline."""

@@ -32,7 +32,7 @@ from typing import Callable, Protocol
 
 from ..telemetry import state as _telemetry
 from .bgp import LOCAL, BGPSpeaker
-from .clock import EventHandle, EventLoop
+from .clock import BatchHandle, EventHandle, EventLoop
 from .packet import Datagram
 from .topology import NodeKind, Topology, link_key
 
@@ -114,7 +114,7 @@ class _InFlight:
     dgram: Datagram
     route: _CachedRoute
     start: float
-    handle: EventHandle
+    handle: EventHandle | BatchHandle
 
 
 class Network:
@@ -123,10 +123,15 @@ class Network:
     #: Class-wide default for the anycast route cache; the equivalence
     #: test suite flips this to prove fast and slow paths agree.
     route_cache_default = True
+    #: Class-wide default for coalescing same-tick delivery events into
+    #: one heap entry (see ``EventLoop.call_at_coalesced``); flipped by
+    #: the equivalence tests and the benchmark the same way.
+    delivery_coalesce_default = True
 
     def __init__(self, loop: EventLoop, topology: Topology,
                  rng: random.Random, *,
-                 route_cache: bool | None = None) -> None:
+                 route_cache: bool | None = None,
+                 delivery_coalesce: bool | None = None) -> None:
         self.loop = loop
         self.topology = topology
         self.rng = rng
@@ -152,6 +157,9 @@ class Network:
         # -- route cache state ------------------------------------------
         self.route_cache_enabled = (self.route_cache_default
                                     if route_cache is None else route_cache)
+        self.delivery_coalesce = (self.delivery_coalesce_default
+                                  if delivery_coalesce is None
+                                  else delivery_coalesce)
         #: Bumped on every FIB/link-state change; counts cache flushes.
         self.route_epoch = 0
         #: (ingress router, prefix) -> _CachedRoute, or None when the
@@ -517,7 +525,13 @@ class Network:
         for delay in route.delays:
             t = t + delay
         self._inflight_seq = flight_id = self._inflight_seq + 1
-        handle = self.loop.call_at(t, self._fast_delivery_due, flight_id)
+        # Same-tick floods on one cached route land on the same delivery
+        # timestamp; coalescing folds them into one heap entry.
+        if self.delivery_coalesce:
+            handle = self.loop.call_at_coalesced(t, self._fast_delivery_due,
+                                                 flight_id)
+        else:
+            handle = self.loop.call_at(t, self._fast_delivery_due, flight_id)
         self._inflight[flight_id] = _InFlight(dgram, route,
                                               self.loop.now, handle)
 
@@ -546,9 +560,12 @@ class Network:
         self.stats.hops_total += len(dgram.hops) + len(hops)
         self._trace_delivery(dgram, self.loop.now,
                              len(dgram.hops) + len(hops))
-        route.handler(replace(
-            dgram, ip_ttl=dgram.ip_ttl - len(hops) - 1,
-            hops=dgram.hops + hops + (route.dest_router,)))
+        # Positional construction: dataclasses.replace costs a kwargs
+        # dict + field introspection per packet on this per-delivery path.
+        route.handler(Datagram(
+            dgram.src, dgram.dst, dgram.payload, dgram.src_port,
+            dgram.dst_port, dgram.ip_ttl - len(hops) - 1,
+            dgram.size_bytes, dgram.hops + hops + (route.dest_router,)))
 
     def _deliver_unicast(self, dgram: Datagram) -> None:
         latency = self.unicast_latency(dgram.src, dgram.dst)
@@ -565,7 +582,11 @@ class Network:
         self.stats.delivered += 1
         self._trace_delivery(dgram, self.loop.now + latency,
                              len(dgram.hops))
-        self.loop.call_later(latency, endpoint.handle_datagram, dgram)
+        if self.delivery_coalesce:
+            self.loop.call_later_coalesced(latency, endpoint.handle_datagram,
+                                           dgram)
+        else:
+            self.loop.call_later(latency, endpoint.handle_datagram, dgram)
 
     # -- unicast shortest paths ----------------------------------------------
 

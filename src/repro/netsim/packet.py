@@ -9,7 +9,7 @@ payload — usually DNS message bytes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 
 DEFAULT_IP_TTL = 64
 
@@ -28,9 +28,15 @@ class Datagram:
     hops: tuple[str, ...] = field(default_factory=tuple)
 
     def decremented(self, via: str) -> "Datagram":
-        """A copy with TTL decremented and the traversed router recorded."""
-        return replace(self, ip_ttl=self.ip_ttl - 1,
-                       hops=self.hops + (via,))
+        """A copy with TTL decremented and the traversed router recorded.
+
+        Built positionally rather than via ``dataclasses.replace`` —
+        this runs once per router hop, and ``replace`` pays for a
+        kwargs dict plus field introspection on every call.
+        """
+        return Datagram(self.src, self.dst, self.payload, self.src_port,
+                        self.dst_port, self.ip_ttl - 1, self.size_bytes,
+                        self.hops + (via,))
 
     def reply_template(self) -> "Datagram":
         """Swap src/dst to address a response back to the sender."""

@@ -528,6 +528,9 @@ class AkamaiDNSDeployment:
         self.mapping.add_gtm_property(prop)
         for deployment in self.deployments:
             deployment.machine.engine.dynamic_domains.append(gtm_name)
+            # Plans assembled before this name became dynamic would keep
+            # serving static zone data for it.
+            deployment.machine.engine.flush_plans()
         self._initial_snapshot = self.mapping.publish()
         return prop
 

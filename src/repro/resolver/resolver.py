@@ -306,6 +306,9 @@ class RecursiveResolver:
                 client_subnet=(ClientSubnetOption.for_client(
                     self.send_ecs_for)
                     if self.send_ecs_for is not None else None))
+        # An upstream query has a fresh msg_id and per-resolution
+        # target; nothing to reuse.
+        # reprolint: disable-next=PERF001
         query = make_query(msg_id, resolution.target, resolution.qtype,
                            edns=edns)
         port = (self.fixed_source_port if self.fixed_source_port is not None

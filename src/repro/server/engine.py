@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from typing import Callable, Protocol
 
-from ..dnscore.message import Message, make_response
+from ..dnscore.message import Message, ResponseTemplate, make_response
 from ..dnscore.name import Name
 from ..dnscore.records import RRset
 from ..dnscore.rrtypes import Opcode, RClass, RCode, RType
@@ -49,18 +49,25 @@ class ZoneStore:
 
     def __init__(self) -> None:
         self._zones: dict[Name, Zone] = {}
+        #: Bumped whenever the zone *set* changes (add/remove/replace).
+        #: Memos validated as "zone.version unchanged AND store
+        #: generation unchanged" never need a per-hit ``find`` call:
+        #: an unchanged generation means the qname still maps to the
+        #: same Zone object.
+        self.generation = 0
         self._find_cache: dict[Name, Zone | None] = {}
         #: Same zones keyed by origin label tuple, so the hot
         #: longest-match walk in :meth:`find` slices label tuples
         #: instead of constructing a Name per ancestor.
         self._by_labels: dict[tuple[bytes, ...], Zone] = {}
-        self._origins_sorted: list[Name] | None = None
+        self._origins_sorted: tuple[Name, ...] | None = None
 
     def add(self, zone: Zone) -> None:
         zone.validate()
         self._zones[zone.origin] = zone
         self._by_labels[zone.origin.labels] = zone
         self._origins_sorted = None
+        self.generation += 1
         self._find_cache.clear()
 
     def remove(self, origin: Name) -> bool:
@@ -69,6 +76,7 @@ class ZoneStore:
             return False
         del self._by_labels[origin.labels]
         self._origins_sorted = None
+        self.generation += 1
         self._find_cache.clear()
         return True
 
@@ -95,10 +103,19 @@ class ZoneStore:
         return zone
 
     def origins(self) -> list[Name]:
-        if self._origins_sorted is None:
-            self._origins_sorted = sorted(self._zones,
-                                          key=Name.canonical_key)
-        return list(self._origins_sorted)
+        return list(self.origins_view())
+
+    def origins_view(self) -> tuple[Name, ...]:
+        """Sorted origins as a shared immutable tuple (no per-call copy).
+
+        The monitoring agent walks every origin each probe cycle; this
+        view lets it iterate without allocating a fresh list per cycle.
+        """
+        view = self._origins_sorted
+        if view is None:
+            view = self._origins_sorted = tuple(
+                sorted(self._zones, key=Name.canonical_key))
+        return view
 
     def zones(self) -> list[Zone]:
         return [self._zones[o] for o in self.origins()]
@@ -110,17 +127,85 @@ class ZoneStore:
         return origin in self._zones
 
 
+class _NegativePlan:
+    """Exact NXDOMAIN predicate plus denial template for one zone version.
+
+    Unlike the NXDOMAIN *filter*'s heuristic tree, this predicate must
+    agree with :meth:`Zone.lookup` on every input, so it mirrors the
+    lookup order exactly: existing name (including empty non-terminals)
+    -> covering cut anywhere on the ancestor chain (glue below a cut
+    exists in the name set but still gets a referral) -> wildcard at the
+    closest encloser. A hit answers from a precomputed SOA/authority
+    skeleton instead of walking the zone, which is what keeps
+    random-subdomain floods (every qname unique, so per-qname plans
+    never hit) cheap to serve.
+    """
+
+    __slots__ = ("zone", "version", "template", "_names", "_cuts",
+                 "_wildcard_parents", "_origin_len")
+
+    def __init__(self, zone: Zone, template: ResponseTemplate) -> None:
+        self.zone = zone
+        self.version = zone.version
+        self.template = template
+        names = zone.names()
+        self._names: set[tuple[bytes, ...]] = {n.labels for n in names}
+        self._wildcard_parents: set[tuple[bytes, ...]] = {
+            n.labels[1:] for n in names if n.is_wildcard
+        }
+        self._cuts: set[tuple[bytes, ...]] = {
+            rrset.name.labels for rrset in zone.iter_rrsets()
+            if rrset.rtype == RType.NS and rrset.name != zone.origin
+        }
+        self._origin_len = len(zone.origin.labels)
+
+    def is_nxdomain(self, labels: tuple[bytes, ...]) -> bool:
+        """Whether ``Zone.lookup`` would return NXDOMAIN for ``labels``.
+
+        ``labels`` must belong to a name at or below the zone origin
+        (guaranteed when the ZoneStore resolved the qname to this zone).
+        """
+        names = self._names
+        if labels in names:
+            return False
+        n_strip = len(labels) - self._origin_len
+        cuts = self._cuts
+        if cuts:
+            for i in range(1, n_strip + 1):
+                if labels[i:] in cuts:
+                    return False
+        for i in range(1, n_strip + 1):
+            ancestor = labels[i:]
+            if ancestor in names:
+                # First existing ancestor = the closest encloser; the
+                # name is synthesizable iff *.<encloser> exists.
+                return ancestor not in self._wildcard_parents
+        return True
+
+
 class AuthoritativeEngine:
     """Pure query-to-response logic, independent of transport and timing."""
 
     #: Bound on the probe-response memo (one entry per probed qname).
     _PROBE_CACHE_MAX = 1024
+    #: Bound on the network response plan cache.
+    _PLAN_CACHE_MAX = 4096
+    #: NXDOMAINs (per zone version) before the negative plan is built;
+    #: amortizes the O(zone size) predicate build against flood traffic
+    #: without paying it for one-off typos.
+    _NEG_BUILD_AFTER = 8
+
+    #: Class-level default for the response plan cache, so the
+    #: equivalence tests can flip the whole fast lane off process-wide
+    #: (mirrors ``Network.route_cache_default``).
+    response_plan_cache_default = True
 
     def __init__(self, store: ZoneStore,
                  mapping: MappingProvider | None = None,
                  dynamic_domains: list[Name] | None = None,
                  dynamic_delegations: dict[Name, DelegationProvider]
-                 | None = None) -> None:
+                 | None = None,
+                 plan_cache: bool | None = None) -> None:
         self.store = store
         self.mapping = mapping
         self.dynamic_domains = list(dynamic_domains or [])
@@ -134,13 +219,48 @@ class AuthoritativeEngine:
         #: object across cycles is safe where it would not be for
         #: responses that travel the network.
         self._probe_responses: dict[tuple[Name, RType],
-                                    tuple[Message, Zone, int]] = {}
+                                    tuple[Message, Zone, int, int]] = {}
+        #: The network-response fast lane: (qname, qtype) -> immutable
+        #: plan, validated per hit against the answering zone's version
+        #: counter and the store generation (which together guarantee
+        #: the qname still resolves to the same, unchanged zone object
+        #: without a per-hit find). Entries are stamped into fresh Messages
+        #: by ``ResponseTemplate.finalize``, so cached answers are
+        #: byte-identical to slow-path assembly. Client-dependent
+        #: answers (mapping names, tailored delegations) are never
+        #: planned; NXDOMAIN floods are served by ``_neg_plans`` instead
+        #: of per-qname entries so unique attack names cannot churn this
+        #: cache. The caches assume ``mapping`` / ``dynamic_domains`` /
+        #: ``dynamic_delegations`` are fixed after init — callers that
+        #: reconfigure them must call :meth:`flush_plans`.
+        self.plan_cache_enabled = (self.response_plan_cache_default
+                                   if plan_cache is None else plan_cache)
+        self._plan_cache: dict[tuple[Name, RType],
+                               tuple[ResponseTemplate, Zone, int, int]] = {}
+        self._neg_plans: dict[Name, _NegativePlan] = {}
+        self._neg_seen: dict[Name, list] = {}
         #: Observers called with (query, response) after assembly; the
         #: NXDOMAIN filter taps this to count negative answers per zone.
         self.response_observers: list[Callable[[Message, Message], None]] = []
 
     def is_dynamic(self, qname: Name) -> bool:
-        return any(qname.is_subdomain_of(d) for d in self.dynamic_domains)
+        domains = self.dynamic_domains
+        if not domains:
+            return False
+        return any(qname.is_subdomain_of(d) for d in domains)
+
+    def flush_plans(self) -> None:
+        """Drop every cached response plan and probe memo.
+
+        Zone *content* changes invalidate plans automatically through
+        the version counter and zone identity checks; this exists for
+        engine-level reconfiguration (mapping provider, dynamic domains,
+        delegation providers) that the validators cannot see.
+        """
+        self._plan_cache.clear()
+        self._neg_plans.clear()
+        self._neg_seen.clear()
+        self._probe_responses.clear()
 
     def respond(self, query: Message,
                 client_key: str | None = None) -> Message:
@@ -149,15 +269,60 @@ class AuthoritativeEngine:
         ``client_key`` identifies the client for mapping purposes — the
         ECS subnet when present, else the resolver source address.
         """
+        # Fast lane: answer from a validated plan without touching the
+        # zone. Gated on the exact preconditions the slow path's early
+        # branches establish (QUERY opcode, one IN-class question);
+        # client_key is irrelevant here because client-dependent names
+        # are never planned.
+        if self.plan_cache_enabled:
+            questions = query.questions
+            if len(questions) == 1 and query.flags.opcode is Opcode.QUERY:
+                question = questions[0]
+                if question.qclass is RClass.IN:
+                    key = (question.qname, question.qtype)
+                    hit = self._plan_cache.get(key)
+                    if hit is not None:
+                        template, zone, version, generation = hit
+                        # An unchanged store generation means find(qname)
+                        # still returns this same zone object, so the
+                        # per-hit longest-match walk can be skipped.
+                        if (zone.version == version
+                                and self.store.generation == generation):
+                            return self._finish(query,
+                                                template.finalize(query))
+                        del self._plan_cache[key]
+                    elif self._neg_plans:
+                        zone = self.store.find(question.qname)
+                        if zone is not None:
+                            neg = self._neg_plans.get(zone.origin)
+                            if (neg is not None and neg.zone is zone
+                                    and neg.version == zone.version
+                                    and (self.mapping is None
+                                         or question.qtype not in (RType.A,
+                                                                   RType.AAAA)
+                                         or not self.is_dynamic(
+                                             question.qname))
+                                    and neg.is_nxdomain(
+                                        question.qname.labels)):
+                                return self._finish(
+                                    query, neg.template.finalize(query))
+        return self._respond_full(query, client_key)
+
+    def _respond_full(self, query: Message,
+                      client_key: str | None = None) -> Message:
+        """The slow path: full zone walk, populating the plan caches."""
         if query.flags.opcode != Opcode.QUERY:
+            # reprolint: disable-next=PERF001 - error paths are cold
             return self._finish(query, make_response(
                 query, RCode.NOTIMP, aa=False))
         try:
             question = query.question
         except Exception:
+            # reprolint: disable-next=PERF001 - error paths are cold
             return self._finish(query, make_response(
                 query, RCode.FORMERR, aa=False))
         if question.qclass != RClass.IN:
+            # reprolint: disable-next=PERF001 - error paths are cold
             return self._finish(query, make_response(
                 query, RCode.REFUSED, aa=False))
         if query.edns is not None and query.edns.client_subnet is not None:
@@ -165,10 +330,15 @@ class AuthoritativeEngine:
 
         zone = self.store.find(question.qname)
         if zone is None:
+            # reprolint: disable-next=PERF001 - error paths are cold
             return self._finish(query, make_response(
                 query, RCode.REFUSED, aa=False))
 
+        # The slow path's job is assembly; its product populates the
+        # plan cache below.
+        # reprolint: disable-next=PERF001
         response = make_response(query, RCode.NOERROR, aa=True)
+        cacheable = self.plan_cache_enabled
 
         # Mapping hook: tailored answers for GTM/CDN names. (qtype is
         # checked before the is_dynamic subdomain walk — the predicates
@@ -176,6 +346,7 @@ class AuthoritativeEngine:
         if (self.mapping is not None
                 and question.qtype in (RType.A, RType.AAAA)
                 and self.is_dynamic(question.qname)):
+            cacheable = False
             mapped = self.mapping.answer(question.qname, question.qtype,
                                          client_key)
             if mapped is not None:
@@ -195,6 +366,7 @@ class AuthoritativeEngine:
             delegation, glue_sets = result.delegation, result.glue
             provider = self.dynamic_delegations.get(delegation.name)
             if provider is not None:
+                cacheable = False
                 tailored = provider.delegation(delegation.name, client_key)
                 if tailored is not None:
                     delegation, glue_sets = tailored
@@ -220,7 +392,36 @@ class AuthoritativeEngine:
             # CNAME led out of this zone: the chase becomes the
             # resolver's job; answer with the chain collected so far.
             pass
+        if cacheable:
+            if result.status == LookupStatus.NXDOMAIN and not chain:
+                # Unique attack qnames would churn the per-qname cache;
+                # feed the per-zone negative plan instead.
+                self._note_negative(zone)
+            else:
+                cache = self._plan_cache
+                if len(cache) >= self._PLAN_CACHE_MAX:
+                    cache.clear()
+                cache[(question.qname, question.qtype)] = (
+                    ResponseTemplate.from_message(response),
+                    zone, zone.version, self.store.generation)
         return self._finish(query, response)
+
+    def _note_negative(self, zone: Zone) -> None:
+        """Count an NXDOMAIN against ``zone``; build its negative plan
+        once the flood threshold for the current zone version passes."""
+        origin = zone.origin
+        entry = self._neg_seen.get(origin)
+        if entry is None or entry[0] != zone.version:
+            self._neg_seen[origin] = [zone.version, 1]
+            return
+        entry[1] += 1
+        if entry[1] != self._NEG_BUILD_AFTER:
+            return
+        soa = zone.soa
+        template = ResponseTemplate(
+            True, RCode.NXDOMAIN, (),
+            tuple(soa.records) if soa is not None else (), ())
+        self._neg_plans[origin] = _NegativePlan(zone, template)
 
     def respond_probe(self, query: Message) -> Message:
         """`respond`, memoized for the monitoring agent's probe loop.
@@ -240,9 +441,9 @@ class AuthoritativeEngine:
         key = (question.qname, question.qtype)
         cached = self._probe_responses.get(key)
         if cached is not None:
-            response, zone, version = cached
+            response, zone, version, generation = cached
             if (zone.version == version
-                    and self.store.find(question.qname) is zone):
+                    and self.store.generation == generation):
                 response.msg_id = query.msg_id
                 return self._finish(query, response)
             del self._probe_responses[key]
@@ -260,13 +461,16 @@ class AuthoritativeEngine:
             if zone is not None:
                 if len(self._probe_responses) >= self._PROBE_CACHE_MAX:
                     self._probe_responses.clear()
-                self._probe_responses[key] = (response, zone, zone.version)
+                self._probe_responses[key] = (
+                    response, zone, zone.version, self.store.generation)
         return response
 
     def _finish(self, query: Message, response: Message) -> Message:
         self.queries_answered += 1
-        if response.flags.rcode == RCode.NXDOMAIN:
+        if response.flags.rcode is RCode.NXDOMAIN:
             self.nxdomain_count += 1
-        for observer in self.response_observers:
-            observer(query, response)
+        observers = self.response_observers
+        if observers:
+            for observer in observers:
+                observer(query, response)
         return response

@@ -420,6 +420,7 @@ class NameserverMachine:
         if self.fault == "wrong_answer":
             # The probe response may be the engine's shared memoized
             # object — degrade a fresh copy instead of mutating it.
+            # reprolint: disable-next=PERF001 - fault injection is cold
             degraded = make_response(message, RCode.SERVFAIL)
             degraded.flags.aa = response.flags.aa
             return degraded
@@ -462,7 +463,7 @@ class NameserverMachine:
                 _t.query_dropped(self.machine_id, "firewall")
             return
 
-        if not self._io_admit():
+        if not self._io_admit(now):
             metrics.dropped_io += 1
             self._count_shed()
             if _t is not None:
@@ -492,17 +493,20 @@ class NameserverMachine:
             envelope.trace = span
         self._kick()
 
-    def _io_admit(self) -> bool:
+    def _io_admit(self, now: float) -> bool:
         """Token bucket modelling the network stack's read capacity."""
         config = self.config
-        elapsed = self.loop.now - self._io_last
-        self._io_last = self.loop.now
-        cap = config.io_capacity_qps * config.io_burst_seconds
-        self._io_tokens = min(cap, self._io_tokens
-                              + elapsed * config.io_capacity_qps)
-        if self._io_tokens >= 1.0:
-            self._io_tokens -= 1.0
+        rate = config.io_capacity_qps
+        elapsed = now - self._io_last
+        self._io_last = now
+        cap = rate * config.io_burst_seconds
+        tokens = self._io_tokens + elapsed * rate
+        if tokens > cap:
+            tokens = cap
+        if tokens >= 1.0:
+            self._io_tokens = tokens - 1.0
             return True
+        self._io_tokens = tokens
         return False
 
     # -- service ----------------------------------------------------------------
@@ -534,9 +538,12 @@ class NameserverMachine:
         if self.fault == "wrong_answer":
             response.answers.clear()
             response.flags.rcode = RCode.SERVFAIL
-        if self._nxdomain_filter is not None:
-            self._nxdomain_filter.observe_response(envelope.message, response,
-                                                   self.loop.now)
+        # The filter only learns from negative answers; hoisting the
+        # rcode check keeps armed-but-idle sessions (filter installed,
+        # no flood) from paying a call per response.
+        nxd = self._nxdomain_filter
+        if nxd is not None and response.flags.rcode == RCode.NXDOMAIN:
+            nxd.observe_response(envelope.message, response, self.loop.now)
         metrics = self.metrics
         metrics.answered += 1
         if envelope.is_attack:

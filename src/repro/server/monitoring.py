@@ -107,40 +107,60 @@ class MonitoringAgent:
 
     # -- periodic test suite -------------------------------------------------------
 
+    #: Shared all-clear report: the overwhelmingly common outcome, so
+    #: the per-cycle list + dataclass allocation is skipped. Read-only
+    #: by contract (consumers only inspect it).
+    _HEALTHY = HealthReport(True, [])
+
     def run_suite(self) -> HealthReport:
         """Run the full test suite once and report."""
         machine = self.machine
-        reasons: list[str] = []
+        reasons: list[str] | None = None
         if machine.state == MachineState.CRASHED:
-            reasons.append("nameserver process down")
-            return HealthReport(False, reasons)
+            return HealthReport(False, ["nameserver process down"])
         if machine.is_stale(self.loop.now):
-            reasons.append("critical inputs stale")
-        origins = machine.engine.store.origins()
+            reasons = ["critical inputs stale"]
+        # origins_view() shares one sorted tuple across cycles — the
+        # suite runs every few simulated seconds on every machine, so a
+        # fresh list copy per cycle is measurable.
+        origins = machine.engine.store.origins_view()
         if len(origins) > self.max_probe_zones:
             # Rotate through the zone list so every zone is probed over
             # successive cycles without making single cycles expensive.
             start = self._probe_offset % len(origins)
             self._probe_offset += self.max_probe_zones
             origins = (origins * 2)[start:start + self.max_probe_zones]
+        msg_id = self._msg_id
+        probe_cache = self._probe_cache
+        health_probe = machine.health_probe
         for origin in origins:
-            self._msg_id = (self._msg_id + 1) & 0xFFFF
-            probe = self._probe_cache.get(origin)
+            msg_id = (msg_id + 1) & 0xFFFF
+            probe = probe_cache.get(origin)
             if probe is None:
-                probe = make_query(self._msg_id, origin, RType.SOA)
-                self._probe_cache[origin] = probe
+                probe = make_query(msg_id, origin, RType.SOA)
+                probe_cache[origin] = probe
             else:
-                probe.msg_id = self._msg_id
-            response = machine.health_probe(probe)
+                probe.msg_id = msg_id
+            response = health_probe(probe)
             if response is None:
+                if reasons is None:
+                    reasons = []
                 reasons.append(f"no response for {origin}")
                 break
             if response.flags.rcode != RCode.NOERROR or not response.answers:
+                if reasons is None:
+                    reasons = []
                 reasons.append(f"bad answer for {origin}")
-        for index, test in enumerate(self.regression_tests):
-            if not test(machine):
-                reasons.append(f"regression test {index} failed")
-        return HealthReport(not reasons, reasons)
+        self._msg_id = msg_id
+        if self.regression_tests:
+            for index, test in enumerate(self.regression_tests):
+                if not test(machine):
+                    if reasons is None:
+                        reasons = []
+                    reasons.append(f"regression test {index} failed")
+        if reasons is None:
+            return self._HEALTHY
+        return HealthReport(False, reasons)
 
     def run_check(self) -> None:
         """One periodic agent cycle."""

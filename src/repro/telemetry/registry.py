@@ -159,6 +159,13 @@ class MetricFamily:
     _CTORS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
 
     def labels(self, *labelvalues: str):
+        # Fast path: callers almost always pass str values, so the raw
+        # tuple equals the normalized key and one dict probe resolves
+        # the instrument. Stored keys always have the right arity, so a
+        # hit implies the arity check would have passed.
+        instrument = self.series.get(labelvalues)
+        if instrument is not None:
+            return instrument
         if len(labelvalues) != len(self.labelnames):
             raise ValueError(
                 f"{self.name}: expected labels {self.labelnames}, "

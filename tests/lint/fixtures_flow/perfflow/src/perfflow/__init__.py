@@ -1,0 +1,1 @@
+"""PERF001 fixture: costly wire-object construction on hot paths."""

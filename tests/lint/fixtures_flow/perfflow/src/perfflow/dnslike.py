@@ -1,0 +1,12 @@
+"""Wire-object stand-ins playing the Message/make_query roles."""
+
+
+class Message:
+    def __init__(self, msg_id):
+        self.msg_id = msg_id
+
+
+def make_query(msg_id):
+    # Constructs the costly object itself: flagged unless the module
+    # is listed in perf_exempt (the real config exempts repro.dnscore).
+    return Message(msg_id)

@@ -1,0 +1,18 @@
+"""Hot-path fixture: constructions PERF001 must and must not flag."""
+
+from .dnslike import Message, make_query
+
+
+class Engine:
+    def respond(self, query):
+        header = Message(query)
+        return self._build(header)
+
+    def _build(self, header):
+        probe = make_query(header.msg_id)
+        ack = Message(0)  # reprolint: disable=PERF001
+        return probe, ack
+
+    def admin(self):
+        # Cold path: not reachable from respond, must stay silent.
+        return Message(99)
