@@ -4,7 +4,8 @@ PY ?= python
 LINT_PYTHONPATH = src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: install test bench bench-check bench-pytest chaos rollout-demo \
-        defend-demo report report-fast examples lint lint-flow clean
+        defend-demo dnssec-demo report report-fast examples lint \
+        lint-flow clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -57,6 +58,12 @@ rollout-demo:
 defend-demo:
 	$(PY) examples/defense_ladder.py
 
+# DNSSEC walkthrough (rollovers on the release train) plus the opt-in
+# rollover-containment scorecard campaigns.
+dnssec-demo:
+	$(PY) examples/dnssec_rollover.py
+	$(PY) -m repro.experiments.resilience_scorecard --fast --dnssec
+
 report:
 	$(PY) -m repro.experiments.runner
 
@@ -72,6 +79,7 @@ examples:
 	$(PY) examples/chaos_campaign.py
 	$(PY) examples/safe_rollout.py
 	$(PY) examples/defense_ladder.py
+	$(PY) examples/dnssec_rollover.py
 
 clean:
 	rm -rf .pytest_cache .benchmarks src/*.egg-info

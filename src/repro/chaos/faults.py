@@ -31,6 +31,17 @@ kind                      seam it drives
                           3) aimed at an anycast prefix; ``target`` is
                           the prefix, ``note`` the victim zone origin,
                           ``severity`` the rate in packets/sec
+``SIGNATURE_EXPIRY``      a *validly* signed copy of the zone published
+                          through the rollout seam whose RRSIGs lapse
+                          ``severity`` seconds later — it clears the
+                          validator (signatures are fresh at publish
+                          time) and goes bogus mid-soak, so the canary
+                          health gate is the only thing that can catch
+                          it and roll it back
+``KEY_MISMATCH``          a copy signed by keys the apex DNSKEY RRset
+                          does not publish, submitted through the same
+                          seam; the validator's ``rrsig-key-mismatch``
+                          rule must reject it outright
 ========================  =====================================================
 """
 
@@ -56,6 +67,8 @@ class FaultKind(enum.Enum):
     ZONE_CORRUPTION = "zone_corruption"
     BAD_ZONE_PUBLISH = "bad_zone_publish"
     ATTACK_FLOOD = "attack_flood"
+    SIGNATURE_EXPIRY = "signature_expiry"
+    KEY_MISMATCH = "key_mismatch"
 
 
 @dataclass(frozen=True, slots=True)

@@ -25,8 +25,10 @@ from typing import Protocol
 
 from ..dnscore.name import name
 from ..dnscore.records import make_rrset
-from ..dnscore.rrtypes import RType
+from ..dnscore.rrtypes import DNSSEC_TYPES, RType
 from ..dnscore.zone import Zone
+from ..dnssec.keys import KeyRing
+from ..dnssec.sign import SigningPolicy, ZoneSigner
 from ..netsim.clock import PeriodicTask
 from ..platform.deployment import AkamaiDNSDeployment, MachineDeployment
 from ..server.machine import MachineState
@@ -209,7 +211,9 @@ class ControlInjector:
     kinds = frozenset({FaultKind.PUBSUB_PARTITION,
                        FaultKind.METADATA_FREEZE,
                        FaultKind.ZONE_CORRUPTION,
-                       FaultKind.BAD_ZONE_PUBLISH})
+                       FaultKind.BAD_ZONE_PUBLISH,
+                       FaultKind.SIGNATURE_EXPIRY,
+                       FaultKind.KEY_MISMATCH})
 
     def __init__(self, deployment: AkamaiDNSDeployment) -> None:
         self.deployment = deployment
@@ -261,6 +265,21 @@ class ControlInjector:
             good = self._good_zone(spec.target)
             mode = spec.note or "renamed"
             deployment.publish_zone_update(bad_zone_copy(good, mode))
+        elif spec.kind == FaultKind.SIGNATURE_EXPIRY:
+            # One-shot like BAD_ZONE_PUBLISH: the botched signing run is
+            # the event, containment is the subsystem under test.
+            if healthy:
+                return
+            validity = spec.severity if spec.severity > 1.0 else 30.0
+            deployment.publish_zone_update(expiring_signed_copy(
+                self._good_zone(spec.target), deployment.params.seed,
+                deployment.loop.now, validity))
+        elif spec.kind == FaultKind.KEY_MISMATCH:
+            if healthy:
+                return
+            deployment.publish_zone_update(mismatched_key_copy(
+                self._good_zone(spec.target), deployment.params.seed,
+                deployment.loop.now))
         else:
             raise ValueError(f"{spec.kind} is not a control fault")
 
@@ -395,6 +414,54 @@ def bad_zone_copy(zone: Zone, mode: str) -> Zone:
                 rrset.ttl, rrset.rdatas()))
         return bad
     raise ValueError(f"unknown corruption mode {mode!r}")
+
+
+def _resignable_copy(zone: Zone) -> Zone:
+    """Serial-bumped copy of ``zone`` with any DNSSEC records stripped."""
+    fresh = Zone(zone.origin)
+    fresh.add_rrset(_soa_with_serial_delta(zone, +1))
+    for rrset in zone.iter_rrsets():
+        if rrset.rtype is RType.SOA or rrset.rtype in DNSSEC_TYPES:
+            continue
+        fresh.add_rrset(rrset)
+    return fresh
+
+
+def expiring_signed_copy(zone: Zone, seed: int, now: float,
+                         validity: float) -> Zone:
+    """A correctly signed copy whose signatures lapse ``validity``
+    seconds after ``now``.
+
+    Every check a publish-time validator can run passes — the keys
+    match, the chain closes, the signatures verify — which is exactly
+    what makes a too-short validity window the insidious rollover
+    botch: only a health gate watching the zone *while time advances*
+    (the canary soak) sees it go bogus.
+    """
+    fresh = _resignable_copy(zone)
+    keys = KeyRing(seed, zone.origin)
+    policy = SigningPolicy(sig_validity=float(validity),
+                           inception_skew=0.0, resign_margin=0.0)
+    ZoneSigner(keys, policy).sign(fresh, now)
+    return fresh
+
+
+def mismatched_key_copy(zone: Zone, seed: int, now: float) -> Zone:
+    """A copy signed by keys its apex DNSKEY RRset does not publish.
+
+    The signer runs normally, then the DNSKEY RRset is swapped for a
+    different key ring's — the classic switch-signer-before-publish
+    rollover mistake. Statically detectable, so the validator's
+    ``rrsig-key-mismatch`` rule must reject it before any canary
+    serves a byte of it.
+    """
+    fresh = _resignable_copy(zone)
+    keys = KeyRing(seed, zone.origin)
+    policy = SigningPolicy()
+    ZoneSigner(keys, policy).sign(fresh, now)
+    rogue = KeyRing(seed + 1, zone.origin)
+    fresh.add_rrset(rogue.dnskey_rrset(policy.dnskey_ttl))
+    return fresh
 
 
 def default_injectors(deployment: AkamaiDNSDeployment

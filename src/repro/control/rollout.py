@@ -49,7 +49,8 @@ from dataclasses import dataclass, field
 from ..dnscore.message import make_query
 from ..dnscore.name import Name
 from ..dnscore.rrtypes import RCode, RType
-from ..dnscore.validate import ValidationReport, ZoneUpdate, validate_update
+from ..dnscore.validate import (ValidationLimits, ValidationReport,
+                                ZoneUpdate, validate_update)
 from ..dnscore.zone import Zone
 from ..netsim.clock import EventLoop
 from ..server.machine import NameserverMachine
@@ -239,7 +240,10 @@ class RolloutCoordinator:
         """
         origin = zone.origin
         previous = self.last_known_good.get(origin)
-        report = validate_update(zone, previous)
+        # The coordinator has a clock, so the validator can also judge
+        # signature lifetimes (signed zones reject if already expired).
+        report = validate_update(
+            zone, previous, limits=ValidationLimits(now=self.loop.now))
         release = Release(release_id=len(self.releases) + 1, origin=origin,
                           zone=zone, validation=report,
                           phase=RolloutPhase.VALIDATING,

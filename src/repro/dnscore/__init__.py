@@ -31,9 +31,13 @@ from .rdata import (
     AAAA,
     CAA,
     CNAME,
+    DNSKEY,
+    DS,
     MX,
     NS,
+    NSEC,
     PTR,
+    RRSIG,
     SOA,
     SRV,
     TXT,
@@ -42,7 +46,7 @@ from .rdata import (
     Rdata,
 )
 from .records import Question, ResourceRecord, RRset, make_rrset
-from .rrtypes import Opcode, RClass, RCode, RType
+from .rrtypes import DNSSEC_TYPES, Opcode, RClass, RCode, RType
 from .validate import (
     ADVISORY,
     FATAL,
@@ -67,9 +71,12 @@ from .zonefile import parse_ttl, parse_zone_text, serialize_zone
 
 __all__ = [
     "A", "AAAA", "CAA", "CNAME", "ClientSubnetOption", "CompressionError",
-    "DNSError", "EDNSOptions", "Flags", "GenericRdata", "LookupResult",
-    "LookupStatus", "MX", "Message", "NS", "Name", "NameError_", "Opcode",
-    "PTR", "Question", "RClass", "RCode", "ROOT", "RRset", "RType", "Rdata",
+    "DNSError", "DNSKEY", "DNSSEC_TYPES", "DS", "EDNSOptions", "Flags",
+    "GenericRdata", "LookupResult",
+    "LookupStatus", "MX", "Message", "NS", "NSEC", "Name", "NameError_",
+    "Opcode",
+    "PTR", "Question", "RClass", "RCode", "ROOT", "RRSIG", "RRset", "RType",
+    "Rdata",
     "ResourceRecord", "SOA", "SRV", "TXT", "TransferError",
     "TruncatedMessageError", "WireFormatError", "WireReader", "WireWriter",
     "Zone", "ZoneError", "ZoneFileError", "axfr_response_stream",

@@ -235,6 +235,7 @@ def make_response(query: Message, rcode: RCode = RCode.NOERROR,
                        questions=list(query.questions))
     if query.edns is not None:
         response.edns = EDNSOptions(payload_size=query.edns.payload_size,
+                                    dnssec_ok=query.edns.dnssec_ok,
                                     client_subnet=query.edns.client_subnet)
     return response
 
@@ -290,5 +291,6 @@ class ResponseTemplate:
         edns = query.edns
         if edns is not None:
             response.edns = EDNSOptions(payload_size=edns.payload_size,
+                                        dnssec_ok=edns.dnssec_ok,
                                         client_subnet=edns.client_subnet)
         return response

@@ -337,6 +337,239 @@ class CAA(Rdata):
                    fields[2].strip('"').encode("ascii"))
 
 
+def _type_to_text(value: int) -> str:
+    try:
+        return RType(value).name
+    except ValueError:
+        return f"TYPE{value}"
+
+
+def _type_from_text(field: str) -> int:
+    if field.upper().startswith("TYPE") and field[4:].isdigit():
+        return int(field[4:])
+    return int(RType.from_text(field))
+
+
+def _write_type_bitmaps(writer: WireWriter, types: tuple[int, ...]) -> None:
+    """Emit the RFC 4034 section 4.1.2 window-block encoding."""
+    windows: dict[int, bytearray] = {}
+    for value in types:
+        window, low = value >> 8, value & 0xFF
+        bitmap = windows.setdefault(window, bytearray(32))
+        bitmap[low >> 3] |= 0x80 >> (low & 7)
+    for window in sorted(windows):
+        bitmap = windows[window]
+        length = 32
+        while length > 0 and bitmap[length - 1] == 0:
+            length -= 1
+        writer.write_u8(window)
+        writer.write_u8(length)
+        writer.write_bytes(bytes(bitmap[:length]))
+
+
+def _read_type_bitmaps(reader: WireReader, end: int) -> tuple[int, ...]:
+    types: list[int] = []
+    while reader.position < end:
+        window = reader.read_u8()
+        length = reader.read_u8()
+        if not 0 < length <= 32:
+            raise WireFormatError(f"NSEC bitmap length {length} out of range")
+        bitmap = reader.read_bytes(length)
+        for i, octet in enumerate(bitmap):
+            for bit in range(8):
+                if octet & (0x80 >> bit):
+                    types.append((window << 8) | (i << 3) | bit)
+    if reader.position != end:
+        raise WireFormatError("NSEC type bitmaps overran rdlength")
+    return tuple(types)
+
+
+@_register
+@dataclass(frozen=True, slots=True)
+class DNSKEY(Rdata):
+    """Zone public key (RFC 4034 section 2).
+
+    The simulation uses algorithm 253 (PRIVATEDNS): ``public_key`` is
+    the digest commitment of a seed-derived secret, not real key
+    material, so signing stays deterministic with no crypto library.
+    """
+
+    flags: int            # 256 = ZSK, 257 = KSK (SEP bit set)
+    protocol: int         # always 3 per RFC 4034
+    algorithm: int
+    public_key: bytes
+    rtype: ClassVar[RType] = RType.DNSKEY
+
+    def write(self, writer: WireWriter) -> None:
+        writer.write_u16(self.flags)
+        writer.write_u8(self.protocol)
+        writer.write_u8(self.algorithm)
+        writer.write_bytes(self.public_key)
+
+    @classmethod
+    def read(cls, reader: WireReader, rdlength: int) -> "DNSKEY":
+        if rdlength < 4:
+            raise WireFormatError(f"DNSKEY rdata too short: {rdlength}")
+        return cls(reader.read_u16(), reader.read_u8(), reader.read_u8(),
+                   reader.read_bytes(rdlength - 4))
+
+    def to_text(self) -> str:
+        return (f"{self.flags} {self.protocol} {self.algorithm} "
+                f"{self.public_key.hex()}")
+
+    @classmethod
+    def from_text(cls, fields: list[str]) -> "DNSKEY":
+        _require_fields(fields, 4, "DNSKEY")
+        return cls(int(fields[0]), int(fields[1]), int(fields[2]),
+                   bytes.fromhex(fields[3]))
+
+    def key_tag(self) -> int:
+        """RFC 4034 appendix B key tag over the rdata wire form."""
+        writer = WireWriter(compress=False)
+        self.write(writer)
+        data = writer.getvalue()
+        acc = 0
+        for i, octet in enumerate(data):
+            acc += octet if i & 1 else octet << 8
+        return ((acc & 0xFFFF) + (acc >> 16)) & 0xFFFF
+
+
+@_register
+@dataclass(frozen=True, slots=True)
+class RRSIG(Rdata):
+    """RRset signature (RFC 4034 section 3).
+
+    ``expiration``/``inception`` hold simulation-epoch seconds, not
+    wall-clock serial-arithmetic timestamps; the simulator's clock is
+    the only time base.
+    """
+
+    type_covered: int
+    algorithm: int
+    labels: int
+    original_ttl: int
+    expiration: int
+    inception: int
+    key_tag: int
+    signer: Name
+    signature: bytes
+    rtype: ClassVar[RType] = RType.RRSIG
+
+    def write(self, writer: WireWriter) -> None:
+        writer.write_u16(self.type_covered)
+        writer.write_u8(self.algorithm)
+        writer.write_u8(self.labels)
+        writer.write_u32(self.original_ttl)
+        writer.write_u32(self.expiration)
+        writer.write_u32(self.inception)
+        writer.write_u16(self.key_tag)
+        writer.write_name_uncompressed(self.signer)
+        writer.write_bytes(self.signature)
+
+    @classmethod
+    def read(cls, reader: WireReader, rdlength: int) -> "RRSIG":
+        end = reader.position + rdlength
+        type_covered = reader.read_u16()
+        algorithm = reader.read_u8()
+        labels = reader.read_u8()
+        original_ttl = reader.read_u32()
+        expiration = reader.read_u32()
+        inception = reader.read_u32()
+        key_tag = reader.read_u16()
+        signer = reader.read_name()
+        if reader.position > end:
+            raise WireFormatError("RRSIG signer overran rdlength")
+        signature = reader.read_bytes(end - reader.position)
+        return cls(type_covered, algorithm, labels, original_ttl,
+                   expiration, inception, key_tag, signer, signature)
+
+    def to_text(self) -> str:
+        return (f"{_type_to_text(self.type_covered)} {self.algorithm} "
+                f"{self.labels} {self.original_ttl} {self.expiration} "
+                f"{self.inception} {self.key_tag} {self.signer} "
+                f"{self.signature.hex()}")
+
+    @classmethod
+    def from_text(cls, fields: list[str]) -> "RRSIG":
+        _require_fields(fields, 9, "RRSIG")
+        return cls(_type_from_text(fields[0]), int(fields[1]),
+                   int(fields[2]), int(fields[3]), int(fields[4]),
+                   int(fields[5]), int(fields[6]), name(fields[7]),
+                   bytes.fromhex(fields[8]))
+
+
+@_register
+@dataclass(frozen=True, slots=True)
+class NSEC(Rdata):
+    """Authenticated denial of existence (RFC 4034 section 4)."""
+
+    next_name: Name
+    types: tuple[int, ...]
+    rtype: ClassVar[RType] = RType.NSEC
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "types",
+                           tuple(sorted({int(t) for t in self.types})))
+
+    def write(self, writer: WireWriter) -> None:
+        writer.write_name_uncompressed(self.next_name)
+        _write_type_bitmaps(writer, self.types)
+
+    @classmethod
+    def read(cls, reader: WireReader, rdlength: int) -> "NSEC":
+        end = reader.position + rdlength
+        next_name = reader.read_name()
+        if reader.position > end:
+            raise WireFormatError("NSEC next name overran rdlength")
+        return cls(next_name, _read_type_bitmaps(reader, end))
+
+    def to_text(self) -> str:
+        mnemonics = " ".join(_type_to_text(t) for t in self.types)
+        return f"{self.next_name} {mnemonics}".rstrip()
+
+    @classmethod
+    def from_text(cls, fields: list[str]) -> "NSEC":
+        if not fields:
+            raise ValueError("NSEC rdata needs at least a next name")
+        return cls(name(fields[0]),
+                   tuple(_type_from_text(f) for f in fields[1:]))
+
+
+@_register
+@dataclass(frozen=True, slots=True)
+class DS(Rdata):
+    """Delegation signer digest (RFC 4034 section 5)."""
+
+    key_tag: int
+    algorithm: int
+    digest_type: int
+    digest: bytes
+    rtype: ClassVar[RType] = RType.DS
+
+    def write(self, writer: WireWriter) -> None:
+        writer.write_u16(self.key_tag)
+        writer.write_u8(self.algorithm)
+        writer.write_u8(self.digest_type)
+        writer.write_bytes(self.digest)
+
+    @classmethod
+    def read(cls, reader: WireReader, rdlength: int) -> "DS":
+        if rdlength < 4:
+            raise WireFormatError(f"DS rdata too short: {rdlength}")
+        return cls(reader.read_u16(), reader.read_u8(), reader.read_u8(),
+                   reader.read_bytes(rdlength - 4))
+
+    def to_text(self) -> str:
+        return (f"{self.key_tag} {self.algorithm} {self.digest_type} "
+                f"{self.digest.hex()}")
+
+    @classmethod
+    def from_text(cls, fields: list[str]) -> "DS":
+        _require_fields(fields, 4, "DS")
+        return cls(int(fields[0]), int(fields[1]), int(fields[2]),
+                   bytes.fromhex(fields[3]))
+
+
 @dataclass(frozen=True, slots=True)
 class GenericRdata(Rdata):
     """Opaque rdata for types without a dedicated class (RFC 3597)."""

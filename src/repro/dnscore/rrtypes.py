@@ -23,6 +23,10 @@ class RType(enum.IntEnum):
     AAAA = 28
     SRV = 33
     OPT = 41
+    DS = 43
+    RRSIG = 46
+    NSEC = 47
+    DNSKEY = 48
     CAA = 257
     AXFR = 252
     ANY = 255
@@ -37,6 +41,12 @@ class RType(enum.IntEnum):
 
 #: Types that may appear in question sections but never as stored records.
 QUERY_ONLY_TYPES = frozenset({RType.AXFR, RType.ANY})
+
+#: DNSSEC record types (RFC 4034). These coexist with any owner type —
+#: including CNAME, whose single-type exclusivity rule explicitly
+#: excepts them — and are maintained by the signing pipeline rather
+#: than by zone authors.
+DNSSEC_TYPES = frozenset({RType.DS, RType.RRSIG, RType.NSEC, RType.DNSKEY})
 
 
 class RClass(enum.IntEnum):

@@ -25,9 +25,25 @@ rule                severity trips when
 ``broken-delegation`` fatal  a delegation whose nameservers all live
                              inside the delegated subtree but have no
                              glue — the subtree is unreachable
+``signature-expired`` fatal  a signed zone carries an RRSIG already
+                             expired at validation time (checked only
+                             when :class:`ValidationLimits` carries a
+                             clock reading in ``now``)
+``rrsig-key-mismatch`` fatal an RRSIG names a signer or key tag with
+                             no matching DNSKEY at the apex — no
+                             validator could ever verify it
+``broken-nsec-chain`` fatal  the NSEC next-owner pointers do not form
+                             one closed cycle over the chain's owners
 ``dangling-ns``     advisory an in-zone NS target with no A/AAAA glue
 ``no-op-republish`` advisory serial and content both unchanged
 =================== ======== ==========================================
+
+The DNSSEC rules are structural, not cryptographic: they read key tags
+and timestamps off the candidate's own records, so ``dnscore`` never
+imports the signing package above it. Digest verification happens at
+serving time (``repro.dnssec.sign.verify_rrsig``); the gate's job is
+catching the botched-publish shapes — expired signatures, a zone signed
+by a key it no longer publishes, a truncated chain — before they ship.
 
 Only ``fatal`` issues block an install; advisories ride along in the
 report for operators. ``ZoneUpdate`` — the typed payload the rollout
@@ -42,7 +58,7 @@ import hashlib
 from dataclasses import dataclass, field
 
 from .name import Name
-from .rdata import NS
+from .rdata import DNSKEY, NS, NSEC, RRSIG
 from .rrtypes import RType
 from .transfer import serial_gt
 from .zone import Zone
@@ -71,6 +87,11 @@ class ValidationLimits:
     #: ... and the previous version was at least this big (tiny zones
     #: legitimately shrink by large fractions).
     min_previous_rrsets: int = 4
+    #: Validation-time clock reading (simulation seconds). When set,
+    #: ``signature-expired`` compares RRSIG expirations against it;
+    #: when None (the default) the expiry rule is skipped, keeping the
+    #: check pure for callers without a clock.
+    now: float | None = None
 
 
 DEFAULT_LIMITS = ValidationLimits()
@@ -121,6 +142,74 @@ def content_digest(zone: Zone) -> str:
 def _has_glue(zone: Zone, target: Name) -> bool:
     return (zone.get_rrset(target, RType.A) is not None
             or zone.get_rrset(target, RType.AAAA) is not None)
+
+
+def _dnssec_issues(zone: Zone, limits: ValidationLimits,
+                   issues: list[ValidationIssue]) -> None:
+    """DNSSEC structural rules; no-op for unsigned zones.
+
+    A zone is "signed" for these purposes when it publishes a DNSKEY
+    RRset at its apex — exactly the condition the serving path uses to
+    decide whether DO=1 responses carry signatures.
+    """
+    dnskey_rrset = zone.get_rrset(zone.origin, RType.DNSKEY)
+    if dnskey_rrset is None:
+        return
+    tags = {record.rdata.key_tag() for record in dnskey_rrset.records
+            if isinstance(record.rdata, DNSKEY)}
+
+    mismatched: set[tuple[Name, int]] = set()
+    for rrset in zone.iter_rrsets():
+        if rrset.rtype is not RType.RRSIG:
+            continue
+        for record in rrset.records:
+            rrsig = record.rdata
+            if not isinstance(rrsig, RRSIG):
+                continue
+            if (rrsig.signer != zone.origin or rrsig.key_tag not in tags):
+                key = (rrset.name, rrsig.key_tag)
+                if key not in mismatched:
+                    mismatched.add(key)
+                    issues.append(ValidationIssue(
+                        "rrsig-key-mismatch", FATAL,
+                        f"RRSIG at {rrset.name} names key tag "
+                        f"{rrsig.key_tag} of {rrsig.signer}, which the "
+                        f"apex DNSKEY RRset does not publish"))
+            if limits.now is not None and rrsig.expiration <= limits.now:
+                issues.append(ValidationIssue(
+                    "signature-expired", FATAL,
+                    f"RRSIG at {rrset.name} covering type "
+                    f"{rrsig.type_covered} expired at "
+                    f"{rrsig.expiration} (now {limits.now:.0f})"))
+
+    owners: dict[Name, NSEC] = {}
+    for rrset in zone.iter_rrsets():
+        if rrset.rtype is RType.NSEC and rrset.records:
+            rdata = rrset.records[0].rdata
+            if isinstance(rdata, NSEC):
+                owners[rrset.name] = rdata
+    if not owners:
+        return
+    start = (zone.origin if zone.origin in owners
+             else min(owners, key=Name.canonical_key))
+    visited: set[Name] = set()
+    current = start
+    broken: str | None = None
+    for _ in range(len(owners)):
+        visited.add(current)
+        nxt = owners[current].next_name
+        if nxt not in owners:
+            broken = (f"NSEC at {current} points to {nxt}, "
+                      f"which owns no NSEC")
+            break
+        current = nxt
+    if broken is None and len(visited) != len(owners):
+        broken = (f"chain splits into cycles: walking from {start} "
+                  f"reaches {len(visited)} of {len(owners)} NSEC owners")
+    if broken is None and current != start:
+        broken = f"chain walked from {start} never returns to it"
+    if broken is not None:
+        issues.append(ValidationIssue("broken-nsec-chain", FATAL, broken))
 
 
 def validate_update(zone: Zone, previous: Zone | None = None, *,
@@ -192,6 +281,8 @@ def validate_update(zone: Zone, previous: Zone | None = None, *,
                 "broken-delegation", FATAL,
                 f"delegation {rrset.name} is unreachable: all "
                 f"nameservers are below the cut and none have glue"))
+
+    _dnssec_issues(zone, limits, issues)
 
     return report
 

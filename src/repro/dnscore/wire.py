@@ -59,6 +59,19 @@ class WireWriter:
             self.write_bytes(label)
         self.write_u8(0)
 
+    def write_name_uncompressed(self, name: Name) -> None:
+        """Write ``name`` without emitting or recording pointers.
+
+        RFC 3597 forbids compression inside the rdata of types it does
+        not grandfather; RFC 4034 additionally requires the RRSIG signer
+        and NSEC next-name fields uncompressed so signatures cover a
+        stable byte sequence.
+        """
+        for label in name.labels:
+            self.write_u8(len(label))
+            self.write_bytes(label)
+        self.write_u8(0)
+
     def patch_u16(self, offset: int, value: int) -> None:
         """Overwrite a previously written 16-bit field (rdlength back-patch)."""
         self._buf[offset : offset + 2] = struct.pack("!H", value)

@@ -17,7 +17,7 @@ from .errors import ZoneError
 from .name import Name
 from .rdata import NS, SOA, CNAME
 from .records import ResourceRecord, RRset, make_rrset
-from .rrtypes import RClass, RType
+from .rrtypes import DNSSEC_TYPES, RClass, RType
 
 
 class LookupStatus(enum.Enum):
@@ -41,6 +41,9 @@ class LookupResult:
     delegation: RRset | None = None
     glue: list[RRset] = field(default_factory=list)
     wildcard: bool = False
+    #: For wildcard synthesis: the *.<closest encloser> source node,
+    #: where the signing pipeline keeps the covering RRSIGs.
+    source: Name | None = None
 
 
 class Zone:
@@ -90,10 +93,16 @@ class Zone:
             raise ZoneError("only class IN zones are supported")
         node_types = self._types_by_name.get(rrset.name)
         if node_types:
-            if rrset.rtype == RType.CNAME and node_types - {RType.CNAME}:
+            # RFC 4035 section 2.5: RRSIG and NSEC (and the other
+            # DNSSEC maintenance types) are exempt from the CNAME
+            # single-type rule — a signed alias node holds all three.
+            if rrset.rtype == RType.CNAME \
+                    and node_types - {RType.CNAME} - DNSSEC_TYPES:
                 raise ZoneError(
                     f"CNAME at {rrset.name} conflicts with other data")
-            if rrset.rtype != RType.CNAME and RType.CNAME in node_types:
+            if rrset.rtype != RType.CNAME \
+                    and rrset.rtype not in DNSSEC_TYPES \
+                    and RType.CNAME in node_types:
                 raise ZoneError(f"{rrset.name} already holds a CNAME")
         if rrset.rtype == RType.SOA and rrset.name != self.origin:
             raise ZoneError("SOA must live at the zone apex")
@@ -177,6 +186,11 @@ class Zone:
                            key=lambda rrset: (rrset.name.canonical_key(),
                                               int(rrset.rtype))))
 
+    def types_at(self, name: Name) -> frozenset[RType]:
+        """The record types present at ``name`` (empty if absent)."""
+        types = self._types_by_name.get(name)
+        return frozenset(types) if types else frozenset()
+
     def names(self) -> set[Name]:
         """All names that exist in the zone, including empty non-terminals."""
         return set(self._names)
@@ -246,15 +260,15 @@ class Zone:
                 exact = self._rrsets.get((source, qtype))
                 if exact is not None:
                     return LookupResult(
-                        LookupStatus.SUCCESS, wildcard=True,
+                        LookupStatus.SUCCESS, wildcard=True, source=source,
                         rrset=_synthesize(exact, qname))
                 cname = self._rrsets.get((source, RType.CNAME))
                 if cname is not None and qtype != RType.CNAME:
                     return LookupResult(
-                        LookupStatus.CNAME, wildcard=True,
+                        LookupStatus.CNAME, wildcard=True, source=source,
                         rrset=_synthesize(cname, qname))
                 return LookupResult(LookupStatus.NODATA, soa=self.soa,
-                                    wildcard=True)
+                                    wildcard=True, source=source)
             closest = parent
         return None
 

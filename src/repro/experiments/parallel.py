@@ -51,8 +51,8 @@ from . import (
 
 #: Figure labels in report order.
 JOB_ORDER = ("fig1", "fig2", "fig3", "fig4", "fig8", "fig9", "fig10",
-             "fig11", "fig12", "taxonomy", "anycast-quality", "enduser",
-             "resilience", "text")
+             "fig10-signed", "fig11", "fig12", "taxonomy",
+             "anycast-quality", "enduser", "resilience", "text")
 
 
 def _fig8_params(fast: bool) -> fig8_failover.Fig8Params:
@@ -72,6 +72,14 @@ def _fig10_params(fast: bool) -> fig10_nxdomain.Fig10Params:
     return fig10_nxdomain.Fig10Params()
 
 
+def _fig10_signed_params(fast: bool) -> fig10_nxdomain.Fig10SignedParams:
+    if fast:
+        return fig10_nxdomain.Fig10SignedParams(
+            attack_rates=(0.0, 3_600.0),
+            measure_seconds=6.0, warmup_seconds=2.0)
+    return fig10_nxdomain.Fig10SignedParams()
+
+
 def _resilience_params(fast: bool) -> resilience_scorecard.ScorecardParams:
     if fast:
         return resilience_scorecard.ScorecardParams.fast()
@@ -88,6 +96,8 @@ _SINGLE_UNIT: dict[str, Callable[[bool], ExperimentResult]] = {
         n_resolvers=6_000 if fast else 20_000),
     "fig9": lambda fast: fig9_decision_tree.run(),
     "fig10": lambda fast: fig10_nxdomain.run(_fig10_params(fast)),
+    "fig10-signed": lambda fast: fig10_nxdomain.run_signed(
+        _fig10_signed_params(fast)),
     "fig11": lambda fast: fig11_speedup.run(),
     "fig12": lambda fast: fig12_restime.run(),
     "taxonomy": lambda fast: taxonomy.run(

@@ -149,6 +149,12 @@ class CampaignSLO:
     #: Grade validator rejection: exactly this many releases must be
     #: rejected up front, with zero machines serving a wrong answer.
     expect_reject: int = 0
+    #: Grade canary containment of a release that *passes* validation
+    #: but goes bogus while soaking (DNSSEC signature expiry): the
+    #: canary health gate must trip and the rollback must land within
+    #: the soak window, while the data plane — every non-validating
+    #: client — never sees a wrong answer or a dip.
+    expect_rollback: bool = False
     #: Arm the closed-loop defense ladder (control.defense) on this
     #: campaign's deployment and grade detection, climb, the
     #: legitimate-availability floor while mitigations hold, and the
@@ -360,6 +366,47 @@ def standard_campaigns(deployment: AkamaiDNSDeployment,
     c.add(FaultSpec(FaultKind.BAD_ZONE_PUBLISH, PROBE_ZONE,
                     Schedule.once(WARMUP + 24.0, 8.0), note="missing-soa"))
     suite.append((c, CampaignSLO(rollout=True, expect_reject=3)))
+
+    return suite
+
+
+def dnssec_campaigns(deployment: AkamaiDNSDeployment,
+                     seed: int) -> list[tuple[Campaign, CampaignSLO]]:
+    """The opt-in DNSSEC rollover-containment suite (``--dnssec``).
+
+    Kept out of :func:`standard_campaigns` so the standard scorecard's
+    output stays byte-identical whether or not the DNSSEC subsystem is
+    exercised. The two campaigns bracket the two ways a key rollover
+    goes wrong:
+
+    * statically detectable (zone signed by unpublished keys) — the
+      validator must reject it before any machine sees it;
+    * dynamically detectable only (signatures valid at publish, lapsing
+      mid-soak) — the canary health gate is the only line of defense,
+      and containment must be invisible to non-validating clients.
+    """
+    del deployment  # targets are fixed; signature matches standard_campaigns
+    suite: list[tuple[Campaign, CampaignSLO]] = []
+
+    c = Campaign("dnssec-expiry-rollback", duration=90.0, seed=seed,
+                 description="a correctly signed zone whose RRSIGs lapse "
+                             "mid-soak rides the rollout train; canary "
+                             "probes go bogus, the health gate trips, "
+                             "and the rollback lands inside the soak "
+                             "window with zero client-visible damage")
+    # Validity (severity) must leave room for gate detection plus
+    # worst-case rollback delivery inside the ROLLOUT_SOAK window.
+    c.add(FaultSpec(FaultKind.SIGNATURE_EXPIRY, PROBE_ZONE,
+                    Schedule.once(WARMUP, 8.0), severity=15.0))
+    suite.append((c, CampaignSLO(rollout=True, expect_rollback=True)))
+
+    c = Campaign("dnssec-key-mismatch-reject", duration=70.0, seed=seed,
+                 description="a zone signed by keys its DNSKEY RRset "
+                             "does not publish is rejected by the "
+                             "validator before any canary serves it")
+    c.add(FaultSpec(FaultKind.KEY_MISMATCH, PROBE_ZONE,
+                    Schedule.once(WARMUP, 8.0)))
+    suite.append((c, CampaignSLO(rollout=True, expect_reject=1)))
 
     return suite
 
@@ -625,15 +672,19 @@ def unit_count(params: ScorecardParams) -> int:
 
 
 def run_unit(params: ScorecardParams, index: int,
-             verbose: bool = False) -> ExperimentResult:
-    """Score one standard campaign on its own fresh deployment.
+             verbose: bool = False,
+             suite: list[tuple[Campaign, CampaignSLO]] | None = None,
+             ) -> ExperimentResult:
+    """Score one campaign on its own fresh deployment.
 
     Campaigns share nothing (each builds a new deployment from the same
     seed), so units may run in separate processes; :func:`assemble`
     concatenates the fragments in suite order to reproduce the serial
-    result exactly.
+    result exactly. ``suite`` defaults to the standard suite; the
+    DNSSEC suite passes its own.
     """
-    suite = standard_campaigns(build_deployment(params), params.seed)
+    if suite is None:
+        suite = standard_campaigns(build_deployment(params), params.seed)
     campaign, slo = suite[index]
     result = ExperimentResult("resilience", _TITLE)
     outcome = run_campaign(params, campaign, slo)
@@ -717,6 +768,26 @@ def run_unit(params: ScorecardParams, index: int,
             ("no rollback happened" if rollback_s is None
              else f"rollback complete after {rollback_s:.1f}s"),
             rollback_s is not None and rollback_s <= ROLLOUT_SOAK)
+    if slo.expect_rollback:
+        rollback_s = outcome.rollback_complete_seconds
+        escaped = sorted(set(outcome.blast) - set(outcome.canary_ids))
+        if rollback_s is not None:
+            result.metrics[f"{prefix}.rollback_s"] = rollback_s
+        result.compare(
+            f"{prefix}: bogus release rolled back within the soak window",
+            f"canary health gate trips and the rollback lands "
+            f"<= {ROLLOUT_SOAK:.0f}s after the bogus publish",
+            ("no rollback happened" if rollback_s is None
+             else f"rollback complete after {rollback_s:.1f}s"),
+            rollback_s is not None and rollback_s <= ROLLOUT_SOAK)
+        result.compare(
+            f"{prefix}: containment invisible to non-validating clients",
+            "zero wrong answers fleet-wide, availability ~100%",
+            (f"{len(outcome.blast)} machine(s) served wrong answers "
+             f"({len(escaped)} outside the cohort), availability "
+             f"{report.overall_availability:.1%}"),
+            not outcome.blast
+            and report.overall_availability >= 0.99)
     if slo.expect_reject:
         result.metrics[f"{prefix}.rejections"] = float(
             outcome.rollout_rejections)
@@ -842,6 +913,21 @@ def run(params: ScorecardParams | None = None,
                      for index in indices])
 
 
+def run_dnssec(params: ScorecardParams | None = None,
+               verbose: bool = False,
+               only: str | None = None) -> ExperimentResult:
+    """Run the opt-in DNSSEC rollover-containment suite (``--dnssec``)."""
+    params = params or ScorecardParams()
+    suite = dnssec_campaigns(build_deployment(params), params.seed)
+    indices = list(range(len(suite)))
+    if only is not None:
+        indices = [i for i in indices if only in suite[i][0].name]
+        if not indices:
+            raise SystemExit(f"no campaign matches {only!r}")
+    return assemble([run_unit(params, index, verbose, suite=suite)
+                     for index in indices])
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--fast", action="store_true",
@@ -852,10 +938,14 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--campaign", default=None, metavar="SUBSTR",
                         help="run only campaigns whose name contains "
                              "this substring")
+    parser.add_argument("--dnssec", action="store_true",
+                        help="run the opt-in DNSSEC rollover-containment "
+                             "suite instead of the standard one")
     args = parser.parse_args(argv)
     params = ScorecardParams.fast(args.seed) if args.fast \
         else ScorecardParams(seed=args.seed)
-    result = run(params, verbose=args.verbose, only=args.campaign)
+    runner = run_dnssec if args.dnssec else run
+    result = runner(params, verbose=args.verbose, only=args.campaign)
     print(result.render())
     return 0 if result.all_hold else 1
 

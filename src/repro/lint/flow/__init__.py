@@ -55,6 +55,12 @@ class FlowConfig:
     #: Module prefixes exempt from FLOW001 (offline CLI tooling whose
     #: fixed bench seeds are deliberate).
     rng_exempt: tuple[str, ...] = ("repro.tools.",)
+    #: Project-internal ``module:qualname`` ids FLOW001 treats as
+    #: seed-provenance roots: their first argument must derive from
+    #: the deployment seed, exactly like an RNG constructor's. The
+    #: DNSSEC key-derivation root is registered because a constant key
+    #: seed would pin the zone's key hierarchy across reseeded runs.
+    seed_roots: tuple[str, ...] = ("repro.dnssec.keys:derive_keypair",)
     #: ``module:qualname`` fnmatch patterns rooting the FLOW002
     #: hot-path reachability: the event-loop tick, the authoritative
     #: respond/probe path, the machine ingress path, the resolver.
@@ -115,9 +121,11 @@ class RngProvenanceRule(FlowRule):
     name = "rng-seed-provenance"
     description = ("Whole-program: every random.Random(...) / numpy "
                    "generator seed must derive from the deployment "
-                   "seed, traced through assignments and call edges. "
-                   "Fixed-constant seeds flag too: they silently "
-                   "ignore experiment reseeding.")
+                   "seed, traced through assignments and call edges; "
+                   "registered seed-provenance roots (the DNSSEC "
+                   "key-derivation entry point) carry the same "
+                   "contract. Fixed-constant seeds flag too: they "
+                   "silently ignore experiment reseeding.")
 
 
 class HotPathPurityRule(FlowRule):
@@ -174,7 +182,8 @@ def analyze(contexts: list[ModuleContext],
     model = build_model(contexts, config.packages)
     findings: list[Finding] = []
     if RngProvenanceRule.code in wanted:
-        findings.extend(check_rng_provenance(model, config.rng_exempt))
+        findings.extend(check_rng_provenance(model, config.rng_exempt,
+                                             config.seed_roots))
     if HotPathPurityRule.code in wanted:
         findings.extend(check_hot_path_purity(model, config.hot_roots))
     if ParallelSafetyRule.code in wanted:

@@ -42,6 +42,14 @@ RNG_CONSTRUCTORS = frozenset({
     "numpy.random.SeedSequence",
 })
 
+#: Project-internal functions (``module:qualname`` ids) registered as
+#: seed-provenance roots carry the same contract as RNG constructors:
+#: their first argument must derive from the deployment seed. The
+#: project registers them via ``FlowConfig.seed_roots`` (the DNSSEC
+#: key-derivation root ``repro.dnssec.keys:derive_keypair`` being the
+#: canonical example — a fixed-constant key seed would pin the zone's
+#: whole key hierarchy across reseeded experiments).
+
 #: Keyword spellings of the seed argument per constructor family.
 _SEED_KEYWORDS = frozenset({"x", "seed", "entropy"})
 
@@ -265,9 +273,16 @@ def seed_argument(call: ast.Call) -> ast.expr | None:
 
 
 def check_rng_provenance(model: ProjectModel,
-                         exempt_modules: tuple[str, ...]) -> list[Finding]:
-    """Run FLOW001 over every RNG construction site in the model."""
+                         exempt_modules: tuple[str, ...],
+                         seed_roots: tuple[str, ...] = ()) -> list[Finding]:
+    """Run FLOW001 over every RNG construction site in the model.
+
+    ``seed_roots`` names project-internal functions (by
+    ``module:qualname`` id) whose first argument is judged exactly
+    like an RNG constructor's seed.
+    """
     tainter = _Tainter(model)
+    root_ids = frozenset(seed_roots)
     findings: list[Finding] = []
     for fid in sorted(model.functions):
         finfo = model.functions[fid]
@@ -275,10 +290,18 @@ def check_rng_provenance(model: ProjectModel,
                or finfo.module.startswith(mod)
                for mod in exempt_modules):
             continue
+        # A root's own body is not judged against itself: the seed
+        # parameter it receives is exactly what its callers answer for.
+        if finfo.fid in root_ids:
+            continue
         for site in finfo.sites:
             if site.kind != "call" or site.node is None:
                 continue
-            if site.primitive not in RNG_CONSTRUCTORS:
+            if site.primitive in RNG_CONSTRUCTORS:
+                target = site.primitive
+            elif site.callee is not None and site.callee in root_ids:
+                target = site.callee
+            else:
                 continue
             seed_expr = seed_argument(site.node)
             if seed_expr is None:
@@ -294,13 +317,13 @@ def check_rng_provenance(model: ProjectModel,
             except Exception:  # pragma: no cover - unparse is total
                 spelled = "<expr>"
             if taint == CONST:
-                message = (f"`{site.primitive}({spelled})` is seeded "
+                message = (f"`{target}({spelled})` is seeded "
                            f"with a fixed constant: deterministic, but "
                            f"independent of the deployment seed — "
                            f"reseeding the experiment will not reseed "
                            f"this RNG. Derive the seed from params.seed")
             else:
-                message = (f"`{site.primitive}({spelled})` seed is not "
+                message = (f"`{target}({spelled})` seed is not "
                            f"derived from the deployment seed (no "
                            f"dataflow from a seed parameter, .seed "
                            f"attribute, or parent-RNG draw reaches it)")

@@ -25,9 +25,10 @@ from typing import Callable
 from ..dnscore.edns import ClientSubnetOption, EDNSOptions
 from ..dnscore.message import Message, make_query
 from ..dnscore.name import Name
-from ..dnscore.rdata import CNAME, SOA
+from ..dnscore.rdata import CNAME, DNSKEY, RRSIG, SOA
 from ..dnscore.records import RRset
 from ..dnscore.rrtypes import RCode, RType
+from ..dnssec.sign import verify_message
 from ..netsim.clock import EventHandle, EventLoop
 from ..netsim.network import Network
 from ..netsim.packet import Datagram
@@ -114,6 +115,8 @@ class _Resolution:
         self.sub_depth = 0
         #: NS targets whose addresses we already tried to resolve.
         self.glue_chased: set[Name] = set()
+        #: Signer names whose DNSKEYs we already tried to fetch.
+        self.keys_chased: set[Name] = set()
         #: Telemetry trace context (root span / current attempt span)
         #: when this resolution was head-sampled; purely observational.
         self.span = None
@@ -131,7 +134,8 @@ class RecursiveResolver:
                  resolution_deadline: float = DEFAULT_RESOLUTION_DEADLINE,
                  send_ecs_for: str | None = None,
                  edns_payload: int | None = 1232,
-                 fixed_source_port: int | None = None) -> None:
+                 fixed_source_port: int | None = None,
+                 validate_dnssec: bool = False) -> None:
         self.loop = loop
         self.network = network
         self.host_id = host_id
@@ -148,6 +152,20 @@ class RecursiveResolver:
         #: ECS is configured). Modern resolvers advertise ~1232.
         self.edns_payload = edns_payload
         self.fixed_source_port = fixed_source_port
+        #: Opt-in DNSSEC validation: queries carry DO=1, and responses
+        #: bearing RRSIGs are verified against the signer's DNSKEY
+        #: (fetched on demand and cached). The trust model is the
+        #: simulation's islands-of-security one — a DNSKEY RRset
+        #: vouches for itself via its SEP key, standing in for a DS
+        #: chain. Bogus answers are treated like SERVFAILs: the
+        #: resolver retries other servers, then fails the resolution.
+        #: Unsigned responses pass (opportunistic validation) — the
+        #: parents here are unsigned, so absence of signatures is not
+        #: provable either way.
+        self.validate_dnssec = validate_dnssec
+        self.validations_ok = 0
+        self.validation_failures = 0
+        self.dnskey_fetches = 0
         self.cache = DNSCache()
         self._inflight: dict[int, _Resolution] = {}
         self._next_id = self.rng.randrange(0, 0xFFFF)
@@ -300,9 +318,11 @@ class RecursiveResolver:
                     *, tcp: bool = False) -> None:
         msg_id = self._allocate_id()
         edns = None
-        if self.send_ecs_for is not None or self.edns_payload is not None:
+        if (self.send_ecs_for is not None or self.edns_payload is not None
+                or self.validate_dnssec):
             edns = EDNSOptions(
                 payload_size=self.edns_payload or 512,
+                dnssec_ok=self.validate_dnssec,
                 client_subnet=(ClientSubnetOption.for_client(
                     self.send_ecs_for)
                     if self.send_ecs_for is not None else None))
@@ -416,6 +436,26 @@ class RecursiveResolver:
     def _process_response(self, resolution: _Resolution,
                           message: Message) -> None:
         now = self.loop.now
+        if self.validate_dnssec and message.rcode in (RCode.NOERROR,
+                                                      RCode.NXDOMAIN):
+            verdict = self._validate_response(resolution, message)
+            if verdict == "pending":
+                # A DNSKEY fetch is in flight; this response is
+                # re-processed when it lands.
+                return
+            _t = _telemetry.ACTIVE
+            if verdict == "bogus":
+                self.validation_failures += 1
+                if _t is not None:
+                    _t.dnssec_validation(str(resolution.target), False)
+                # Bogus data is indistinguishable from a lying server:
+                # retry the zone's other delegations, then give up.
+                self._query_authority(resolution)
+                return
+            if verdict == "ok":
+                self.validations_ok += 1
+                if _t is not None:
+                    _t.dnssec_validation(str(resolution.target), True)
         if message.rcode == RCode.NXDOMAIN:
             ttl = _negative_ttl(message)
             self.cache.put_negative(resolution.target, resolution.qtype,
@@ -469,6 +509,62 @@ class RecursiveResolver:
         self.cache.put_negative(resolution.target, resolution.qtype,
                                 RCode.NOERROR, ttl, now)
         self._finish(resolution, RCode.NOERROR)
+
+    def _validate_response(self, resolution: _Resolution,
+                           message: Message) -> str:
+        """Classify a response: 'ok', 'unsigned', 'bogus', or 'pending'.
+
+        'pending' means the signer's DNSKEY is being fetched; the
+        message will be re-processed once the sub-resolution lands.
+        """
+        signer: Name | None = None
+        for record in message.answers + message.authority:
+            if record.rtype == RType.RRSIG and isinstance(record.rdata,
+                                                          RRSIG):
+                signer = record.rdata.signer
+                break
+        if signer is None:
+            return "unsigned"
+        now = self.loop.now
+        dnskeys: list[DNSKEY] = []
+        cached = self.cache.get(signer, RType.DNSKEY, now)
+        if cached is not None:
+            dnskeys = [r.rdata for r in cached.records
+                       if isinstance(r.rdata, DNSKEY)]
+        else:
+            # A DNSKEY response carries its own keys; anything else
+            # needs a fetch.
+            dnskeys = [r.rdata for r in message.answers
+                       if r.rtype == RType.DNSKEY and r.name == signer
+                       and isinstance(r.rdata, DNSKEY)]
+        if not dnskeys:
+            if self._chase_dnskey(resolution, signer, message):
+                return "pending"
+            return "bogus"
+        errors = verify_message(message, dnskeys, now)
+        return "bogus" if errors else "ok"
+
+    def _chase_dnskey(self, resolution: _Resolution, signer: Name,
+                      message: Message) -> bool:
+        """Fetch ``signer``'s DNSKEY RRset, then re-process ``message``.
+
+        Returns True when a sub-resolution was started. One attempt per
+        signer per resolution — a failed or bogus key fetch must not
+        loop."""
+        if signer in resolution.keys_chased or resolution.sub_depth >= 3:
+            return False
+        resolution.keys_chased.add(signer)
+        self.dnskey_fetches += 1
+
+        def resumed(_sub_result: ResolutionResult) -> None:
+            if not resolution.done:
+                self._process_response(resolution, message)
+
+        sub = _Resolution(self, signer, RType.DNSKEY, resumed)
+        sub.sub_depth = resolution.sub_depth + 1
+        sub.keys_chased = resolution.keys_chased
+        self._step(sub)
+        return True
 
     def _finish(self, resolution: _Resolution, rcode: RCode,
                 *, from_cache: bool = False) -> None:

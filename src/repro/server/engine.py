@@ -15,9 +15,17 @@ from typing import Callable, Protocol
 
 from ..dnscore.message import Message, ResponseTemplate, make_response
 from ..dnscore.name import Name
-from ..dnscore.records import RRset
+from ..dnscore.records import ResourceRecord, RRset
 from ..dnscore.rrtypes import Opcode, RClass, RCode, RType
-from ..dnscore.zone import LookupStatus, Zone
+from ..dnscore.zone import LookupResult, LookupStatus, Zone
+from ..dnssec.denial import (
+    DenialMode,
+    NsecChainIndex,
+    chain_denial,
+    compact_denial,
+)
+from ..dnssec.keys import KeyRing
+from ..dnssec.sign import SigningPolicy, covering_rrsigs, zone_is_signed
 
 
 class MappingProvider(Protocol):
@@ -183,6 +191,58 @@ class _NegativePlan:
         return True
 
 
+class DnssecServing:
+    """How one engine serves signed zones.
+
+    The zones themselves carry all signed data (DNSKEY, RRSIG, NSEC —
+    written by :class:`repro.dnssec.sign.ZoneSigner`); this object
+    holds only the *serving* choices: which denial mode answers
+    negatives, the key rings compact denial signs with, and the clock
+    stamping per-query signatures. Signedness itself is discovered
+    from zone content, so an engine serves a mix of signed and
+    unsigned zones with no registration step — compact denial alone
+    needs :meth:`register_keyring`, because it signs at query time.
+    """
+
+    __slots__ = ("denial_mode", "policy", "keyrings", "clock",
+                 "_chain_indexes")
+
+    def __init__(self) -> None:
+        self.denial_mode = DenialMode.NSEC_CHAIN
+        self.policy = SigningPolicy()
+        self.keyrings: dict[Name, KeyRing] = {}
+        #: Sim-time source for compact denial's per-query RRSIGs; left
+        #: None the inception is pinned at 0.0 (pure unit-test use).
+        self.clock: Callable[[], float] | None = None
+        self._chain_indexes: dict[Name, NsecChainIndex] = {}
+
+    def register_keyring(self, keys: KeyRing,
+                         policy: SigningPolicy | None = None) -> None:
+        self.keyrings[keys.origin] = keys
+        if policy is not None:
+            self.policy = policy
+
+    def chain_index(self, zone: Zone) -> NsecChainIndex:
+        """The zone's NSEC chain index, rebuilt when the version moves."""
+        index = self._chain_indexes.get(zone.origin)
+        if index is None or index.version != zone.version:
+            index = NsecChainIndex(zone)
+            self._chain_indexes[zone.origin] = index
+        return index
+
+    def now(self) -> float:
+        clock = self.clock
+        return clock() if clock is not None else 0.0
+
+
+def _reowned(rrset: RRset, owner: Name) -> RRset:
+    """A copy of ``rrset`` re-owned at ``owner`` (wildcard expansion)."""
+    clone = RRset(owner, rrset.rtype, rrset.rclass, rrset.ttl)
+    clone.records = [ResourceRecord(owner, r.rtype, r.rclass, r.ttl, r.rdata)
+                     for r in rrset.records]
+    return clone
+
+
 class AuthoritativeEngine:
     """Pure query-to-response logic, independent of transport and timing."""
 
@@ -235,10 +295,23 @@ class AuthoritativeEngine:
         #: reconfigure them must call :meth:`flush_plans`.
         self.plan_cache_enabled = (self.response_plan_cache_default
                                    if plan_cache is None else plan_cache)
-        self._plan_cache: dict[tuple[Name, RType],
+        self._plan_cache: dict[tuple[Name, RType, bool],
                                tuple[ResponseTemplate, Zone, int, int]] = {}
         self._neg_plans: dict[Name, _NegativePlan] = {}
+        #: Compact-mode analogue of ``_neg_plans``: one NOERROR
+        #: skeleton (SOA + its RRSIG) per signed zone; the synthesized
+        #: NSEC is appended per query, so a unique-qname flood with
+        #: DO=1 still needs exactly one plan per zone.
+        self._signed_neg_plans: dict[Name, _NegativePlan] = {}
         self._neg_seen: dict[Name, list] = {}
+        #: DNSSEC serving configuration; inert until a zone in the
+        #: store actually carries an apex DNSKEY.
+        self.dnssec = DnssecServing()
+        self.signed_responses = 0
+        #: Times the plan cache hit its bound and was wiped — the
+        #: fig10-signed observable separating the denial modes (chain
+        #: mode plans signed NXDOMAINs per qname; compact does not).
+        self.plan_cache_wipes = 0
         #: Observers called with (query, response) after assembly; the
         #: NXDOMAIN filter taps this to count negative answers per zone.
         self.response_observers: list[Callable[[Message, Message], None]] = []
@@ -259,8 +332,10 @@ class AuthoritativeEngine:
         """
         self._plan_cache.clear()
         self._neg_plans.clear()
+        self._signed_neg_plans.clear()
         self._neg_seen.clear()
         self._probe_responses.clear()
+        self.dnssec._chain_indexes.clear()
 
     def respond(self, query: Message,
                 client_key: str | None = None) -> Message:
@@ -279,7 +354,9 @@ class AuthoritativeEngine:
             if len(questions) == 1 and query.flags.opcode is Opcode.QUERY:
                 question = questions[0]
                 if question.qclass is RClass.IN:
-                    key = (question.qname, question.qtype)
+                    edns = query.edns
+                    do_bit = edns is not None and edns.dnssec_ok
+                    key = (question.qname, question.qtype, do_bit)
                     hit = self._plan_cache.get(key)
                     if hit is not None:
                         template, zone, version, generation = hit
@@ -291,22 +368,59 @@ class AuthoritativeEngine:
                             return self._finish(query,
                                                 template.finalize(query))
                         del self._plan_cache[key]
-                    elif self._neg_plans:
+                    elif self._neg_plans or (do_bit
+                                             and self._signed_neg_plans):
                         zone = self.store.find(question.qname)
                         if zone is not None:
-                            neg = self._neg_plans.get(zone.origin)
-                            if (neg is not None and neg.zone is zone
-                                    and neg.version == zone.version
-                                    and (self.mapping is None
-                                         or question.qtype not in (RType.A,
-                                                                   RType.AAAA)
-                                         or not self.is_dynamic(
-                                             question.qname))
-                                    and neg.is_nxdomain(
-                                        question.qname.labels)):
-                                return self._finish(
-                                    query, neg.template.finalize(query))
+                            response = self._neg_fast_lane(
+                                query, question, zone, do_bit)
+                            if response is not None:
+                                return self._finish(query, response)
         return self._respond_full(query, client_key)
+
+    def _neg_fast_lane(self, query: Message, question, zone: Zone,
+                       do_bit: bool) -> Message | None:
+        """Serve an NXDOMAIN from a per-zone negative plan, if one
+        matches the query's DNSSEC expectations."""
+        if (self.mapping is not None
+                and question.qtype in (RType.A, RType.AAAA)
+                and self.is_dynamic(question.qname)):
+            return None
+        if do_bit:
+            neg = self._signed_neg_plans.get(zone.origin)
+            if (neg is not None and neg.zone is zone
+                    and neg.version == zone.version
+                    and neg.is_nxdomain(question.qname.labels)):
+                response = neg.template.finalize(query)
+                self._attach_compact_denial(zone, question.qname, response)
+                self.signed_responses += 1
+                return response
+            # An unsigned zone owes DO=1 queries nothing extra, so the
+            # plain negative plan still applies to it.
+            neg = self._neg_plans.get(zone.origin)
+            if (neg is not None and neg.zone is zone
+                    and neg.version == zone.version
+                    and not zone_is_signed(zone)
+                    and neg.is_nxdomain(question.qname.labels)):
+                return neg.template.finalize(query)
+            return None
+        neg = self._neg_plans.get(zone.origin)
+        if (neg is not None and neg.zone is zone
+                and neg.version == zone.version
+                and neg.is_nxdomain(question.qname.labels)):
+            return neg.template.finalize(query)
+        return None
+
+    def _attach_compact_denial(self, zone: Zone, qname: Name,
+                               response: Message,
+                               types: tuple[int, ...] = ()) -> None:
+        serving = self.dnssec
+        keys = serving.keyrings[zone.origin]
+        for nsec, sigs in compact_denial(zone, keys, serving.policy, qname,
+                                         serving.now(), types):
+            response.add_rrset("authority", nsec)
+            if sigs is not None:
+                response.add_rrset("authority", sigs)
 
     def _respond_full(self, query: Message,
                       client_key: str | None = None) -> Message:
@@ -333,6 +447,12 @@ class AuthoritativeEngine:
             # reprolint: disable-next=PERF001 - error paths are cold
             return self._finish(query, make_response(
                 query, RCode.REFUSED, aa=False))
+
+        do_bit = query.edns is not None and query.edns.dnssec_ok
+        signed = do_bit and zone_is_signed(zone)
+        compact = (signed
+                   and self.dnssec.denial_mode is DenialMode.COMPACT
+                   and zone.origin in self.dnssec.keyrings)
 
         # The slow path's job is assembly; its product populates the
         # plan cache below.
@@ -392,36 +512,153 @@ class AuthoritativeEngine:
             # CNAME led out of this zone: the chase becomes the
             # resolver's job; answer with the chain collected so far.
             pass
+        plan_cacheable = True
+        if signed:
+            plan_cacheable = self._augment_signed(zone, question, chain,
+                                                  result, response, compact)
         if cacheable:
-            if result.status == LookupStatus.NXDOMAIN and not chain:
+            if (result.status == LookupStatus.NXDOMAIN and not chain
+                    and (not signed or compact)):
                 # Unique attack qnames would churn the per-qname cache;
-                # feed the per-zone negative plan instead.
-                self._note_negative(zone)
-            else:
+                # feed the per-zone negative plan instead. Signed chain
+                # mode cannot do this (the NSEC proof depends on the
+                # qname) and falls through to per-qname planning — the
+                # churn compact denial exists to avoid.
+                self._note_negative(zone, signed_compact=compact)
+            elif plan_cacheable:
                 cache = self._plan_cache
                 if len(cache) >= self._PLAN_CACHE_MAX:
                     cache.clear()
-                cache[(question.qname, question.qtype)] = (
+                    self.plan_cache_wipes += 1
+                cache[(question.qname, question.qtype, do_bit)] = (
                     ResponseTemplate.from_message(response),
                     zone, zone.version, self.store.generation)
         return self._finish(query, response)
 
-    def _note_negative(self, zone: Zone) -> None:
+    def _augment_signed(self, zone: Zone, question, chain: list[RRset],
+                        result: LookupResult, response: Message,
+                        compact: bool) -> bool:
+        """Add RRSIGs and denial proofs to an assembled response.
+
+        Returns whether the result may still be planned per-qname:
+        compact proofs are signed at query time (their RRSIG validity
+        windows track the clock, not the zone version), so responses
+        carrying one must be reassembled per query.
+        """
+        self.signed_responses += 1
+        serving = self.dnssec
+        status = result.status
+        for alias in chain:
+            sigs = covering_rrsigs(zone, alias.name, RType.CNAME)
+            if sigs is not None:
+                response.add_rrset("answers", sigs)
+        if status == LookupStatus.SUCCESS and result.rrset is not None:
+            rrset = result.rrset
+            source = result.source
+            if (source is not None and source.is_wildcard
+                    and source != rrset.name):
+                sigs = covering_rrsigs(zone, source, rrset.rtype)
+                if sigs is not None:
+                    response.add_rrset("answers",
+                                       _reowned(sigs, rrset.name))
+                # RFC 4035 3.1.3.3: a wildcard expansion must prove the
+                # qname itself does not exist.
+                self._attach_chain_denial(zone, question.qname, response,
+                                          nxdomain=False)
+            else:
+                sigs = covering_rrsigs(zone, rrset.name, rrset.rtype)
+                if sigs is not None:
+                    response.add_rrset("answers", sigs)
+            return True
+        if status == LookupStatus.DELEGATION and result.delegation is not None:
+            # The NSEC at the cut proves the delegation has no DS — the
+            # simulation's children are islands of security.
+            cut = result.delegation.name
+            nsec = zone.get_rrset(cut, RType.NSEC)
+            if nsec is not None:
+                response.add_rrset("authority", nsec)
+                sigs = covering_rrsigs(zone, cut, RType.NSEC)
+                if sigs is not None:
+                    response.add_rrset("authority", sigs)
+            return True
+        if status == LookupStatus.NODATA:
+            self._sign_soa(zone, result, response)
+            if compact:
+                types = tuple(int(t) for t in
+                              sorted(zone.types_at(question.qname)))
+                self._attach_compact_denial(zone, question.qname, response,
+                                            types)
+                return False
+            self._attach_chain_denial(zone, question.qname, response,
+                                      nxdomain=False)
+            return True
+        if status == LookupStatus.NXDOMAIN and not chain:
+            self._sign_soa(zone, result, response)
+            if compact:
+                # Black lies: the synthesized proof says the name
+                # exists with no data, so the rcode follows suit.
+                response.flags.rcode = RCode.NOERROR
+                self._attach_compact_denial(zone, question.qname, response)
+                return False
+            self._attach_chain_denial(zone, question.qname, response,
+                                      nxdomain=True)
+            return True
+        if status == LookupStatus.NXDOMAIN:
+            # Post-CNAME NXDOMAIN: prove the last chain target's absence.
+            self._sign_soa(zone, result, response)
+            rdata = chain[-1].records[0].rdata
+            target = getattr(rdata, "target", question.qname)
+            self._attach_chain_denial(zone, target, response, nxdomain=True)
+            return True
+        return True
+
+    def _sign_soa(self, zone: Zone, result: LookupResult,
+                  response: Message) -> None:
+        if result.soa is None:
+            return
+        sigs = covering_rrsigs(zone, zone.origin, RType.SOA)
+        if sigs is not None:
+            response.add_rrset("authority", sigs)
+
+    def _attach_chain_denial(self, zone: Zone, qname: Name,
+                             response: Message, *, nxdomain: bool) -> None:
+        index = self.dnssec.chain_index(zone)
+        for nsec, sigs in chain_denial(zone, index, qname,
+                                       nxdomain=nxdomain):
+            response.add_rrset("authority", nsec)
+            if sigs is not None:
+                response.add_rrset("authority", sigs)
+
+    def _note_negative(self, zone: Zone, *,
+                       signed_compact: bool = False) -> None:
         """Count an NXDOMAIN against ``zone``; build its negative plan
-        once the flood threshold for the current zone version passes."""
+        once the flood threshold for the current zone version passes.
+
+        Signed (DO=1, compact mode) and plain floods share the counter
+        but build separate plans: the signed skeleton carries the SOA's
+        RRSIG and answers NOERROR, black-lies style."""
         origin = zone.origin
         entry = self._neg_seen.get(origin)
         if entry is None or entry[0] != zone.version:
             self._neg_seen[origin] = [zone.version, 1]
             return
         entry[1] += 1
-        if entry[1] != self._NEG_BUILD_AFTER:
+        if entry[1] < self._NEG_BUILD_AFTER:
+            return
+        plans = self._signed_neg_plans if signed_compact else self._neg_plans
+        plan = plans.get(origin)
+        if (plan is not None and plan.zone is zone
+                and plan.version == zone.version):
             return
         soa = zone.soa
-        template = ResponseTemplate(
-            True, RCode.NXDOMAIN, (),
-            tuple(soa.records) if soa is not None else (), ())
-        self._neg_plans[origin] = _NegativePlan(zone, template)
+        authority: tuple = tuple(soa.records) if soa is not None else ()
+        if signed_compact and soa is not None:
+            sigs = covering_rrsigs(zone, origin, RType.SOA)
+            if sigs is not None:
+                authority = authority + tuple(sigs.records)
+        rcode = RCode.NOERROR if signed_compact else RCode.NXDOMAIN
+        plans[origin] = _NegativePlan(
+            zone, ResponseTemplate(True, rcode, (), authority, ()))
 
     def respond_probe(self, query: Message) -> Message:
         """`respond`, memoized for the monitoring agent's probe loop.

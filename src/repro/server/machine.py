@@ -24,7 +24,8 @@ from typing import Callable
 from ..dnscore.errors import ZoneError
 from ..dnscore.message import Message, make_response
 from ..dnscore.name import Name
-from ..dnscore.rrtypes import RCode
+from ..dnscore.rdata import DNSKEY, RRSIG
+from ..dnscore.rrtypes import RCode, RType
 from ..dnscore.validate import ZoneUpdate, validate_update
 from ..dnscore.zone import Zone
 from ..filters.base import QueryContext, ScoringPipeline
@@ -130,6 +131,36 @@ def _serial_of(zone: Zone) -> int:
         return -1
 
 
+def _signature_horizon(zone: Zone) -> tuple[bool, float]:
+    """(key tags consistent, earliest RRSIG expiration) for one zone.
+
+    Unsigned zones (no apex DNSKEY) report ``(True, inf)``. The check
+    is structural — key-tag membership, not digest verification — which
+    is exactly what distinguishes a zone signed by a key it no longer
+    publishes or one whose signatures have lapsed, the two botched-
+    rollover shapes the canary gate must catch.
+    """
+    dnskey_rrset = zone.get_rrset(zone.origin, RType.DNSKEY)
+    if dnskey_rrset is None:
+        return (True, float("inf"))
+    tags = {record.rdata.key_tag() for record in dnskey_rrset.records
+            if isinstance(record.rdata, DNSKEY)}
+    keys_ok = True
+    horizon = float("inf")
+    for rrset in zone.iter_rrsets():
+        if rrset.rtype is not RType.RRSIG:
+            continue
+        for record in rrset.records:
+            rrsig = record.rdata
+            if not isinstance(rrsig, RRSIG):
+                continue
+            if rrsig.signer != zone.origin or rrsig.key_tag not in tags:
+                keys_ok = False
+            if rrsig.expiration < horizon:
+                horizon = float(rrsig.expiration)
+    return (keys_ok, horizon)
+
+
 class NameserverMachine:
     """One machine running the nameserver software."""
 
@@ -186,6 +217,13 @@ class NameserverMachine:
         #: Zone updates deferred while degraded: latest pending
         #: (zone, rollback) per origin, replayed on exit_degraded().
         self._deferred_zones: dict[Name, tuple[Zone, bool]] = {}
+        #: Per-origin memo for the probe-time DNSSEC self-check:
+        #: origin -> (store generation, zone version, key tags
+        #: consistent, earliest RRSIG expiration). Keyed on the store
+        #: generation as well as the version because two different
+        #: Zone objects (install then rollback) can share a version.
+        self._dnssec_probe_memo: dict[
+            Name, tuple[int, int, bool, float]] = {}
 
     # -- metadata ------------------------------------------------------------
 
@@ -402,6 +440,29 @@ class NameserverMachine:
         for listener in self.state_listeners:
             listener(self)
 
+    def _zone_signatures_healthy(self, qname: Name) -> bool:
+        """Probe-time DNSSEC self-check over the zone serving ``qname``.
+
+        Unsigned zones always pass. For a signed zone the machine acts
+        as its own validating client: signatures must not be expired at
+        probe time and every RRSIG's key tag must be published in the
+        apex DNSKEY RRset. The per-zone scan is memoized against the
+        zone's version counter, so steady-state probes cost one dict
+        lookup and a clock comparison.
+        """
+        store = self.engine.store
+        zone = store.find(qname)
+        if zone is None:
+            return True
+        memo = self._dnssec_probe_memo.get(zone.origin)
+        if (memo is None or memo[0] != store.generation
+                or memo[1] != zone.version):
+            keys_ok, horizon = _signature_horizon(zone)
+            memo = (store.generation, zone.version, keys_ok, horizon)
+            self._dnssec_probe_memo[zone.origin] = memo
+        _, _, keys_ok, horizon = memo
+        return keys_ok and self.loop.now < horizon
+
     def health_probe(self, message: Message) -> Message | None:
         """Answer a monitoring-agent test query through the real engine.
 
@@ -417,6 +478,19 @@ class NameserverMachine:
         if self.fault == "unresponsive":
             return None
         response = self.engine.respond_probe(message)
+        question = message.question
+        if (question is not None
+                and not self._zone_signatures_healthy(question.qname)):
+            # A validating probe client would get bogus data from this
+            # machine; degrade the probe answer so the monitoring
+            # agent's test suite (and the canary health gate built on
+            # it) sees the failure (section 4.2.4 posture).
+            degraded = make_response(message, RCode.SERVFAIL)
+            degraded.flags.aa = response.flags.aa
+            _t = _telemetry.ACTIVE
+            if _t is not None:
+                _t.dnssec_validation(str(question.qname), False)
+            return degraded
         if self.fault == "wrong_answer":
             # The probe response may be the engine's shared memoized
             # object — degrade a fresh copy instead of mutating it.

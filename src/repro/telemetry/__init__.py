@@ -163,6 +163,18 @@ class Telemetry:
         self._g_defense = reg.gauge(
             "defense_ladder_rung",
             "current defense-ladder escalation level", ("controller",))
+        self._c_dnssec_sign = reg.counter(
+            "dnssec_signatures_total",
+            "RRSIGs produced by the zone-signing pipeline",
+            ("origin", "disposition"))
+        self._c_dnssec_validate = reg.counter(
+            "dnssec_validations_total",
+            "signature validations at resolvers and probe clients",
+            ("outcome",))
+        self._c_dnssec_rollover = reg.counter(
+            "dnssec_rollover_steps_total",
+            "key-rollover state machine events",
+            ("origin", "kind", "step"))
 
     # -- clock / epoch ------------------------------------------------------
 
@@ -304,6 +316,33 @@ class Telemetry:
             span.attrs["rcode"] = rcode
             span.attrs["timeouts"] = timeouts
             self.tracer.finish(span, now)
+
+    # -- DNSSEC hooks -------------------------------------------------------
+
+    def dnssec_signed(self, origin: str, created: int, reused: int,
+                      now: float) -> None:
+        """A zone (re-)signing pass finished (repro.dnssec.sign)."""
+        if created:
+            self._c_dnssec_sign.labels(origin, "created").inc(created)
+        if reused:
+            self._c_dnssec_sign.labels(origin, "reused").inc(reused)
+        self.alerts.observe("dnssec_sign", now)
+
+    def dnssec_validation(self, qname: str, ok: bool) -> None:
+        """A validator judged a response (resolver or probe client).
+
+        ``qname`` is deliberately not a metric label — attack traffic
+        makes it unbounded — but stays in the signature so trace
+        integration can tag spans later.
+        """
+        del qname
+        self._c_dnssec_validate.labels("ok" if ok else "bogus").inc()
+
+    def dnssec_rollover(self, origin: str, kind: str, step: str,
+                        now: float) -> None:
+        """A key-rollover state machine advanced (repro.dnssec.rollover)."""
+        self._c_dnssec_rollover.labels(origin, kind, step).inc()
+        self.alerts.observe("dnssec_rollover", now)
 
     # -- reporting hooks ----------------------------------------------------
 

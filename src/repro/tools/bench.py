@@ -176,6 +176,58 @@ def bench_respond(plan_cache: bool, n_queries: int = 10_000) -> float:
     return _best_of(one_run)
 
 
+def _signed_bench_engine():
+    from ..dnscore import name, parse_zone_text
+    from ..dnssec.keys import KeyRing
+    from ..dnssec.sign import ZoneSigner
+    from ..server.engine import AuthoritativeEngine, ZoneStore
+
+    zone = parse_zone_text(_BENCH_ZONE)
+    keys = KeyRing(7, name("bench.example"))
+    ZoneSigner(keys).sign(zone, 0.0)
+    store = ZoneStore()
+    # Bench fixture: no rollout machinery exists here to install through.
+    store.add(zone)  # reprolint: disable=ROB001
+    engine = AuthoritativeEngine(store, plan_cache=True)
+    engine.dnssec.register_keyring(keys)
+    return engine
+
+
+def _do_battery(n_queries: int, do: bool) -> list:
+    """The hot-qname battery with an EDNS OPT carrying the DO bit."""
+    from ..dnscore import EDNSOptions, RType, make_query, name
+
+    edns = EDNSOptions(payload_size=1232, dnssec_ok=do)
+    qnames = [name(f"h{i}.bench.example") for i in range(8)]
+    battery = [make_query(i, q, RType.A, edns=edns)
+               for i, q in enumerate(qnames)]
+    return [battery[i % len(battery)] for i in range(n_queries)]
+
+
+def bench_signed_respond(n_queries: int = 10_000) -> tuple[float, float]:
+    """(do0, do1) best-of-3 seconds for the respond loop over one
+    signed zone.
+
+    DO=0 is the pre-DNSSEC fast lane (RRSIGs stripped from the plan);
+    DO=1 serves RRSIG-bearing plans from the same cache. The gated
+    ratio bounds what answering validating resolvers costs relative to
+    the legacy population on identical traffic.
+    """
+    do0 = _do_battery(n_queries, do=False)
+    do1 = _do_battery(n_queries, do=True)
+
+    def one_run(queries: list) -> float:
+        engine = _signed_bench_engine()
+        respond = engine.respond
+        started = _now()
+        for query in queries:
+            respond(query)
+        return _now() - started
+
+    return (_best_of(lambda: one_run(do0)),
+            _best_of(lambda: one_run(do1)))
+
+
 def bench_nxdomain_flood(n_queries: int = 10_000) -> float:
     """Flood responses/sec: every qname unique (random-subdomain attack
     shape), served by the per-zone negative plan once it arms."""
@@ -311,6 +363,7 @@ def run_micro() -> dict:
     delivery_coalesced = bench_flood_delivery(coalesce=True)
     tap_bare, tap_armed = bench_observer_tap()
     telemetry_off, telemetry_on = bench_telemetry()
+    signed_do0, signed_do1 = bench_signed_respond()
     return {
         "metrics": {
             # Gated, hardware-independent ratios.
@@ -323,6 +376,8 @@ def run_micro() -> dict:
                 bench_pending_ratio(), 3),
             "telemetry_enabled_overhead_ratio": round(
                 telemetry_on / telemetry_off, 3),
+            "signed_respond_overhead_ratio": round(
+                signed_do1 / signed_do0, 3),
         },
         "info": {
             # Absolute throughput; varies with host, never gated.
@@ -336,6 +391,8 @@ def run_micro() -> dict:
                 tap_armed / tap_bare, 3),
             "telemetry_disabled_point_s": round(telemetry_off, 3),
             "telemetry_enabled_point_s": round(telemetry_on, 3),
+            "signed_respond_do0_qps": round(10_000 / signed_do0),
+            "signed_respond_do1_qps": round(10_000 / signed_do1),
         },
     }
 
@@ -347,6 +404,7 @@ _GATED = {
     "flood_coalesce_speedup": "higher",
     "pending_cost_ratio_20000_vs_50": "lower",
     "telemetry_enabled_overhead_ratio": "lower",
+    "signed_respond_overhead_ratio": "lower",
 }
 
 

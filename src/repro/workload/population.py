@@ -33,6 +33,7 @@ class Resolver:
     base_rate: float          # long-run average queries/sec to the platform
     burstiness: float = 4.0   # peak-to-mean ratio of its arrival process
     ip_ttl: int = 58          # typical observed IP TTL at the platform
+    dnssec_ok: bool = False   # sets DO=1 on its queries (validating)
 
 
 @dataclass(slots=True)
@@ -57,6 +58,10 @@ class PopulationParams:
     #: rates sit far above even the lognormal tail; boost the top few.
     mega_resolver_count: int = 5
     mega_resolver_boost: float = 4.0
+    #: Fraction of resolvers that set the EDNS DO bit (i.e. validate
+    #: DNSSEC). 0.0 — the default — consumes no RNG draws at all, so
+    #: enabling it never perturbs other seeded streams retroactively.
+    dnssec_ok_fraction: float = 0.0
 
 
 class ResolverPopulation:
@@ -87,6 +92,10 @@ class ResolverPopulation:
                 base_rate=rate * scale,
                 burstiness=1.5 + rng.random() * 15.0,
                 ip_ttl=rng.choice([64, 64, 64, 128, 255]) - rng.randint(5, 25),
+                # Short-circuit keeps the draw count at zero when the
+                # fraction is 0.0 (the byte-identity contract).
+                dnssec_ok=(p.dnssec_ok_fraction > 0.0
+                           and rng.random() < p.dnssec_ok_fraction),
             ))
         # Concentrate the heavy hitters in the few major ASNs (public DNS
         # services and the largest ISPs).
@@ -171,6 +180,7 @@ class ResolverPopulation:
                 * raw_scale / math.exp(p.resolver_sigma ** 2 / 2),
                 burstiness=1.5 + self.rng.random() * 15.0,
                 ip_ttl=old.ip_ttl,
+                dnssec_ok=old.dnssec_ok,
             )
 
 

@@ -1,0 +1,74 @@
+"""Tests for the DNSSEC chaos fault zone builders.
+
+The two builders encode the PR's threat model split: a key mismatch is
+statically detectable (the validator must reject it at publish time),
+while a short-validity re-sign passes every static check and only goes
+bogus as simulation time advances past the expiry horizon.
+"""
+
+from repro.chaos.injectors import expiring_signed_copy, mismatched_key_copy
+from repro.dnscore import (
+    A,
+    RType,
+    SOA,
+    ValidationLimits,
+    make_rrset,
+    make_zone,
+    name,
+    validate_update,
+)
+
+ORIGIN = name("probe.akam.test")
+
+
+def base_zone(serial=10):
+    z = make_zone(ORIGIN,
+                  SOA(name("ns1.akam.test"), name("admin.akam.test"),
+                      serial, 7200, 3600, 1209600, 300),
+                  [name("a.ns.akam.net")])
+    for i in range(4):
+        z.add_rrset(make_rrset(name(f"h{i}.probe.akam.test"), RType.A, 300,
+                               [A(f"10.1.0.{i + 1}")]))
+    return z
+
+
+class TestExpiringSignedCopy:
+    def test_passes_publish_time_validation(self):
+        previous = base_zone()
+        copy = expiring_signed_copy(previous, seed=5, now=100.0,
+                                    validity=15.0)
+        report = validate_update(copy, previous=previous,
+                                 limits=ValidationLimits(now=100.0))
+        assert not report.fatal, report.describe()
+        assert copy.serial == previous.serial + 1
+
+    def test_goes_bogus_after_the_validity_window(self):
+        previous = base_zone()
+        copy = expiring_signed_copy(previous, seed=5, now=100.0,
+                                    validity=15.0)
+        report = validate_update(copy, previous=previous,
+                                 limits=ValidationLimits(now=116.0))
+        assert "signature-expired" in report.fatal_rules()
+
+    def test_content_preserved_minus_old_dnssec(self):
+        previous = base_zone()
+        copy = expiring_signed_copy(previous, seed=5, now=0.0, validity=30.0)
+        for i in range(4):
+            assert copy.get_rrset(name(f"h{i}.probe.akam.test"),
+                                  RType.A) is not None
+
+
+class TestMismatchedKeyCopy:
+    def test_statically_rejected_by_validator(self):
+        previous = base_zone()
+        copy = mismatched_key_copy(previous, seed=5, now=100.0)
+        report = validate_update(copy, previous=previous,
+                                 limits=ValidationLimits(now=100.0))
+        assert "rrsig-key-mismatch" in report.fatal_rules()
+
+    def test_rejected_even_without_a_clock(self):
+        # The mismatch is structural; the machine-side guard (which
+        # runs without a clock) must catch it too.
+        copy = mismatched_key_copy(base_zone(), seed=5, now=100.0)
+        report = validate_update(copy)
+        assert "rrsig-key-mismatch" in report.fatal_rules()

@@ -1,0 +1,156 @@
+"""Tests for the validator's structural DNSSEC rules.
+
+These rules live in ``dnscore`` and are deliberately non-cryptographic:
+key-tag membership, lifetime arithmetic, and NSEC cycle topology. The
+zones under test are produced by the real signer so the happy path is
+the genuine article.
+"""
+
+from repro.dnscore import (
+    A,
+    RType,
+    SOA,
+    ValidationLimits,
+    make_rrset,
+    make_zone,
+    name,
+    validate_update,
+)
+from repro.dnscore.rdata import NSEC
+from repro.dnssec.keys import KeyRing
+from repro.dnssec.sign import SigningPolicy, ZoneSigner
+
+ORIGIN = name("ex.com")
+
+
+def soa(serial):
+    return SOA(name("ns1.ex.com"), name("admin.ex.com"), serial,
+               7200, 3600, 1209600, 300)
+
+
+def unsigned_zone(serial=5, extra=4):
+    z = make_zone(ORIGIN, soa(serial),
+                  [name("a.ns.akam.net"), name("b.ns.akam.net")])
+    for i in range(extra):
+        z.add_rrset(make_rrset(name(f"h{i}.ex.com"), RType.A, 300,
+                               [A(f"192.0.2.{i + 1}")]))
+    return z
+
+
+def signed_zone(serial=5, now=0.0, validity=86_400.0, seed=3):
+    z = unsigned_zone(serial)
+    keys = KeyRing(seed, ORIGIN)
+    ZoneSigner(keys, SigningPolicy(sig_validity=validity,
+                                   inception_skew=0.0)).sign(z, now)
+    return z, keys
+
+
+class TestSignedHappyPath:
+    def test_freshly_signed_zone_is_clean(self):
+        zone, _ = signed_zone()
+        report = validate_update(zone, limits=ValidationLimits(now=100.0))
+        assert not report.fatal
+        assert report.issues == []
+
+    def test_unsigned_zone_unaffected_by_clock(self):
+        report = validate_update(unsigned_zone(),
+                                 limits=ValidationLimits(now=1e9))
+        assert not report.fatal
+        assert report.issues == []
+
+
+class TestSignatureExpiry:
+    def test_expired_rrsig_is_fatal_with_clock(self):
+        zone, _ = signed_zone(validity=15.0)
+        report = validate_update(zone, limits=ValidationLimits(now=100.0))
+        assert "signature-expired" in report.fatal_rules()
+        assert "expired" in report.describe()
+
+    def test_expiry_rule_needs_a_clock(self):
+        # Default limits carry no ``now``: the machine-side guard has
+        # no business judging lifetimes it cannot observe drift-free.
+        zone, _ = signed_zone(validity=15.0)
+        report = validate_update(zone)
+        assert "signature-expired" not in report.fatal_rules()
+        assert not report.fatal
+
+    def test_boundary_is_inclusive(self):
+        zone, _ = signed_zone(now=0.0, validity=50.0)
+        at_expiry = validate_update(zone, limits=ValidationLimits(now=50.0))
+        assert "signature-expired" in at_expiry.fatal_rules()
+        just_before = validate_update(zone,
+                                      limits=ValidationLimits(now=49.0))
+        assert not just_before.fatal
+
+
+class TestKeyMismatch:
+    def test_rrsigs_from_unpublished_keys_are_fatal(self):
+        zone, _ = signed_zone(seed=3)
+        # Swap the apex DNSKEY RRset for a different key ring's: every
+        # RRSIG now names tags the zone does not publish.
+        rogue = KeyRing(4, ORIGIN)
+        zone.add_rrset(rogue.dnskey_rrset(3600))
+        report = validate_update(zone, limits=ValidationLimits(now=10.0))
+        assert "rrsig-key-mismatch" in report.fatal_rules()
+
+    def test_mismatch_reported_without_clock_too(self):
+        zone, _ = signed_zone(seed=3)
+        zone.add_rrset(KeyRing(4, ORIGIN).dnskey_rrset(3600))
+        report = validate_update(zone)
+        assert "rrsig-key-mismatch" in report.fatal_rules()
+
+    def test_duplicate_issues_are_collapsed(self):
+        zone, _ = signed_zone(seed=3)
+        zone.add_rrset(KeyRing(4, ORIGIN).dnskey_rrset(3600))
+        report = validate_update(zone)
+        mismatches = [i for i in report.issues
+                      if i.rule == "rrsig-key-mismatch"]
+        # One issue per (owner, tag) pair, not one per RRSIG record:
+        # the apex yields two (ZSK tag on SOA/NS/NSEC, KSK tag on
+        # DNSKEY), every other name exactly one.
+        pairs = {i.message.split(", which")[0] for i in mismatches}
+        assert len(mismatches) == len(pairs)
+        apex_issues = [i for i in mismatches
+                       if i.message.startswith("RRSIG at ex.com.")]
+        assert len(apex_issues) == 2
+
+
+class TestNsecChain:
+    def test_intact_chain_passes(self):
+        zone, _ = signed_zone()
+        report = validate_update(zone)
+        assert "broken-nsec-chain" not in report.fatal_rules()
+
+    def test_dangling_next_pointer_is_fatal(self):
+        zone, _ = signed_zone()
+        nsec = zone.get_rrset(name("h0.ex.com"), RType.NSEC)
+        zone.add_rrset(make_rrset(
+            name("h0.ex.com"), RType.NSEC, nsec.ttl,
+            [NSEC(name("ghost.ex.com"), nsec.records[0].rdata.types)]))
+        report = validate_update(zone)
+        assert "broken-nsec-chain" in report.fatal_rules()
+        assert "owns no NSEC" in report.describe()
+
+    def test_missing_link_is_fatal(self):
+        zone, _ = signed_zone()
+        zone.remove_rrset(name("h1.ex.com"), RType.NSEC)
+        report = validate_update(zone)
+        assert "broken-nsec-chain" in report.fatal_rules()
+
+    def test_split_cycle_is_fatal(self):
+        zone, _ = signed_zone()
+        # Rewire h0 -> h1 -> h0 into a private loop, detaching them
+        # from the apex cycle.
+        for owner, nxt in ((name("h0.ex.com"), name("h1.ex.com")),
+                           (name("h1.ex.com"), name("h0.ex.com"))):
+            nsec = zone.get_rrset(owner, RType.NSEC)
+            zone.add_rrset(make_rrset(
+                owner, RType.NSEC, nsec.ttl,
+                [NSEC(nxt, nsec.records[0].rdata.types)]))
+        # Also break the apex-side chain so the walk cannot absorb them.
+        apex = zone.get_rrset(ORIGIN, RType.NSEC)
+        zone.add_rrset(make_rrset(
+            ORIGIN, RType.NSEC, apex.ttl,
+            [NSEC(name("h2.ex.com"), apex.records[0].rdata.types)]))
+        report = validate_update(zone)
+        assert "broken-nsec-chain" in report.fatal_rules()

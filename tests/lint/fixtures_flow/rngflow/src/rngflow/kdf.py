@@ -1,0 +1,15 @@
+"""Callers of the registered seed root, good and bad."""
+
+from .keys import derive_key
+
+
+def mint_good(seed):
+    return derive_key(seed, "zone")
+
+
+def mint_bad():
+    return derive_key(1234, "zone")
+
+
+def mint_kw_bad():
+    return derive_key(label="zone", seed=99)

@@ -1,0 +1,5 @@
+"""A key-derivation helper registrable as a FLOW001 seed root."""
+
+
+def derive_key(seed, label, index=0):
+    return (seed * 31 + index, label)

@@ -7,10 +7,10 @@ from repro.lint.flow import FlowConfig, analyze
 from .flowutil import load_contexts
 
 
-def rng_config(exempt=()):
+def rng_config(exempt=(), seed_roots=()):
     return FlowConfig(packages=("rngflow",), rng_exempt=exempt,
-                      hot_roots=(), workunit_roots=(),
-                      state_allowlist=())
+                      seed_roots=seed_roots, hot_roots=(),
+                      workunit_roots=(), state_allowlist=())
 
 
 def hot_config(roots):
@@ -83,6 +83,48 @@ class TestRngProvenance:
     def test_inline_suppression_honored(self):
         found = self.findings()
         assert not any("Random(7)" in f.message for f in found)
+
+
+class TestSeedRoots:
+    """Registered project-internal functions (``FlowConfig.seed_roots``)
+    are judged exactly like RNG constructors — the contract the DNSSEC
+    ``derive_keypair`` root carries in the real tree."""
+
+    ROOT = ("rngflow.keys:derive_key",)
+
+    def findings(self, seed_roots=ROOT):
+        return analyze(load_contexts("rngflow"),
+                       config=rng_config(seed_roots=seed_roots))
+
+    def kdf_findings(self, **kwargs):
+        return [f for f in self.findings(**kwargs)
+                if f.path.endswith("kdf.py")]
+
+    def test_constant_seed_to_root_flags(self):
+        found = self.kdf_findings()
+        assert any("derive_key(1234)" in f.message for f in found)
+        for finding in found:
+            assert finding.code == "FLOW001"
+            assert finding.severity is Severity.ERROR
+
+    def test_keyword_seed_spelling_judged_too(self):
+        found = self.kdf_findings()
+        assert any("derive_key(99)" in f.message for f in found)
+
+    def test_seed_derived_caller_is_clean(self):
+        lines = {f.line for f in self.kdf_findings()}
+        contexts = {c.path: c for c in load_contexts("rngflow")}
+        source = contexts["src/rngflow/kdf.py"].source_lines
+        good = next(i for i, t in enumerate(source, 1)
+                    if "derive_key(seed" in t)
+        assert good not in lines
+
+    def test_root_body_not_judged_against_itself(self):
+        assert not any(f.path.endswith("keys.py")
+                       for f in self.findings())
+
+    def test_unregistered_root_is_ignored(self):
+        assert self.kdf_findings(seed_roots=()) == []
 
 
 class TestHotPathPurity:
