@@ -4,7 +4,7 @@ PY ?= python
 LINT_PYTHONPATH = src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: install test bench bench-check bench-pytest chaos rollout-demo \
-        defend-demo dnssec-demo report report-fast examples lint \
+        defend-demo dnssec-demo gray-demo report report-fast examples lint \
         lint-flow clean
 
 install:
@@ -64,6 +64,12 @@ dnssec-demo:
 	$(PY) examples/dnssec_rollover.py
 	$(PY) -m repro.experiments.resilience_scorecard --fast --dnssec
 
+# Gray-failure walkthrough (external differential probing, verdicts,
+# probationary rejoin) plus the opt-in gray scorecard campaigns.
+gray-demo:
+	$(PY) examples/gray_failure.py
+	$(PY) -m repro.experiments.resilience_scorecard --fast --gray
+
 report:
 	$(PY) -m repro.experiments.runner
 
@@ -80,6 +86,7 @@ examples:
 	$(PY) examples/safe_rollout.py
 	$(PY) examples/defense_ladder.py
 	$(PY) examples/dnssec_rollover.py
+	$(PY) examples/gray_failure.py
 
 clean:
 	rm -rf .pytest_cache .benchmarks src/*.egg-info

@@ -14,6 +14,7 @@ from .injectors import (
     AttackInjector,
     ControlInjector,
     FaultInjector,
+    GrayInjector,
     NetsimInjector,
     ServerInjector,
     default_injectors,
@@ -29,6 +30,7 @@ __all__ = [
     "FaultInjector",
     "FaultKind",
     "FaultSpec",
+    "GrayInjector",
     "NetsimInjector",
     "ProbeOutcome",
     "ProbeWindow",

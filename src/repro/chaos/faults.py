@@ -42,6 +42,17 @@ kind                      seam it drives
                           does not publish, submitted through the same
                           seam; the validator's ``rrsig-key-mismatch``
                           rule must reject it outright
+``GRAY_BLACKHOLE``        ``NameserverMachine.set_gray_fault("blackhole")``
+                          — every data-path query silently dropped
+                          while ``health_probe`` keeps answering
+``GRAY_CORRUPT``          ``set_gray_fault("corrupt")`` — NOERROR
+                          responses silently lose their answer section
+``GRAY_STALE``            ``set_gray_fault("stale")`` — zone installs
+                          silently no-op; the machine serves a frozen
+                          zone while reporting the update landed
+``GRAY_PARTIAL_DROP``     ``set_gray_fault("partial_drop", severity)``
+                          — a per-source-hash slice of resolvers is
+                          silently dropped (severity = drop fraction)
 ========================  =====================================================
 """
 
@@ -69,6 +80,10 @@ class FaultKind(enum.Enum):
     ATTACK_FLOOD = "attack_flood"
     SIGNATURE_EXPIRY = "signature_expiry"
     KEY_MISMATCH = "key_mismatch"
+    GRAY_BLACKHOLE = "gray_blackhole"
+    GRAY_CORRUPT = "gray_corrupt"
+    GRAY_STALE = "gray_stale"
+    GRAY_PARTIAL_DROP = "gray_partial_drop"
 
 
 @dataclass(frozen=True, slots=True)

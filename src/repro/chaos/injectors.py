@@ -337,6 +337,44 @@ class AttackInjector:
             attack.stop()
 
 
+class GrayInjector:
+    """Gray faults: the machine looks healthy while the data path lies.
+
+    Drives :meth:`NameserverMachine.set_gray_fault` — the public chaos
+    seam that degrades only the *real* query path. ``health_probe`` is
+    deliberately unaffected, so the on-machine monitoring agent never
+    sees these faults; only the external differential prober
+    (``control.grayfail``) can.
+    """
+
+    kinds = frozenset({FaultKind.GRAY_BLACKHOLE, FaultKind.GRAY_CORRUPT,
+                       FaultKind.GRAY_STALE, FaultKind.GRAY_PARTIAL_DROP})
+
+    _GRAY_KIND = {
+        FaultKind.GRAY_BLACKHOLE: "blackhole",
+        FaultKind.GRAY_CORRUPT: "corrupt",
+        FaultKind.GRAY_STALE: "stale",
+        FaultKind.GRAY_PARTIAL_DROP: "partial_drop",
+    }
+
+    def __init__(self, deployment: AkamaiDNSDeployment) -> None:
+        self.deployment = deployment
+
+    def inject(self, spec: FaultSpec) -> None:
+        severity = spec.severity
+        if spec.kind is FaultKind.GRAY_PARTIAL_DROP \
+                and not 0.0 < severity <= 1.0:
+            raise ValueError("GRAY_PARTIAL_DROP severity is a drop "
+                             f"fraction in (0, 1], got {severity}")
+        for dep in _target_deployments(self.deployment, spec.target):
+            dep.machine.set_gray_fault(self._GRAY_KIND[spec.kind],
+                                       severity)
+
+    def clear(self, spec: FaultSpec) -> None:
+        for dep in _target_deployments(self.deployment, spec.target):
+            dep.machine.set_gray_fault(None)
+
+
 def _corrupted_copy(zone: Zone) -> Zone:
     """A truncated transfer: only the apex survives, contents are lost.
 
@@ -470,7 +508,7 @@ def default_injectors(deployment: AkamaiDNSDeployment
     table: dict[FaultKind, FaultInjector] = {}
     for injector in (NetsimInjector(deployment), ServerInjector(deployment),
                      ControlInjector(deployment),
-                     AttackInjector(deployment)):
+                     AttackInjector(deployment), GrayInjector(deployment)):
         for kind in injector.kinds:
             table[kind] = injector
     return table

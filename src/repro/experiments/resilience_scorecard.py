@@ -171,6 +171,19 @@ class CampaignSLO:
     #: probe zone itself) and grade that the collateral-damage guardrail
     #: auto-reverts and latches it within its soak window.
     defense_overblock: bool = False
+    #: Enable the external gray-failure prober (control.grayfail) on
+    #: this campaign's deployment and grade conviction through the
+    #: suspension quorum, self-monitor blindness, detection latency,
+    #: and probationary rejoin.
+    gray: bool = False
+    #: Grade the quorum guard instead of single-machine conviction:
+    #: correlated gray faults beyond the suspension budget must NOT
+    #: mass-suspend — suspensions stay within budget, at least one
+    #: request is denied, and the fleet degrades but keeps serving.
+    gray_quorum_guard: bool = False
+    #: Fleet availability floor over the gray-fault window in the
+    #: quorum-guard campaign (degraded-but-serving beats dark).
+    gray_floor: float = 0.50
 
 
 @dataclass(slots=True)
@@ -209,6 +222,23 @@ class CampaignOutcome:
     #: Engage-to-revert delta of the first guardrail-reverted rung.
     defense_revert_after: float | None = None
     defense_timeline: list[str] = field(default_factory=list)
+    #: Gray-failure prober measurements (gray campaigns only).
+    gray_convictions: int = 0
+    gray_suspensions: int = 0
+    gray_denials: int = 0
+    gray_rejoins: int = 0
+    gray_budget: int = 0
+    #: verdict value -> machine count when the campaign ended.
+    gray_final_verdicts: dict[str, int] = field(default_factory=dict)
+    #: Seconds from the first gray inject to the first conviction.
+    gray_ttd_seconds: float | None = None
+    #: Slowest first-differential-evidence-to-conviction latency.
+    gray_detection_latency: float | None = None
+    #: machine_id -> its *own* health suite verdict at conviction time
+    #: (True == still calling itself healthy: the gray property).
+    gray_self_healthy: dict[str, bool] = field(default_factory=dict)
+    #: (first inject, last clear) across the campaign's gray faults.
+    gray_window: tuple[float, float] | None = None
 
     @property
     def worst_recovery(self) -> float | None:
@@ -411,6 +441,59 @@ def dnssec_campaigns(deployment: AkamaiDNSDeployment,
     return suite
 
 
+def gray_campaigns(deployment: AkamaiDNSDeployment,
+                   seed: int) -> list[tuple[Campaign, CampaignSLO]]:
+    """The opt-in gray-failure detection suite (``--gray``).
+
+    Kept out of :func:`standard_campaigns` so the standard scorecard's
+    output stays byte-identical whether or not the external prober is
+    exercised. The two campaigns bracket the two failure modes that
+    matter for gray faults:
+
+    * a single machine silently corrupting answers while its own
+      health probes stay green — only external differential probing
+      can see it, and the response must route through the suspension
+      quorum, then probation, then rejoin;
+    * correlated gray faults on *more* machines than the suspension
+      budget allows — the quorum coordinator must refuse to
+      mass-suspend, because a degraded platform that answers beats a
+      "clean" platform that is dark (section 4.2.2's capacity bound).
+    """
+    machine_ids = sorted(d.machine.machine_id
+                         for d in deployment.regular_deployments())
+    budget = deployment.coordinator.max_concurrent
+    suite: list[tuple[Campaign, CampaignSLO]] = []
+
+    c = Campaign("gray-corruption", duration=95.0, seed=seed,
+                 description="one machine silently strips every answer "
+                             "section while its own health probes stay "
+                             "green; the external prober convicts it by "
+                             "differential comparison, the quorum "
+                             "suspends it, and probation rejoins it "
+                             "after the fault clears")
+    c.add(FaultSpec(FaultKind.GRAY_CORRUPT, machine_ids[0],
+                    Schedule.once(WARMUP, 35.0)))
+    suite.append((c, CampaignSLO(min_overall=0.70, min_worst_window=0.0,
+                                 gray=True)))
+
+    # More gray machines than the coordinator will ever suspend at
+    # once, but still a strict minority of the probed fleet (the
+    # majority-answer reference needs honest peers to out-vote liars).
+    correlated = min(budget + 2, (len(machine_ids) - 1) // 2)
+    c = Campaign("gray-quorum-guard", duration=100.0, seed=seed,
+                 description=f"{correlated} machines go gray at once — "
+                             f"beyond the suspension budget of {budget}; "
+                             "the quorum refuses to mass-suspend and the "
+                             "fleet degrades but keeps serving")
+    for machine_id in machine_ids[:correlated]:
+        c.add(FaultSpec(FaultKind.GRAY_CORRUPT, machine_id,
+                        Schedule.once(WARMUP, 40.0)))
+    suite.append((c, CampaignSLO(min_overall=0.55, min_worst_window=0.0,
+                                 gray=True, gray_quorum_guard=True)))
+
+    return suite
+
+
 class _BlastRecorder:
     """Observes every machine's responses, recording wrong answers.
 
@@ -445,12 +528,18 @@ class _BlastRecorder:
 
 def build_deployment(params: ScorecardParams, *,
                      rollout: bool = False,
-                     defense: bool = False) -> AkamaiDNSDeployment:
+                     defense: bool = False,
+                     gray: bool = False) -> AkamaiDNSDeployment:
     """A fresh platform with the probe zone (wildcard answers) live.
 
     With ``rollout`` the safe-rollout train is wired in (canary cohort,
     health gate, ``ROLLOUT_SOAK`` soak) and every machine validates
     zone updates before install.
+
+    With ``gray`` the external gray-failure prober
+    (:class:`~repro.control.grayfail.GrayFailController`) is enabled
+    after settle, so the baseline before the first fault is already
+    under differential audit.
 
     With ``defense`` the machines are deliberately under-provisioned
     (a few hundred qps of compute, a short queue) so a chaos-campaign
@@ -480,6 +569,8 @@ def build_deployment(params: ScorecardParams, *,
     if defense:
         deployment.provision_enterprise("victim-enterprise", VICTIM_ZONE)
     deployment.settle(30)
+    if gray:
+        deployment.enable_grayfail()
     return deployment
 
 
@@ -550,6 +641,7 @@ def run_campaign(params: ScorecardParams, campaign: Campaign,
     """
     rollout = slo is not None and slo.rollout
     defense = slo is not None and slo.defense
+    gray = slo is not None and slo.gray
     # Defense campaigns arm mitigations: the controller mutates sim
     # state (policies, filters, firewall rules, BGP exports) by design.
     # Every other campaign keeps the session passive.
@@ -565,8 +657,22 @@ def run_campaign(params: ScorecardParams, campaign: Campaign,
     telemetry.alerts.add(detector, "probe.fail")
     with _telemetry_state.session(telemetry):
         deployment = build_deployment(params, rollout=rollout,
-                                      defense=defense)
+                                      defense=defense, gray=gray)
         recorder = _BlastRecorder(deployment) if rollout else None
+        grayfail = deployment.grayfail
+        gray_self: dict[str, bool] = {}
+        if grayfail is not None:
+            # At the instant the external prober convicts a machine,
+            # snapshot what the machine's *own* monitoring suite says.
+            # A green self-report here is the gray-failure property
+            # itself: internal probes blind, external evidence damning.
+            agents = {d.machine.machine_id: d.agent
+                      for d in deployment.regular_deployments()}
+            def _snapshot_self_view(machine_id: str) -> None:
+                agent = agents.get(machine_id)
+                if agent is not None and machine_id not in gray_self:
+                    gray_self[machine_id] = agent.run_suite().healthy
+            grayfail.on_convict.append(_snapshot_self_view)
         controller = (_wire_defense(deployment, telemetry, campaign, slo)
                       if defense else None)
         resolver = deployment.add_resolver("slo-resolver")
@@ -660,6 +766,31 @@ def run_campaign(params: ScorecardParams, campaign: Campaign,
                 outcome.defense_revert_after = (transition.time
                                                 - prior[-1].time)
             break
+    if grayfail is not None:
+        outcome.gray_convictions = grayfail.convictions
+        outcome.gray_suspensions = grayfail.suspensions
+        outcome.gray_denials = grayfail.denials
+        outcome.gray_rejoins = grayfail.rejoins
+        outcome.gray_budget = deployment.coordinator.max_concurrent
+        outcome.gray_final_verdicts = grayfail.verdict_counts()
+        outcome.gray_self_healthy = dict(gray_self)
+        if grayfail.detections:
+            outcome.gray_detection_latency = max(
+                latency for _, latency in grayfail.detections)
+        gray_injects = [e.time for e in engine.events
+                        if e.action == "inject"
+                        and e.spec.kind.value.startswith("gray_")]
+        gray_clears = [e.time for e in engine.clears()
+                       if e.spec.kind.value.startswith("gray_")]
+        if gray_injects and gray_clears:
+            outcome.gray_window = (min(gray_injects), max(gray_clears))
+        if gray_injects:
+            convicted_at = [t for t, _, verdict in grayfail.timeline
+                            if verdict == "convicted"
+                            and t >= min(gray_injects)]
+            if convicted_at:
+                outcome.gray_ttd_seconds = (min(convicted_at)
+                                            - min(gray_injects))
     return outcome
 
 
@@ -862,6 +993,86 @@ def run_unit(params: ScorecardParams, index: int,
                 outcome.defense_reverts >= 1
                 and revert_after is not None
                 and revert_after <= OVERBLOCK_SOAK)
+    if slo.gray:
+        result.metrics[f"{prefix}.gray_convictions"] = float(
+            outcome.gray_convictions)
+        result.metrics[f"{prefix}.gray_suspensions"] = float(
+            outcome.gray_suspensions)
+        result.metrics[f"{prefix}.gray_denials"] = float(
+            outcome.gray_denials)
+        result.metrics[f"{prefix}.gray_rejoins"] = float(
+            outcome.gray_rejoins)
+        if outcome.gray_ttd_seconds is not None:
+            result.metrics[f"{prefix}.gray_ttd_s"] = \
+                outcome.gray_ttd_seconds
+        if outcome.gray_detection_latency is not None:
+            result.metrics[f"{prefix}.gray_evidence_to_conviction_s"] = \
+                outcome.gray_detection_latency
+        verdicts = outcome.gray_final_verdicts
+        healthy_fleet = set(verdicts) <= {"healthy"}
+        verdict_text = ", ".join(f"{count} {verdict}"
+                                 for verdict, count in sorted(
+                                     verdicts.items()))
+        if slo.gray_quorum_guard:
+            result.compare(
+                f"{prefix}: quorum refuses to mass-suspend",
+                f"suspensions <= budget of {outcome.gray_budget}, "
+                f">= 1 denial",
+                f"{outcome.gray_convictions} convicted, "
+                f"{outcome.gray_suspensions} suspended, "
+                f"{outcome.gray_denials} denied",
+                0 < outcome.gray_suspensions <= outcome.gray_budget
+                and outcome.gray_denials >= 1)
+            floor = None
+            if outcome.gray_window is not None:
+                floor = report.availability_between(*outcome.gray_window)
+                result.metrics[f"{prefix}.gray_window_availability"] = \
+                    floor
+            result.compare(
+                f"{prefix}: degraded but serving through the gray storm",
+                f">= {slo.gray_floor:.0%} availability over the "
+                f"fault window",
+                ("no gray fault window" if floor is None
+                 else f"{floor:.1%}"),
+                floor is not None and floor >= slo.gray_floor)
+            result.compare(
+                f"{prefix}: fleet heals after the faults clear",
+                "all verdicts healthy, suspended machines rejoined",
+                f"final verdicts: {verdict_text}; "
+                f"{outcome.gray_rejoins} rejoined",
+                healthy_fleet and outcome.gray_rejoins >= 1)
+        else:
+            result.compare(
+                f"{prefix}: gray machine convicted and quorum-suspended",
+                "conviction routed through the suspension quorum",
+                f"{outcome.gray_convictions} conviction(s), "
+                f"{outcome.gray_suspensions} quorum-granted "
+                f"suspension(s)",
+                outcome.gray_convictions >= 1
+                and outcome.gray_suspensions >= 1)
+            blind = outcome.gray_self_healthy
+            result.compare(
+                f"{prefix}: self-monitoring stays blind (gray property)",
+                "machine's own health suite green at conviction time",
+                (f"{sum(blind.values())}/{len(blind)} convicted "
+                 f"machine(s) self-reported healthy" if blind
+                 else "no conviction recorded"),
+                bool(blind) and all(blind.values()))
+            gray_ttd = outcome.gray_ttd_seconds
+            result.compare(
+                f"{prefix}: external prober detects within budget",
+                f"conviction <= {params.max_detection_seconds:.0f}s "
+                f"after inject",
+                ("never convicted" if gray_ttd is None
+                 else f"TTD {gray_ttd:.1f}s"),
+                gray_ttd is not None
+                and gray_ttd <= params.max_detection_seconds)
+            result.compare(
+                f"{prefix}: probationary rejoin after the fault clears",
+                ">= 1 rejoin, fleet back to all-healthy verdicts",
+                f"{outcome.gray_rejoins} rejoin(s), final verdicts: "
+                f"{verdict_text}",
+                outcome.gray_rejoins >= 1 and healthy_fleet)
     ttd = outcome.detection_seconds
     if slo.expect_dip:
         # Client-visible degradation must also be *operator*-visible:
@@ -928,6 +1139,21 @@ def run_dnssec(params: ScorecardParams | None = None,
                      for index in indices])
 
 
+def run_gray(params: ScorecardParams | None = None,
+             verbose: bool = False,
+             only: str | None = None) -> ExperimentResult:
+    """Run the opt-in gray-failure detection suite (``--gray``)."""
+    params = params or ScorecardParams()
+    suite = gray_campaigns(build_deployment(params), params.seed)
+    indices = list(range(len(suite)))
+    if only is not None:
+        indices = [i for i in indices if only in suite[i][0].name]
+        if not indices:
+            raise SystemExit(f"no campaign matches {only!r}")
+    return assemble([run_unit(params, index, verbose, suite=suite)
+                     for index in indices])
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--fast", action="store_true",
@@ -941,10 +1167,17 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--dnssec", action="store_true",
                         help="run the opt-in DNSSEC rollover-containment "
                              "suite instead of the standard one")
+    parser.add_argument("--gray", action="store_true",
+                        help="run the opt-in gray-failure detection "
+                             "suite instead of the standard one")
     args = parser.parse_args(argv)
     params = ScorecardParams.fast(args.seed) if args.fast \
         else ScorecardParams(seed=args.seed)
-    runner = run_dnssec if args.dnssec else run
+    runner = run
+    if args.dnssec:
+        runner = run_dnssec
+    if args.gray:
+        runner = run_gray
     result = runner(params, verbose=args.verbose, only=args.campaign)
     print(result.render())
     return 0 if result.all_hold else 1

@@ -18,7 +18,10 @@ Three families, mirroring the determinism contract in
   guarded install seam (validator + last-known-good retention), never
   straight into a ``ZoneStore``; mitigations engage through the
   alert-driven paths (``telemetry.mitigation.arm``, the
-  ``control.defense`` ladder), never by direct ``engage()`` calls.
+  ``control.defense`` ladder), never by direct ``engage()`` calls;
+  machine suspend/resume verdicts route through the quorum
+  suspension lease (``control.consensus``), never by direct
+  ``suspend()``/``resume()`` calls.
 """
 
 from __future__ import annotations
@@ -463,6 +466,58 @@ class MitigatorEngageRule(Rule):
         self.generic_visit(node)
 
 
+#: Modules allowed to drive machine suspend/resume directly: the
+#: gray-failure verdict controller (every transition it makes is
+#: already gated on a quorum lease) and the restart/recovery flows.
+_SUSPEND_EXEMPT = (
+    "src/repro/control/grayfail.py",
+    "src/repro/control/recovery.py",
+)
+
+#: Receiver names that identify a nameserver-machine call site.
+def _is_machine_name(identifier: str) -> bool:
+    return identifier == "machine" or identifier.endswith("_machine")
+
+
+class SuspensionPathRule(Rule):
+    code = "ROB003"
+    name = "unguarded-suspension"
+    severity = Severity.ERROR
+    description = ("Direct NameserverMachine.suspend()/resume() calls "
+                   "skip the quorum lease that bounds how much capacity "
+                   "may be down at once (section 4.2.2); route verdicts "
+                   "through control.consensus.SuspensionCoordinator "
+                   "(request/release) and suspend only on a grant. "
+                   "Grant-guarded sites carry an inline suppression.")
+    scopes = ("src/repro/",)
+
+    @classmethod
+    def applies_to(cls, path: str) -> bool:
+        if not super().applies_to(path):
+            return False
+        norm = "/" + path.replace("\\", "/").lstrip("/")
+        return not any(f"/{entry}" in norm
+                       for entry in _SUSPEND_EXEMPT)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (isinstance(func, ast.Attribute)
+                and func.attr in ("suspend", "resume")):
+            receiver = func.value
+            is_machine = (
+                (isinstance(receiver, ast.Name)
+                 and _is_machine_name(receiver.id))
+                or (isinstance(receiver, ast.Attribute)
+                    and _is_machine_name(receiver.attr)))
+            if is_machine:
+                self.report(node, f"direct machine `{func.attr}()` "
+                                  f"bypasses the quorum suspension lease "
+                                  f"(capacity bound); request a lease "
+                                  f"from the SuspensionCoordinator and "
+                                  f"act only on a grant")
+        self.generic_visit(node)
+
+
 ALL_RULES: tuple[type[Rule], ...] = (
     WallClockRule,
     GlobalRandomRule,
@@ -476,6 +531,7 @@ ALL_RULES: tuple[type[Rule], ...] = (
     BarePrintRule,
     ZoneInstallRule,
     MitigatorEngageRule,
+    SuspensionPathRule,
 )
 
 

@@ -28,6 +28,11 @@ from ..control.recovery import RecoverySystem
 from ..control.reporting import TrafficCollector
 from ..control.rollout import Release, RolloutCoordinator, RolloutParams
 from ..control.consensus import QuorumSuspensionCoordinator
+from ..control.grayfail import (
+    GrayFailController,
+    GrayFailParams,
+    GrayTarget,
+)
 from ..dnscore.name import Name, name
 from ..dnscore.rdata import A, AAAA, CNAME, NS, SOA
 from ..dnscore.records import make_rrset
@@ -203,6 +208,10 @@ class AkamaiDNSDeployment:
 
         #: Resolvers created through :meth:`add_resolver`.
         self.resolvers: dict[str, RecursiveResolver] = {}
+
+        #: External gray-failure prober; None until
+        #: :meth:`enable_grayfail` opts in.
+        self.grayfail: GrayFailController | None = None
 
     # -- topology/cloud wiring ----------------------------------------------------
 
@@ -624,6 +633,49 @@ class AkamaiDNSDeployment:
 
     def input_delayed_deployments(self) -> list[MachineDeployment]:
         return [d for d in self.deployments if d.input_delayed]
+
+    # -- gray-failure detection ---------------------------------------------
+
+    def enable_grayfail(self, params: GrayFailParams | None = None
+                        ) -> GrayFailController:
+        """Attach the external gray-failure prober (control.grayfail).
+
+        Opt-in: deployments that never call this are byte-identical to
+        builds without the subsystem. Vantage hosts are attached
+        *co-located* at each PoP router so the prober judges machine
+        health, not Internet reachability, and all topology randomness
+        draws from a dedicated RNG stream — the deployment's own draw
+        order (and therefore every existing figure) is untouched.
+
+        Input-delayed machines are deliberately not probed: they are
+        intentionally stale, and the differential auditor would convict
+        them for exactly the property that makes them useful.
+        """
+        if self.grayfail is not None:
+            return self.grayfail
+        params = params or GrayFailParams()
+        rng = random.Random(self.params.seed ^ 0x67726179)
+        vantages: dict[str, list[str]] = {}
+        for pop_id in self.pop_ids:
+            hosts = []
+            for index in range(params.vantages_per_pop):
+                host_id = f"gray-vp-{pop_id}-{index}"
+                attach_host(self.internet, rng, host_id=host_id,
+                            attach_to=pop_id)
+                hosts.append(host_id)
+            vantages[pop_id] = hosts
+        targets = []
+        for deployment in self.regular_deployments():
+            pop_id = deployment.machine.machine_id.rsplit("-m", 1)[0]
+            targets.append(GrayTarget(
+                deployment.machine, deployment.speaker, self.pops[pop_id],
+                deployment.speaker.clouds[0]))
+        self.grayfail = GrayFailController(
+            self.loop, self.network, targets, self.coordinator,
+            params=params, vantages=vantages,
+            probe_qname=self.clouds[0].ns_hostname,
+            probe_origin=name("akam.net"))
+        return self.grayfail
 
     # -- safe rollout -------------------------------------------------------
 

@@ -18,6 +18,7 @@ queries until its rule expires (section 4.2.4).
 from __future__ import annotations
 
 import enum
+import zlib
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -60,6 +61,12 @@ class QueryEnvelope:
     is_attack: bool = False
     poison: bool = False
     tcp: bool = False
+    #: Shadow probes are out-of-band gray-failure probes (control.
+    #: grayfail): a *suspended* machine still serves them through the
+    #: real data path so the external prober can observe recovery
+    #: before traffic is restored. Ignored while the machine is
+    #: RUNNING (shadow probes then ride the normal path).
+    shadow: bool = False
     #: Telemetry trace context (a sampled Span) or None. Purely
     #: observational: simulator logic must never branch on it.
     trace: object | None = None
@@ -97,6 +104,10 @@ class MachineMetrics:
     received: int = 0
     answered: int = 0
     dropped_not_running: int = 0
+    #: Queries silently swallowed by an injected gray fault (blackhole
+    #: or partial per-resolver drop) — invisible to the machine's own
+    #: health probe by construction.
+    dropped_gray: int = 0
     dropped_firewall: int = 0
     dropped_io: int = 0
     dropped_queue: int = 0
@@ -185,6 +196,11 @@ class NameserverMachine:
         #: Injected hardware/software fault: None, "unresponsive", or
         #: "wrong_answer" (e.g. answering from a failed disk's stale data).
         self.fault: str | None = None
+        #: Injected *gray* fault: ``(kind, severity)`` or None. Gray
+        #: faults corrupt only the data path — :meth:`health_probe`
+        #: deliberately does not see them, which is the failure class
+        #: the external prober (control.grayfail) exists to catch.
+        self.gray_fault: tuple[str, float] | None = None
         #: Timestamp of the most recent metadata input (staleness checks).
         self.last_input_time = 0.0
         #: Dispatch table for metadata kinds ("mapping", "zone", ...).
@@ -282,6 +298,14 @@ class NameserverMachine:
         skips validation (the restored serial is older by construction)
         and does not overwrite the retained version.
         """
+        if self._gray_kind() == "stale" and not rollback:
+            # Frozen-stale gray fault: the update is silently dropped
+            # while the delivery path is told it landed. No log entry,
+            # no counter — the machine genuinely believes it installed
+            # the update, its staleness clock keeps ticking forward,
+            # and only an external observer comparing SOA serials
+            # across peers can tell (control.grayfail's auditor).
+            return True
         store = self.engine.store
         previous = store.get(zone.origin)
         if (self.config.zone_guard_enabled and not rollback
@@ -389,6 +413,68 @@ class NameserverMachine:
         if rung is not None:
             shed = self.metrics.shed_by_rung
             shed[rung] = shed.get(rung, 0) + 1
+
+    # -- gray faults (chaos seam) ----------------------------------------------
+
+    def set_gray_fault(self, kind: str | None,
+                       severity: float = 1.0) -> None:
+        """Public chaos seam for data-path-only ("gray") faults.
+
+        ``kind`` is one of:
+
+        * ``"blackhole"`` — every data query is silently dropped while
+          the process (and so :meth:`health_probe`) stays healthy;
+        * ``"partial_drop"`` — queries from a deterministic
+          ``severity`` fraction of source addresses are dropped, the
+          per-resolver partial failure shape;
+        * ``"corrupt"`` — answers are silently emptied (rcode stays
+          NOERROR), so clients see wrong data with a green status;
+        * ``"stale"`` — zone updates are dropped while reporting
+          success, freezing the served content at its current serial;
+        * ``None`` — clear the fault.
+
+        :meth:`health_probe` deliberately never reflects any of these:
+        a machine under a gray fault passes its own monitoring-agent
+        suite, which is exactly what the external differential prober
+        (:mod:`repro.control.grayfail`) exists to catch.
+        """
+        if kind not in (None, "blackhole", "partial_drop", "corrupt",
+                        "stale"):
+            raise ValueError(f"unknown gray fault kind {kind!r}")
+        self.gray_fault = None if kind is None else (kind, severity)
+
+    def _gray_kind(self) -> str | None:
+        fault = self.gray_fault
+        return fault[0] if fault is not None else None
+
+    def _gray_drops(self, src: str) -> bool:
+        """Whether the active gray fault swallows a query from ``src``.
+
+        Partial drop is per-source and deterministic: a given resolver
+        either always or never loses its queries to this machine,
+        which is the real-world shape (a poisoned connection table, a
+        bad NIC queue) the answered-fraction auditor rule detects by
+        probing from several vantage addresses.
+        """
+        fault = self.gray_fault
+        if fault is None:
+            return False
+        kind, severity = fault
+        if kind == "blackhole":
+            return True
+        if kind == "partial_drop":
+            return (zlib.crc32(src.encode("ascii")) % 997) / 997.0 \
+                < severity
+        return False
+
+    def _gray_degrade(self, response: Message) -> None:
+        """Apply the answer-corrupting gray fault to a data response."""
+        if self._gray_kind() == "corrupt" \
+                and response.flags.rcode == RCode.NOERROR:
+            # Silent corruption: the status says success, the payload
+            # is gone. SOA self-probes don't traverse this path, so
+            # the machine keeps reporting healthy.
+            response.answers.clear()
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -519,7 +605,22 @@ class NameserverMachine:
         if _t is not None:
             _t.query_received(self.machine_id, self.loop.now)
 
+        if self.gray_fault is not None and self._gray_drops(dgram.src):
+            # Swallowed below every layer the machine can observe: no
+            # rcode, no log line, no health-probe signal. Only the
+            # metric (experiment-side ground truth) records it.
+            metrics.dropped_gray += 1
+            if _t is not None:
+                _t.query_dropped(self.machine_id, "gray")
+            return
+
         if self.state != MachineState.RUNNING:
+            if envelope.shadow and self.state == MachineState.SUSPENDED:
+                # Probation shadow probes: the suspended process still
+                # runs, so the external prober may exercise the data
+                # path out-of-band before traffic is restored.
+                self._serve_shadow(dgram, envelope)
+                return
             metrics.dropped_not_running += 1
             if _t is not None:
                 _t.query_dropped(self.machine_id, "not_running")
@@ -612,6 +713,8 @@ class NameserverMachine:
         if self.fault == "wrong_answer":
             response.answers.clear()
             response.flags.rcode = RCode.SERVFAIL
+        if self.gray_fault is not None:
+            self._gray_degrade(response)
         # The filter only learns from negative answers; hoisting the
         # rcode check keeps armed-but-idle sessions (filter installed,
         # no flood) from paying a call per response.
@@ -638,3 +741,44 @@ class NameserverMachine:
                 _t.tracer.finish(span, now)
         self.respond(dgram, response)
         self._kick()
+
+    # -- shadow service (probation probes) --------------------------------------
+
+    def _serve_shadow(self, dgram: Datagram,
+                      envelope: QueryEnvelope) -> None:
+        """Serve a shadow probe while suspended, off the main queue.
+
+        The penalty queues stay parked during suspension (queries that
+        were in flight at suspension time must not leak answers), so
+        shadow probes take a dedicated single-shot path that still
+        models compute service time and still passes through the same
+        response-generation seams — engine, injected faults, gray
+        degradation — that live traffic would. That fidelity is the
+        point: probation is only meaningful if a still-sick machine
+        fails its shadow probes the same way it failed live queries.
+        """
+        service_time = 1.0 / self.config.compute_capacity_qps
+        self.loop.call_later(service_time, self._complete_shadow,
+                             dgram, envelope)
+
+    def _complete_shadow(self, dgram: Datagram,
+                         envelope: QueryEnvelope) -> None:
+        if self.state == MachineState.CRASHED:
+            return
+        if self.fault == "unresponsive":
+            return
+        response = self.engine.respond(envelope.message,
+                                       client_key=dgram.src)
+        if self.fault == "wrong_answer":
+            response.answers.clear()
+            response.flags.rcode = RCode.SERVFAIL
+        if self.gray_fault is not None:
+            self._gray_degrade(response)
+        metrics = self.metrics
+        metrics.answered += 1
+        metrics.legit_answered += 1
+        _t = _telemetry.ACTIVE
+        if _t is not None:
+            _t.query_answered(self.machine_id,
+                              response.flags.rcode.name, self.loop.now)
+        self.respond(dgram, response)

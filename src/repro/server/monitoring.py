@@ -13,7 +13,7 @@ wholesale (section 4.2.1's consensus limit).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Protocol
 
 from ..dnscore.message import make_query
@@ -48,12 +48,23 @@ class AgentMetrics:
 RegressionTest = Callable[[NameserverMachine], bool]
 
 
-@dataclass(slots=True)
+@dataclass(frozen=True, slots=True)
 class HealthReport:
-    """Outcome of one test-suite run."""
+    """Outcome of one test-suite run.
+
+    Frozen because the all-clear report is a shared singleton
+    (``MonitoringAgent._HEALTHY``): a consumer that mutated it would
+    poison every later cycle of every agent in the deployment.
+    ``reasons`` is likewise coerced to a tuple so the sequence cannot be
+    extended in place.
+    """
 
     healthy: bool
-    reasons: list[str] = field(default_factory=list)
+    reasons: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.reasons, tuple):
+            object.__setattr__(self, "reasons", tuple(self.reasons))
 
 
 class MonitoringAgent:
@@ -108,9 +119,9 @@ class MonitoringAgent:
     # -- periodic test suite -------------------------------------------------------
 
     #: Shared all-clear report: the overwhelmingly common outcome, so
-    #: the per-cycle list + dataclass allocation is skipped. Read-only
-    #: by contract (consumers only inspect it).
-    _HEALTHY = HealthReport(True, [])
+    #: the per-cycle dataclass allocation is skipped. Safe to share
+    #: because HealthReport is frozen.
+    _HEALTHY = HealthReport(True)
 
     def run_suite(self) -> HealthReport:
         """Run the full test suite once and report."""
@@ -199,6 +210,9 @@ class MonitoringAgent:
                 _t.machine_lifecycle(self.machine.machine_id, "denied",
                                      self.loop.now)
             return
+        # The quorum grant was obtained just above; this is the one
+        # sanctioned direct-suspension site outside the controllers.
+        # reprolint: disable-next=ROB003
         self.machine.suspend()
         self.speaker.withdraw_all()
         self._suspended_by_agent = True
@@ -206,6 +220,9 @@ class MonitoringAgent:
 
     def _handle_healthy(self) -> None:
         if self._suspended_by_agent:
+            # Resume releases the lease below; paired with the granted
+            # suspension in _handle_unhealthy.
+            # reprolint: disable-next=ROB003
             self.machine.resume()
             self.speaker.advertise_all()
             self._suspended_by_agent = False

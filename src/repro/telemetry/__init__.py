@@ -175,6 +175,17 @@ class Telemetry:
             "dnssec_rollover_steps_total",
             "key-rollover state machine events",
             ("origin", "kind", "step"))
+        self._c_gray = reg.counter(
+            "gray_verdicts_total",
+            "gray-failure verdict transitions (control.grayfail)",
+            ("machine", "verdict"))
+        self._g_gray = reg.gauge(
+            "gray_verdict_state",
+            "current verdict level (0 healthy, 1 suspect, 2 convicted, "
+            "3 probation)", ("machine",))
+        self._h_gray_detect = reg.histogram(
+            "gray_detection_seconds",
+            "first differential evidence to conviction").labels()
 
     # -- clock / epoch ------------------------------------------------------
 
@@ -295,6 +306,24 @@ class Telemetry:
         if trace_id is not None:
             self.tracer.instant(trace_id, f"defense.{action}", "defense",
                                 now, rung=rung, level=level)
+
+    def gray_verdict(self, machine_id: str, verdict: str, level: int,
+                     now: float) -> None:
+        """The gray-failure controller moved a machine's verdict.
+
+        ``level`` is the verdict's gauge encoding *after* the move, so
+        the per-machine gauge reads 0 once a machine is exonerated.
+        """
+        self._c_gray.labels(machine_id, verdict).inc()
+        self._g_gray.labels(machine_id).set(float(level))
+        self.alerts.observe("gray", now, float(level))
+
+    def gray_detection(self, machine_id: str, latency: float,
+                       now: float) -> None:
+        """A conviction landed; record first-evidence-to-verdict latency."""
+        del machine_id
+        self._h_gray_detect.record(latency)
+        self.alerts.observe("gray_detection", now, latency)
 
     # -- resolver hooks -----------------------------------------------------
 

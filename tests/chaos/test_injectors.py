@@ -350,3 +350,50 @@ class TestAttackInjector:
         # Deterministic slice: same deployment, same sources.
         assert sources == AttackInjector(shared, source_count=4) \
             .attack_sources()
+
+
+class TestGrayInjector:
+    def test_machine_target_sets_and_clears_the_seam(self, shared):
+        table = default_injectors(shared)
+        injector = table[FaultKind.GRAY_CORRUPT]
+        machine = shared.regular_deployments()[0].machine
+        fault = spec(FaultKind.GRAY_CORRUPT, machine.machine_id)
+        injector.inject(fault)
+        assert machine.gray_fault == ("corrupt", 1.0)
+        injector.clear(fault)
+        assert machine.gray_fault is None
+
+    def test_pop_target_covers_all_its_machines(self, shared):
+        table = default_injectors(shared)
+        injector = table[FaultKind.GRAY_BLACKHOLE]
+        fault = spec(FaultKind.GRAY_BLACKHOLE, "pop-0")
+        injector.inject(fault)
+        hit = [d.machine for d in shared.regular_deployments()
+               if d.machine.machine_id.startswith("pop-0-")]
+        assert hit
+        assert all(m.gray_fault == ("blackhole", 1.0) for m in hit)
+        injector.clear(fault)
+        assert all(m.gray_fault is None for m in hit)
+
+    def test_partial_drop_severity_must_be_a_fraction(self, shared):
+        table = default_injectors(shared)
+        injector = table[FaultKind.GRAY_PARTIAL_DROP]
+        machine_id = shared.regular_deployments()[0].machine.machine_id
+        for bad in (0.0, -0.5, 1.5):
+            with pytest.raises(ValueError):
+                injector.inject(spec(FaultKind.GRAY_PARTIAL_DROP,
+                                     machine_id, severity=bad))
+
+    def test_health_probe_stays_green_under_gray_fault(self, shared):
+        # The defining property: the chaos seam must never leak into
+        # the in-process health probe, or the fault would not be gray.
+        table = default_injectors(shared)
+        injector = table[FaultKind.GRAY_CORRUPT]
+        deployment = shared.regular_deployments()[0]
+        fault = spec(FaultKind.GRAY_CORRUPT,
+                     deployment.machine.machine_id)
+        injector.inject(fault)
+        try:
+            assert deployment.agent.run_suite().healthy
+        finally:
+            injector.clear(fault)

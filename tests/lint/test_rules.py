@@ -340,6 +340,53 @@ class TestMitigatorEngage:
         assert codes(src, path=SIM_PATH) == []
 
 
+class TestSuspensionPath:
+    def test_direct_suspend_flagged(self):
+        src = "def f(machine):\n    machine.suspend()\n"
+        assert codes(src, path=SIM_PATH) == ["ROB003"]
+
+    def test_direct_resume_flagged(self):
+        src = "def f(machine):\n    machine.resume()\n"
+        assert codes(src, path=SIM_PATH) == ["ROB003"]
+
+    def test_attribute_receiver_flagged(self):
+        src = "def f(self):\n    self.machine.suspend()\n"
+        assert codes(src, path=SIM_PATH) == ["ROB003"]
+
+    def test_suffixed_receiver_flagged(self):
+        src = "def f(gray_machine):\n    gray_machine.resume()\n"
+        assert codes(src, path=SIM_PATH) == ["ROB003"]
+
+    def test_grayfail_module_exempt(self):
+        src = "def f(machine):\n    machine.suspend()\n"
+        assert codes(src, path="src/repro/control/grayfail.py") == []
+
+    def test_recovery_module_exempt(self):
+        src = "def f(machine):\n    machine.resume()\n"
+        assert codes(src, path="src/repro/control/recovery.py") == []
+
+    def test_tests_out_of_scope(self):
+        src = "def f(machine):\n    machine.suspend()\n"
+        assert codes(src, path="tests/server/fake.py") == []
+
+    def test_unrelated_receiver_is_fine(self):
+        src = ("def f(task, job):\n"
+               "    task.suspend()\n"
+               "    job.resume()\n")
+        assert codes(src, path=SIM_PATH) == []
+
+    def test_coordinator_request_is_fine(self):
+        src = ("def f(coordinator, mid, now):\n"
+               "    coordinator.request_suspension(mid, now)\n")
+        assert codes(src, path=SIM_PATH) == []
+
+    def test_inline_suppression(self):
+        src = ("def f(self):\n"
+               "    # reprolint: disable-next=ROB003 -- quorum granted\n"
+               "    self.machine.suspend()\n")
+        assert codes(src, path=SIM_PATH) == []
+
+
 class TestRuleCatalogue:
     def test_codes_unique(self):
         all_codes = [r.code for r in ALL_RULES]

@@ -27,6 +27,7 @@ from repro.server import (
     ZoneStore,
     ecmp_hash,
 )
+from repro.server.monitoring import HealthReport
 
 ZONE = """\
 $ORIGIN p.example.
@@ -251,3 +252,46 @@ class TestMonitoringAgent:
         loop.run_until(30)
         assert "m1" in coordinator.active_suspensions()
         assert not coordinator.request_suspension("intruder")
+
+
+class TestHealthReportImmutability:
+    """The all-clear report is a shared singleton; it must be un-poisonable."""
+
+    def test_report_fields_are_frozen(self, world):
+        loop, net, pop = world
+        machine, speaker = add_machine(loop, pop, "m1")
+        agent = MonitoringAgent(loop, machine, speaker, period=1.0)
+        loop.run_until(2)
+        report = agent.run_suite()
+        assert report.healthy
+        with pytest.raises(AttributeError):
+            report.healthy = False
+        with pytest.raises(AttributeError):
+            report.reasons = ("poisoned",)
+
+    def test_reasons_are_a_tuple_even_when_built_from_a_list(self):
+        report = HealthReport(False, ["bad answer"])
+        assert report.reasons == ("bad answer",)
+        with pytest.raises(AttributeError):
+            report.reasons.append("more")  # tuples have no append
+
+    def test_mutation_attempt_cannot_poison_later_cycles(self, world):
+        # A consumer holding the shared all-clear report and trying to
+        # flip it must fail — and every subsequent suite run (on this
+        # agent and any other) must still see a genuinely healthy
+        # report, not a poisoned singleton.
+        loop, net, pop = world
+        machine, speaker = add_machine(loop, pop, "m1")
+        agent = MonitoringAgent(loop, machine, speaker, period=1.0)
+        other_machine, other_speaker = add_machine(loop, pop, "m2")
+        other_agent = MonitoringAgent(loop, other_machine, other_speaker,
+                                      period=1.0)
+        loop.run_until(2)
+        report = agent.run_suite()
+        with pytest.raises(AttributeError):
+            report.healthy = False
+        assert agent.run_suite().healthy
+        assert other_agent.run_suite().healthy
+        loop.run_until(6)
+        assert machine.state == MachineState.RUNNING
+        assert other_machine.state == MachineState.RUNNING
